@@ -1,0 +1,31 @@
+//! Ablation bench: the indexed backtracking evaluator (used as every
+//! server's local computation phase) vs the naive all-valuations
+//! reference evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parlog::mpc::datagen;
+use parlog_relal::eval::{eval_query, eval_query_naive};
+use parlog_relal::parser::parse_query;
+
+fn bench_local_eval(c: &mut Criterion) {
+    let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+
+    let mut group = c.benchmark_group("local_eval");
+    group.sample_size(10);
+    for m in [60usize, 120] {
+        let db = datagen::triangle_db(m, 30, 3);
+        group.bench_with_input(BenchmarkId::new("indexed", m), &m, |b, _| {
+            b.iter(|| eval_query(&q, &db));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, _| {
+            b.iter(|| eval_query_naive(&q, &db));
+        });
+    }
+    // Larger input, indexed only (naive is infeasible).
+    let big = datagen::triangle_db(3000, 300, 3);
+    group.bench_function("indexed_large", |b| b.iter(|| eval_query(&q, &big)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_eval);
+criterion_main!(benches);

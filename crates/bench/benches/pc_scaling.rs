@@ -1,0 +1,52 @@
+//! E7 / Criterion bench: cost scaling of the parallel-correctness and
+//! transfer decision procedures — the practical face of the Πp2/Πp3
+//! structure of Theorems 4.8/4.14. Includes the minimal-valuation
+//! enumeration ablation (with vs without enumeration pruning, i.e. PC1 on
+//! minimal valuations vs PC0 on all valuations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parlog::prelude::*;
+use parlog::relal::fact::Val;
+use parlog::relal::policy::HashPolicy;
+
+fn bench_pc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pc_decision");
+    group.sample_size(10);
+
+    // Scaling in universe size.
+    let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+    for k in [2usize, 3, 4] {
+        let universe: Vec<Val> = (1..=k as u64).map(Val).collect();
+        let policy = HashPolicy::new(4, 7);
+        group.bench_with_input(BenchmarkId::new("pc1_universe", k), &k, |b, _| {
+            b.iter(|| saturates(&q, &policy, &universe));
+        });
+        group.bench_with_input(BenchmarkId::new("pc0_universe", k), &k, |b, _| {
+            b.iter(|| strongly_saturates(&q, &policy, &universe));
+        });
+    }
+
+    // Scaling in query size (chains of length n).
+    for n in [2usize, 3, 4] {
+        let body: Vec<String> = (0..n).map(|i| format!("R(v{i}, v{})", i + 1)).collect();
+        let src = format!("H(v0, v{n}) <- {}", body.join(", "));
+        let q = parse_query(&src).unwrap();
+        let universe: Vec<Val> = (1..=3u64).map(Val).collect();
+        let policy = HashPolicy::new(4, 7);
+        group.bench_with_input(BenchmarkId::new("pc1_chain", n), &n, |b, _| {
+            b.iter(|| saturates(&q, &policy, &universe));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("transfer_decision");
+    group.sample_size(10);
+    let [q1, _q2, q3, q4] = parlog::queries::example_4_11();
+    group.bench_function("covers_q3_q1", |b| b.iter(|| covers(&q3, &q1)));
+    group.bench_function("covers_q4_q3_negative", |b| b.iter(|| covers(&q4, &q3)));
+    group.bench_function("covers_q1_q1", |b| b.iter(|| covers(&q1, &q1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pc);
+criterion_main!(benches);

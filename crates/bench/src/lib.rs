@@ -1,0 +1,90 @@
+//! Shared helpers for the experiment binaries (`src/bin/e01…e12`) and the
+//! Criterion benches: plain-text table rendering and JSON result dumps,
+//! so every experiment's output can be pasted into EXPERIMENTS.md and
+//! machine-diffed across runs.
+
+use std::fmt::Display;
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[&dyn Display]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::from("  ");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len() + 2;
+        println!("  {}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format a float with 3 decimals (for table cells).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Dump a serializable result as one JSON line (machine-readable record
+/// of the experiment).
+pub fn json_record<T: serde::Serialize>(label: &str, value: &T) {
+    println!(
+        "JSON {label} {}",
+        serde_json::to_string(value).expect("serializable")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&[&1, &"xyz"]);
+        t.row(&[&22, &"q"]);
+        t.print();
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.6666), "0.667");
+    }
+}

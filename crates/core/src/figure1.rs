@@ -1,0 +1,114 @@
+//! Figure 1 of the survey, recomputed: the relationship between the
+//! queries of Example 4.11 with respect to (a) parallel-correctness
+//! transfer and (b) query containment.
+
+use crate::queries::example_4_11;
+use crate::transfer::pc_transfers;
+use parlog_relal::containment::contains;
+use parlog_relal::query::ConjunctiveQuery;
+use std::fmt;
+
+/// The recomputed figure: `transfer[i][j]` = `Qi+1 →pc Qj+1`,
+/// `containment[i][j]` = `Qi+1 ⊆ Qj+1`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Figure1 {
+    /// Rendered query strings.
+    pub queries: Vec<String>,
+    /// Parallel-correctness-transfer matrix.
+    pub transfer: [[bool; 4]; 4],
+    /// Containment matrix.
+    pub containment: [[bool; 4]; 4],
+}
+
+/// Recompute the figure from the decision procedures.
+pub fn figure1() -> Figure1 {
+    let qs: [ConjunctiveQuery; 4] = example_4_11();
+    let mut transfer = [[false; 4]; 4];
+    let mut containment = [[false; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            transfer[i][j] = pc_transfers(&qs[i], &qs[j]);
+            containment[i][j] = contains(&qs[i], &qs[j]);
+        }
+    }
+    Figure1 {
+        queries: qs.iter().map(|q| q.to_string()).collect(),
+        transfer,
+        containment,
+    }
+}
+
+impl Figure1 {
+    fn matrix(f: &mut fmt::Formatter<'_>, title: &str, m: &[[bool; 4]; 4]) -> fmt::Result {
+        writeln!(f, "{title}")?;
+        write!(f, "       ")?;
+        for j in 0..4 {
+            write!(f, " Q{}", j + 1)?;
+        }
+        writeln!(f)?;
+        for (i, row) in m.iter().enumerate() {
+            write!(f, "  Q{} ->", i + 1)?;
+            for &b in row {
+                write!(f, "  {}", if b { "✓" } else { "·" })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Figure1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Example 4.11 queries:")?;
+        for (i, q) in self.queries.iter().enumerate() {
+            writeln!(f, "  Q{}: {}", i + 1, q)?;
+        }
+        writeln!(f)?;
+        Self::matrix(
+            f,
+            "(a) parallel-correctness transfer (row →pc column):",
+            &self.transfer,
+        )?;
+        writeln!(f)?;
+        Self::matrix(f, "(b) containment (row ⊆ column):", &self.containment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full machine-check of Figure 1 against the paper.
+    #[test]
+    fn matches_the_paper() {
+        let fig = figure1();
+        // Transfer (row →pc column), including reflexivity. The arrows:
+        // Q3 →pc {Q1, Q2, Q4}, Q1 →pc Q2, Q4 →pc Q2 — see
+        // `transfer::tests::figure_1a_transfer_lattice` for the
+        // derivation from minimal valuations.
+        let t = |i: usize, j: usize| fig.transfer[i - 1][j - 1];
+        assert!(t(1, 1) && t(2, 2) && t(3, 3) && t(4, 4));
+        assert!(t(3, 1), "Q3 →pc Q1 (the survey's example)");
+        assert!(t(3, 2), "Q3 →pc Q2");
+        assert!(t(3, 4), "Q3 →pc Q4");
+        assert!(t(1, 2), "Q1 →pc Q2");
+        assert!(t(4, 2), "Q4 →pc Q2");
+        for (i, j) in [(1, 3), (1, 4), (2, 1), (2, 3), (2, 4), (4, 1), (4, 3)] {
+            assert!(!t(i, j), "Q{i} must not transfer to Q{j}");
+        }
+        // Containment (row ⊆ column):
+        let c = |i: usize, j: usize| fig.containment[i - 1][j - 1];
+        assert!(c(1, 2) && c(1, 3) && c(1, 4) && c(2, 4) && c(3, 4));
+        for (i, j) in [(2, 1), (3, 1), (4, 1), (2, 3), (3, 2), (4, 2), (4, 3)] {
+            assert!(!c(i, j), "Q{i} must not be contained in Q{j}");
+        }
+    }
+
+    #[test]
+    fn display_renders_both_matrices() {
+        let s = figure1().to_string();
+        assert!(s.contains("transfer"));
+        assert!(s.contains("containment"));
+        assert!(s.contains("Q4"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # `parlog` — Logical Aspects of Massively Parallel and Distributed Systems
+//!
+//! An executable reproduction of Frank Neven's PODS 2016 invited survey.
+//! The workspace implements both halves of the paper and this crate ties
+//! them together with the survey's own reasoning framework:
+//!
+//! * **Section 3 (MPC)** — the simulator, Shares/HyperCube, and the one-
+//!   and multi-round join algorithms live in [`mpc`] (re-exported from
+//!   `parlog-mpc`); the fractional edge packings governing the
+//!   `O(m/p^{1/τ*})` load bounds live in [`relal::packing`].
+//! * **Section 4 (parallel-correctness)** — [`pc`] implements conditions
+//!   PC0/PC1 over minimal valuations (Proposition 4.6), the instance-
+//!   specific and general decision procedures, and the `CQ¬` variant via
+//!   bounded counterexample search; [`transfer`] implements the `covers`
+//!   characterization of parallel-correctness transfer
+//!   (Proposition 4.13).
+//! * **Section 5 (coordination-freeness)** — the transducer networks,
+//!   schedulers and CALM programs live in [`transducer`]; [`calm`]
+//!   provides bounded semantic testers for the monotonicity hierarchy
+//!   `M ⊊ Mdistinct ⊊ Mdisjoint` (Definitions 5.2/5.5/5.9) and a
+//!   classifier.
+//! * **The figures** — [`figure1`] recomputes the transfer/containment
+//!   lattice of Example 4.11 and [`figure2`] recomputes the class-
+//!   correspondence table of Section 5, both machine-checked against the
+//!   paper in the test suite.
+//!
+//! ```
+//! use parlog::prelude::*;
+//!
+//! // Example 4.3: PC0 fails but the query is parallel-correct (PC1).
+//! let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+//! let policy = parlog::pc::example_4_3_policy();
+//! let universe = [Val(1), Val(2)];
+//! assert!(!parlog::pc::strongly_saturates(&q, &policy, &universe));
+//! assert!(parlog::pc::saturates(&q, &policy, &universe));
+//! ```
+
+pub mod calm;
+pub mod figure1;
+pub mod figure2;
+pub mod pc;
+pub mod queries;
+pub mod scale;
+pub mod transfer;
+
+pub use parlog_datalog as datalog;
+pub use parlog_mpc as mpc;
+pub use parlog_relal as relal;
+pub use parlog_transducer as transducer;
+
+/// Commonly used items from the whole workspace.
+pub mod prelude {
+    pub use crate::calm::{classify, MonotonicityClass, Schema};
+    pub use crate::pc::{
+        parallel_correct, parallel_correct_on, parallel_result, saturates, strongly_saturates,
+    };
+    pub use crate::queries;
+    pub use crate::transfer::{covers, pc_transfers};
+    pub use parlog_relal::fact::Val;
+    pub use parlog_relal::prelude::*;
+}

@@ -1,0 +1,100 @@
+//! The survey's named example queries, shared by tests, examples and
+//! benches.
+
+use parlog_relal::parser::parse_query;
+use parlog_relal::query::ConjunctiveQuery;
+
+/// Q1–Q4 of Example 4.11 (Figure 1):
+///
+/// ```text
+/// Q1: H() ← S(x), R(x,x), T(x)
+/// Q2: H() ← R(x,x), T(x)
+/// Q3: H() ← S(x), R(x,y), T(y)
+/// Q4: H() ← R(x,y), T(y)
+/// ```
+pub fn example_4_11() -> [ConjunctiveQuery; 4] {
+    [
+        parse_query("H() <- S(x), R(x,x), T(x)").expect("Q1"),
+        parse_query("H() <- R(x,x), T(x)").expect("Q2"),
+        parse_query("H() <- S(x), R(x,y), T(y)").expect("Q3"),
+        parse_query("H() <- R(x,y), T(y)").expect("Q4"),
+    ]
+}
+
+/// The triangle join query `Q2` of Example 3.1 over `R`, `S`, `T`.
+pub fn triangle_join() -> ConjunctiveQuery {
+    parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").expect("triangle")
+}
+
+/// The binary join `Q1` of Example 3.1.
+pub fn binary_join() -> ConjunctiveQuery {
+    parse_query("H(x,y,z) <- R(x,y), S(y,z)").expect("join")
+}
+
+/// The graph triangle query of Example 5.1(1), with the inequalities
+/// making vertices distinct — monotone.
+pub fn graph_triangles() -> ConjunctiveQuery {
+    parse_query("H(x,y,z) <- E(x,y), E(y,z), E(z,x), x != y, y != z, z != x").expect("triangles")
+}
+
+/// The open-triangle query of Example 5.1(2)/5.4 — in `Mdistinct ∖ M`.
+pub fn open_triangles() -> ConjunctiveQuery {
+    parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x)").expect("open triangles")
+}
+
+/// The complement-of-transitive-closure program `Q¬TC` of Examples
+/// 5.6/5.10/5.13 — in `Mdisjoint ∖ Mdistinct`; its output predicate is
+/// `NTC`.
+pub fn ntc_program() -> parlog_datalog::program::Program {
+    parlog_datalog::program::parse_program(
+        "TC(x,y) <- E(x,y)
+         TC(x,y) <- TC(x,z), TC(z,y)
+         NTC(x,y) <- ADom(x), ADom(y), not TC(x,y)",
+    )
+    .expect("¬TC program")
+}
+
+/// The no-triangle query `QNT` of Example 5.10 ("the edge relation E when
+/// there is no three-node triangle present, and the empty set otherwise")
+/// — outside `Mdisjoint`; its output predicate is `OUT`.
+pub fn qnt_program() -> parlog_datalog::program::Program {
+    parlog_datalog::program::parse_program(
+        "T(x,y,z) <- E(x,y), E(y,z), E(z,x), y != x, y != z, x != z
+         S(x) <- ADom(x), T(u,v,w)
+         OUT(x,y) <- E(x,y), not S(x)",
+    )
+    .expect("QNT program")
+}
+
+/// The transitive-closure program (monotone Datalog); output `TC`.
+pub fn tc_program() -> parlog_datalog::program::Program {
+    parlog_datalog::program::parse_program(
+        "TC(x,y) <- E(x,y)
+         TC(x,y) <- TC(x,z), TC(z,y)",
+    )
+    .expect("TC program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_build() {
+        assert_eq!(example_4_11().len(), 4);
+        assert!(triangle_join().is_full());
+        assert!(binary_join().is_full());
+        assert_eq!(graph_triangles().inequalities.len(), 3);
+        assert_eq!(open_triangles().negated.len(), 1);
+        assert_eq!(ntc_program().rules.len(), 3);
+        assert_eq!(qnt_program().rules.len(), 3);
+        assert_eq!(tc_program().rules.len(), 2);
+    }
+
+    #[test]
+    fn example_4_11_queries_are_boolean() {
+        for q in example_4_11() {
+            assert!(q.is_boolean());
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Scale independence / bounded evaluation — the Fan–Geerts–Libkin
+//! direction of Section 6.
+//!
+//! "An interesting related notion is that of scale independence … where
+//! queries require only a relatively small subset of the data whose size
+//! is determined by the structure of the query and the access methods
+//! rather than by the size of the data."
+//!
+//! An **access schema** is a set of constraints `(R, X, N)`: given values
+//! for the positions `X` of `R`, at most `N` matching tuples exist and
+//! they are retrievable by index. A CQ is **boundedly evaluable** under
+//! an access schema when there is a plan that instantiates its atoms one
+//! by one, each through a constraint whose input positions are already
+//! bound (by constants or earlier atoms); the plan then touches at most
+//! `∏ N_i` tuples — *independent of the database size*.
+//!
+//! [`bounded_plan`] searches for such a plan (backtracking over atom
+//! orders and constraint choices, minimizing the fetch bound), and
+//! [`eval_bounded`] executes it with per-access counting so tests can
+//! assert the scale-independence property literally: the number of facts
+//! fetched does not grow with `|I|`.
+
+use parlog_relal::atom::{Term, Var};
+use parlog_relal::fact::{Fact, Val};
+use parlog_relal::fastmap::{fxmap, FxMap};
+use parlog_relal::instance::Instance;
+use parlog_relal::query::ConjunctiveQuery;
+use parlog_relal::symbols::RelId;
+use parlog_relal::valuation::Valuation;
+
+/// An access constraint `(R, X, N)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessConstraint {
+    /// The relation.
+    pub rel: RelId,
+    /// The input positions `X` (sorted, possibly empty — an empty `X`
+    /// bounds the whole relation by `N`).
+    pub inputs: Vec<usize>,
+    /// The fan-out bound `N`.
+    pub fanout: usize,
+}
+
+impl AccessConstraint {
+    /// Convenience constructor.
+    pub fn new(rel_name: &str, inputs: Vec<usize>, fanout: usize) -> AccessConstraint {
+        let mut inputs = inputs;
+        inputs.sort_unstable();
+        inputs.dedup();
+        AccessConstraint {
+            rel: parlog_relal::symbols::rel(rel_name),
+            inputs,
+            fanout,
+        }
+    }
+}
+
+/// An access schema: a set of constraints.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSchema {
+    /// The constraints.
+    pub constraints: Vec<AccessConstraint>,
+}
+
+impl AccessSchema {
+    /// Build from a list.
+    pub fn new(constraints: Vec<AccessConstraint>) -> AccessSchema {
+        AccessSchema { constraints }
+    }
+}
+
+/// One step of a bounded plan: instantiate `atom_idx` through
+/// `constraint`.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// Index into the query body.
+    pub atom_idx: usize,
+    /// The constraint used to access it.
+    pub constraint: AccessConstraint,
+}
+
+/// A bounded evaluation plan.
+#[derive(Debug, Clone)]
+pub struct BoundedPlan {
+    /// The steps, in execution order.
+    pub steps: Vec<PlanStep>,
+    /// The worst-case number of fetched tuples: `∏ fanouts` summed along
+    /// the prefix tree — we report the simple product bound `∏ N_i` on
+    /// candidate valuations and the additive fetch bound.
+    pub valuation_bound: usize,
+}
+
+/// Find a bounded plan for `q` under `schema`, if one exists. Minimizes
+/// the product of fan-outs greedily with full backtracking (queries are
+/// small).
+pub fn bounded_plan(q: &ConjunctiveQuery, schema: &AccessSchema) -> Option<BoundedPlan> {
+    assert!(q.is_plain_cq(), "bounded plans for plain CQs");
+    let n = q.body.len();
+
+    fn usable(atom: &parlog_relal::atom::Atom, c: &AccessConstraint, bound: &[Var]) -> bool {
+        if c.rel != atom.rel || c.inputs.iter().any(|&i| i >= atom.arity()) {
+            return false;
+        }
+        c.inputs.iter().all(|&i| match &atom.terms[i] {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        })
+    }
+
+    fn search(
+        q: &ConjunctiveQuery,
+        schema: &AccessSchema,
+        used: &mut Vec<bool>,
+        bound_vars: &mut Vec<Var>,
+        steps: &mut Vec<PlanStep>,
+        product: usize,
+        best: &mut Option<BoundedPlan>,
+    ) {
+        if let Some(b) = best {
+            if product >= b.valuation_bound {
+                return; // prune
+            }
+        }
+        if steps.len() == q.body.len() {
+            *best = Some(BoundedPlan {
+                steps: steps.clone(),
+                valuation_bound: product,
+            });
+            return;
+        }
+        for i in 0..q.body.len() {
+            if used[i] {
+                continue;
+            }
+            let atom = &q.body[i];
+            for c in &schema.constraints {
+                if !usable(atom, c, bound_vars) {
+                    continue;
+                }
+                used[i] = true;
+                let before = bound_vars.len();
+                for v in atom.variables() {
+                    if !bound_vars.contains(&v) {
+                        bound_vars.push(v);
+                    }
+                }
+                steps.push(PlanStep {
+                    atom_idx: i,
+                    constraint: c.clone(),
+                });
+                search(
+                    q,
+                    schema,
+                    used,
+                    bound_vars,
+                    steps,
+                    product.saturating_mul(c.fanout),
+                    best,
+                );
+                steps.pop();
+                bound_vars.truncate(before);
+                used[i] = false;
+            }
+        }
+    }
+
+    let mut best = None;
+    search(
+        q,
+        schema,
+        &mut vec![false; n],
+        &mut Vec::new(),
+        &mut Vec::new(),
+        1,
+        &mut best,
+    );
+    best
+}
+
+/// Is the query scale-independent under the schema (a bounded plan
+/// exists)?
+pub fn is_scale_independent(q: &ConjunctiveQuery, schema: &AccessSchema) -> bool {
+    bounded_plan(q, schema).is_some()
+}
+
+/// The result of a bounded evaluation, with access accounting.
+#[derive(Debug, Clone)]
+pub struct BoundedEvalReport {
+    /// The query answer.
+    pub output: Instance,
+    /// Facts fetched through the access methods (the scale-independence
+    /// measure — compare across database sizes).
+    pub facts_fetched: usize,
+}
+
+/// An access index: `(relation, input positions) → key values → facts`.
+type AccessIndex = FxMap<(RelId, Vec<usize>), FxMap<Vec<Val>, Vec<Fact>>>;
+
+/// Execute a bounded plan against `db`. Accesses go through per-
+/// constraint hash indices; every fetched fact is counted. Panics if the
+/// database violates a fan-out bound (the access schema is a promise
+/// about the data).
+pub fn eval_bounded(q: &ConjunctiveQuery, db: &Instance, plan: &BoundedPlan) -> BoundedEvalReport {
+    // Build one index per distinct (rel, inputs) used by the plan.
+    let mut indices: AccessIndex = fxmap();
+    for step in &plan.steps {
+        let key = (step.constraint.rel, step.constraint.inputs.clone());
+        indices.entry(key.clone()).or_insert_with(|| {
+            let mut idx: FxMap<Vec<Val>, Vec<Fact>> = fxmap();
+            for f in db.relation(key.0) {
+                let k: Vec<Val> = key
+                    .1
+                    .iter()
+                    .filter_map(|&i| f.args.get(i).copied())
+                    .collect();
+                if k.len() == key.1.len() {
+                    idx.entry(k).or_default().push(f.clone());
+                }
+            }
+            idx
+        });
+    }
+
+    let mut fetched = 0usize;
+    let mut out = Instance::new();
+    let empty: Vec<Fact> = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        q: &ConjunctiveQuery,
+        plan: &BoundedPlan,
+        depth: usize,
+        val: &mut Valuation,
+        indices: &AccessIndex,
+        empty: &Vec<Fact>,
+        fetched: &mut usize,
+        out: &mut Instance,
+    ) {
+        if depth == plan.steps.len() {
+            if val.satisfies_inequalities(q) {
+                out.insert(val.derived_fact(q));
+            }
+            return;
+        }
+        let step = &plan.steps[depth];
+        let atom = &q.body[step.atom_idx];
+        let key: Vec<Val> = step
+            .constraint
+            .inputs
+            .iter()
+            .map(|&i| val.apply_term(&atom.terms[i]).expect("plan binds inputs"))
+            .collect();
+        let candidates = indices[&(step.constraint.rel, step.constraint.inputs.clone())]
+            .get(&key)
+            .unwrap_or(empty);
+        assert!(
+            candidates.len() <= step.constraint.fanout,
+            "access constraint violated: {} tuples behind a fan-out bound of {}",
+            candidates.len(),
+            step.constraint.fanout
+        );
+        *fetched += candidates.len();
+        for f in candidates {
+            // Unify the remaining positions.
+            let mut newly: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (t, &a) in atom.terms.iter().zip(f.args.iter()) {
+                match t {
+                    Term::Const(c) => {
+                        if *c != a {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match val.get(v) {
+                        Some(prev) => {
+                            if prev != a {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            val.bind(v.clone(), a);
+                            newly.push(v.clone());
+                        }
+                    },
+                }
+            }
+            if ok {
+                recurse(q, plan, depth + 1, val, indices, empty, fetched, out);
+            }
+            for v in newly {
+                val.unbind(&v);
+            }
+        }
+    }
+
+    let mut val = Valuation::new();
+    recurse(
+        q,
+        plan,
+        0,
+        &mut val,
+        &indices,
+        &empty,
+        &mut fetched,
+        &mut out,
+    );
+    BoundedEvalReport {
+        output: out,
+        facts_fetched: fetched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::fact::fact;
+    use parlog_relal::parser::parse_query;
+
+    /// A "social" database: Follows(person, person) with bounded
+    /// out-degree, Profile(person, city).
+    fn social_db(n_users: u64, out_degree: u64) -> Instance {
+        let mut db = Instance::new();
+        for u in 0..n_users {
+            for k in 1..=out_degree {
+                db.insert(fact("Follows", &[u, (u + k) % n_users]));
+            }
+            db.insert(fact("Profile", &[u, u % 7]));
+        }
+        db
+    }
+
+    fn social_schema(out_degree: usize) -> AccessSchema {
+        AccessSchema::new(vec![
+            AccessConstraint::new("Follows", vec![0], out_degree),
+            AccessConstraint::new("Profile", vec![0], 1),
+        ])
+    }
+
+    #[test]
+    fn two_hop_query_is_scale_independent() {
+        // Friends-of-friends of user 3, with their cities.
+        let q = parse_query("H(z, c) <- Follows(3, y), Follows(y, z), Profile(z, c)").unwrap();
+        let schema = social_schema(4);
+        let plan = bounded_plan(&q, &schema).expect("plan exists");
+        assert_eq!(plan.steps.len(), 3);
+        assert_eq!(plan.valuation_bound, 4 * 4);
+
+        // Evaluate on small and large databases: fetch counts agree.
+        let small = social_db(100, 4);
+        let large = social_db(10_000, 4);
+        let rs = eval_bounded(&q, &small, &plan);
+        let rl = eval_bounded(&q, &large, &plan);
+        assert_eq!(rs.output, parlog_relal::eval::eval_query(&q, &small));
+        assert_eq!(rl.output, parlog_relal::eval::eval_query(&q, &large));
+        assert_eq!(
+            rs.facts_fetched, rl.facts_fetched,
+            "fetch count must not grow with |I| — that is scale independence"
+        );
+        assert!(rl.facts_fetched <= 4 + 16 + 16);
+    }
+
+    #[test]
+    fn unanchored_query_is_not_scale_independent() {
+        // No constant to start from: every plan needs an unbounded scan.
+        let q = parse_query("H(x, z) <- Follows(x, y), Follows(y, z)").unwrap();
+        assert!(!is_scale_independent(&q, &social_schema(4)));
+    }
+
+    #[test]
+    fn whole_relation_bound_anchors_plans() {
+        // A small dimension relation (|VIP| ≤ 5) can anchor the plan.
+        let q = parse_query("H(v, y) <- VIP(v), Follows(v, y)").unwrap();
+        let schema = AccessSchema::new(vec![
+            AccessConstraint::new("VIP", vec![], 5),
+            AccessConstraint::new("Follows", vec![0], 4),
+        ]);
+        let plan = bounded_plan(&q, &schema).unwrap();
+        assert_eq!(plan.valuation_bound, 20);
+        let mut db = social_db(50, 4);
+        db.insert(fact("VIP", &[1]));
+        db.insert(fact("VIP", &[2]));
+        let r = eval_bounded(&q, &db, &plan);
+        assert_eq!(r.output, parlog_relal::eval::eval_query(&q, &db));
+        assert!(r.facts_fetched <= 2 + 2 * 4);
+    }
+
+    #[test]
+    fn plan_minimizes_fanout_product() {
+        // Two ways in: via the fan-out-100 index or the fan-out-2 one.
+        let q = parse_query("H(y) <- R(1, y)").unwrap();
+        let schema = AccessSchema::new(vec![
+            AccessConstraint::new("R", vec![0], 100),
+            AccessConstraint::new("R", vec![0], 2),
+        ]);
+        let plan = bounded_plan(&q, &schema).unwrap();
+        assert_eq!(plan.valuation_bound, 2);
+    }
+
+    #[test]
+    fn violated_fanout_panics() {
+        let q = parse_query("H(y) <- R(1, y)").unwrap();
+        let schema = AccessSchema::new(vec![AccessConstraint::new("R", vec![0], 1)]);
+        let plan = bounded_plan(&q, &schema).unwrap();
+        let db = Instance::from_facts([fact("R", &[1, 2]), fact("R", &[1, 3])]);
+        let result = std::panic::catch_unwind(|| eval_bounded(&q, &db, &plan));
+        assert!(result.is_err(), "fan-out violation must be detected");
+    }
+
+    #[test]
+    fn join_order_matters_for_boundedness() {
+        // Only Profile is indexed by city; the plan must start there.
+        let q = parse_query("H(p, f) <- Profile(p, 3), Follows(p, f)").unwrap();
+        let schema = AccessSchema::new(vec![
+            AccessConstraint::new("Profile", vec![1], 10),
+            AccessConstraint::new("Follows", vec![0], 4),
+        ]);
+        let plan = bounded_plan(&q, &schema).unwrap();
+        assert_eq!(plan.steps[0].atom_idx, 0, "must anchor on Profile(p,3)");
+        assert_eq!(plan.valuation_bound, 40);
+    }
+}

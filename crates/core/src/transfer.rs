@@ -1,0 +1,322 @@
+//! Parallel-correctness **transfer** — Section 4.2.
+//!
+//! `Q →pc Q′` ("parallel-correctness transfers from Q to Q′") when `Q′` is
+//! parallel-correct under every policy under which `Q` is. Proposition
+//! 4.13 characterizes transfer through the `covers` relation:
+//!
+//! > `Q` **covers** `Q′` if for every minimal valuation `V′` for `Q′`
+//! > there is a minimal valuation `V` for `Q` with
+//! > `V′(body_{Q′}) ⊆ V(body_Q)`.
+//!
+//! Spelling out the minimality quantifiers yields the Πp3 structure of
+//! Theorem 4.14; the decision procedure below implements it literally
+//! over a canonical universe. Minimal valuations are isomorphism-
+//! invariant, so a universe of `|vars(Q′)|` fresh values (plus both
+//! queries' constants) suffices for the `∀V′` side, and the witness `V`
+//! may additionally use `|vars(Q)|` fresh values.
+
+use parlog_relal::fact::Val;
+use parlog_relal::minimal::{for_each_valuation, is_minimal, minimal_valuations_over};
+use parlog_relal::query::ConjunctiveQuery;
+
+/// A fresh-value pool for canonical universes: values high enough not to
+/// collide with user data or interned symbols in practice.
+const CANON_BASE: u64 = 0x7a11_0000_0000;
+
+/// The canonical universe for deciding `covers`: the constants of both
+/// queries plus `k` fresh values.
+fn canonical_universe(q: &ConjunctiveQuery, qp: &ConjunctiveQuery, k: usize) -> Vec<Val> {
+    let mut u: Vec<Val> = q.constants();
+    u.extend(qp.constants());
+    u.extend((0..k as u64).map(|i| Val(CANON_BASE + i)));
+    u.sort_unstable();
+    u.dedup();
+    u
+}
+
+/// Does `q` **cover** `qp` (Definition 4.12)?
+///
+/// For **full** queries the minimality checks are skipped: a full query's
+/// head mentions every variable, so two valuations deriving the same head
+/// fact are identical — *every* valuation is minimal. This is the
+/// tractability observation behind the survey's remark that
+/// transferability "can be lowered to NP … for the full queries"
+/// (benchmarked in `pc_scaling`).
+pub fn covers(q: &ConjunctiveQuery, qp: &ConjunctiveQuery) -> bool {
+    assert!(
+        q.negated.is_empty() && qp.negated.is_empty(),
+        "covers is defined for negation-free queries"
+    );
+    let q_full = q.is_full();
+    let qp_full = qp.is_full();
+    // ∀ minimal V′ over the canonical universe…
+    let u_prime = canonical_universe(q, qp, qp.variables().len());
+    let prime_valuations: Vec<parlog_relal::valuation::Valuation> = if qp_full {
+        let mut all = Vec::new();
+        for_each_valuation(&qp.variables(), &u_prime, |v| {
+            if v.satisfies_inequalities(qp) {
+                all.push(v.clone());
+            }
+        });
+        all
+    } else {
+        minimal_valuations_over(qp, &u_prime)
+    };
+    for v_prime in prime_valuations {
+        let required = v_prime.required_facts(qp);
+        // …∃ minimal V for q with V′(body′) ⊆ V(body). V may map into the
+        // values of V′'s facts plus fresh ones.
+        let mut witness_universe: Vec<Val> = required.adom_sorted();
+        witness_universe.extend(q.constants());
+        witness_universe
+            .extend((0..q.variables().len() as u64).map(|i| Val(CANON_BASE + 0x1000 + i)));
+        witness_universe.sort_unstable();
+        witness_universe.dedup();
+
+        let vars = q.variables();
+        let mut found = false;
+        for_each_valuation(&vars, &witness_universe, |v| {
+            if found || !v.satisfies_inequalities(q) {
+                return;
+            }
+            if required.is_subset_of(&v.required_facts(q)) && (q_full || is_minimal(q, v)) {
+                found = true;
+            }
+        });
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+/// `covers` lifted to unions of conjunctive queries: every minimal
+/// union-valuation of `up` is dominated by a minimal union-valuation of
+/// `u` ("the same complexity bounds continue to hold … for unions of
+/// conjunctive queries", after Theorem 4.14).
+pub fn covers_union(
+    u: &parlog_relal::query::UnionQuery,
+    up: &parlog_relal::query::UnionQuery,
+) -> bool {
+    use parlog_relal::minimal::{is_minimal_for_union, minimal_union_valuations_over};
+    let max_vars = up
+        .disjuncts
+        .iter()
+        .map(|d| d.variables().len())
+        .max()
+        .unwrap_or(0);
+    let mut u_prime: Vec<Val> = up
+        .disjuncts
+        .iter()
+        .chain(u.disjuncts.iter())
+        .flat_map(|d| d.constants())
+        .collect();
+    u_prime.extend((0..max_vars as u64).map(|i| Val(CANON_BASE + i)));
+    u_prime.sort_unstable();
+    u_prime.dedup();
+
+    for uv in minimal_union_valuations_over(up, &u_prime) {
+        let required = uv.valuation.required_facts(&up.disjuncts[uv.disjunct]);
+        let mut witness_universe: Vec<Val> = required.adom_sorted();
+        for d in &u.disjuncts {
+            witness_universe.extend(d.constants());
+            witness_universe
+                .extend((0..d.variables().len() as u64).map(|i| Val(CANON_BASE + 0x1000 + i)));
+        }
+        witness_universe.sort_unstable();
+        witness_universe.dedup();
+
+        let mut found = false;
+        for (j, d) in u.disjuncts.iter().enumerate() {
+            if found {
+                break;
+            }
+            for_each_valuation(&d.variables(), &witness_universe, |v| {
+                if found || !v.satisfies_inequalities(d) {
+                    return;
+                }
+                if required.is_subset_of(&v.required_facts(d)) && is_minimal_for_union(u, j, v) {
+                    found = true;
+                }
+            });
+        }
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+/// Transfer for unions of CQs, via [`covers_union`].
+pub fn pc_transfers_union(
+    u: &parlog_relal::query::UnionQuery,
+    up: &parlog_relal::query::UnionQuery,
+) -> bool {
+    covers_union(u, up)
+}
+
+/// Does parallel-correctness transfer from `q` to `qp` (`q →pc qp`)?
+/// Decided via `covers` (Proposition 4.13).
+pub fn pc_transfers(q: &ConjunctiveQuery, qp: &ConjunctiveQuery) -> bool {
+    covers(q, qp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::example_4_11;
+    use parlog_relal::parser::parse_query;
+
+    /// Figure 1(a): the full transfer relation over Q1–Q4 of
+    /// Example 4.11, derived from the `covers` characterization:
+    ///
+    /// * `Q3 →pc Q1` (the survey's worked example), `Q3 →pc Q2`,
+    ///   `Q3 →pc Q4` — Q3's minimal valuations `{S(a), R(a,b), T(b)}`
+    ///   cover everything;
+    /// * `Q1 →pc Q2` — `{S(a), R(a,a), T(a)} ⊇ {R(a,a), T(a)}`;
+    /// * `Q4 →pc Q2` — `{R(a,a), T(a)}` is itself a minimal Q4 valuation;
+    /// * nothing transfers *to* Q3 (its valuations need an `S`-fact that
+    ///   no other query's minimal valuation provides), and neither Q1 nor
+    ///   Q2 transfers to Q4 (their valuations never contain `R(a,b)` with
+    ///   `a ≠ b`).
+    #[test]
+    fn figure_1a_transfer_lattice() {
+        let [q1, q2, q3, q4] = example_4_11();
+        assert!(pc_transfers(&q3, &q1), "Q3 →pc Q1 (the survey's example)");
+        assert!(pc_transfers(&q3, &q2));
+        assert!(pc_transfers(&q3, &q4));
+        assert!(pc_transfers(&q1, &q2));
+        assert!(pc_transfers(&q4, &q2));
+        // Non-arrows (the relation is exactly this):
+        assert!(!pc_transfers(&q1, &q3));
+        assert!(!pc_transfers(&q1, &q4));
+        assert!(!pc_transfers(&q2, &q1));
+        assert!(!pc_transfers(&q2, &q3));
+        assert!(!pc_transfers(&q2, &q4));
+        assert!(!pc_transfers(&q4, &q1));
+        assert!(!pc_transfers(&q4, &q3));
+    }
+
+    #[test]
+    fn transfer_is_reflexive() {
+        for q in example_4_11() {
+            assert!(pc_transfers(&q, &q), "{q}");
+        }
+    }
+
+    /// The survey's central observation: transfer and containment are
+    /// orthogonal (compare Figures 1(a) and 1(b)).
+    #[test]
+    fn transfer_is_orthogonal_to_containment() {
+        use parlog_relal::containment::contains;
+        let [q1, q2, q3, q4] = example_4_11();
+        // Coincide: Q3 vs Q4 — Q3 ⊆ Q4 and Q3 →pc Q4 (same direction).
+        assert!(contains(&q3, &q4) && pc_transfers(&q3, &q4));
+        // Opposite directions: Q4 vs Q2 — Q2 ⊆ Q4 but Q4 →pc Q2.
+        assert!(contains(&q2, &q4) && pc_transfers(&q4, &q2) && !pc_transfers(&q2, &q4));
+        // One but not the other: Q3 vs Q2 — transfer (Q3 →pc Q2) without
+        // containment in either direction…
+        assert!(pc_transfers(&q3, &q2) && !contains(&q2, &q3) && !contains(&q3, &q2));
+        // …and Q1 vs Q4 — containment (Q1 ⊆ Q4) without transfer in
+        // either direction.
+        assert!(contains(&q1, &q4) && !pc_transfers(&q1, &q4) && !pc_transfers(&q4, &q1));
+    }
+
+    /// Semantic cross-check: when transfer holds, every explicit policy
+    /// (over a small universe) correct for Q is correct for Q′ — and a
+    /// failing pair has a witnessing policy.
+    #[test]
+    fn transfer_agrees_with_policy_quantification() {
+        use crate::pc::saturates_with;
+        use parlog_relal::fact::Val;
+        use parlog_relal::policy::ExplicitPolicy;
+        let [q1, q2, _q3, _q4] = example_4_11();
+        let universe = [Val(1), Val(2)];
+        let min1 = minimal_valuations_over(&q1, &universe);
+        let min2 = minimal_valuations_over(&q2, &universe);
+        let facts = crate::pc::candidate_facts(
+            &{
+                let mut s = crate::pc::query_schema(&q1);
+                s.extend(crate::pc::query_schema(&q2));
+                s.sort_unstable();
+                s.dedup();
+                s
+            },
+            &universe,
+        );
+        // Enumerate 2-node policies (each fact independently on nodes
+        // {0}, {1} or {0,1}) — 3^|facts| total; facts = S,R,T over 2
+        // values → 2+4+2 = 8 facts → 6561 policies.
+        let mut found_witness_against_q1_to_q2 = false;
+        let n_policies: u32 = 3u32.pow(facts.len() as u32);
+        for code in 0..n_policies {
+            let mut p = ExplicitPolicy::new(2);
+            let mut c = code;
+            for f in &facts {
+                match c % 3 {
+                    0 => {
+                        p.assign(0, f.clone());
+                    }
+                    1 => {
+                        p.assign(1, f.clone());
+                    }
+                    _ => {
+                        p.assign(0, f.clone());
+                        p.assign(1, f.clone());
+                    }
+                }
+                c /= 3;
+            }
+            let ok1 = saturates_with(&q1, &p, &min1);
+            let ok2 = saturates_with(&q2, &p, &min2);
+            // Q1 →pc Q2 holds: no policy may be correct for Q1 but not Q2.
+            assert!(!ok1 || ok2, "violates Q1 →pc Q2");
+            // Q2 →pc Q1 fails: some policy is correct for Q2 but not Q1.
+            if ok2 && !ok1 {
+                found_witness_against_q1_to_q2 = true;
+            }
+        }
+        assert!(found_witness_against_q1_to_q2);
+    }
+
+    #[test]
+    fn full_query_fast_path_agrees_with_general_procedure() {
+        // Full queries: the NP fast path (no minimality checks) must give
+        // the same answers. Since every valuation of a full query is
+        // minimal, we compare against queries where both code paths run.
+        let tri = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let wedge = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        // wedge's valuations need {R,S}-facts; tri's sets are supersets.
+        assert!(covers(&tri, &wedge));
+        assert!(!covers(&wedge, &tri));
+        // Reflexivity through the fast path.
+        assert!(covers(&tri, &tri));
+        assert!(covers(&wedge, &wedge));
+    }
+
+    #[test]
+    fn union_transfer() {
+        use parlog_relal::parser::parse_union;
+        // The union {R-loops, T-facts} covers the single-disjunct query
+        // on loops…
+        let u = parse_union("H(x) <- R(x,x), T(x); H(x) <- S(x)").unwrap();
+        let up = parse_union("H(x) <- R(x,x), T(x)").unwrap();
+        assert!(pc_transfers_union(&u, &up));
+        // …but not vice versa (S-facts are never covered).
+        assert!(!pc_transfers_union(&up, &u));
+        // Reflexivity.
+        assert!(pc_transfers_union(&u, &u));
+    }
+
+    #[test]
+    fn covers_with_inequalities() {
+        // Same queries with inequalities stay decidable (the survey notes
+        // the bounds carry over).
+        let a = parse_query("H(x) <- R(x,y), x != y").unwrap();
+        let b = parse_query("H(x) <- R(x,y), R(x,x)").unwrap();
+        // b's minimal valuations include collapsing ones (x=y), which a
+        // cannot produce under x != y: direction matters.
+        assert!(covers(&a, &a));
+        assert!(covers(&b, &b));
+    }
+}

@@ -1,0 +1,177 @@
+//! Fragment analyses for Figure 2 of the survey: semi-positive,
+//! connected, and semi-connected stratified Datalog.
+//!
+//! * A program is **semi-positive** when negation is applied to EDB
+//!   predicates only (Afrati–Cosmadakis–Yannakakis); such programs are in
+//!   `Mdistinct`.
+//! * A rule is **connected** when "the graph formed by the positive atoms
+//!   is connected" — its positive-body hypergraph is connected.
+//! * A stratified program is **semi-connected** when every stratum except
+//!   possibly the last is connected; these programs correspond to
+//!   `Mdisjoint` (Example 5.13 vs. the no-triangle program `QNT`).
+
+use crate::program::{Program, ADOM};
+use parlog_relal::hypergraph::Hypergraph;
+use parlog_relal::query::ConjunctiveQuery;
+use parlog_relal::symbols::rel;
+
+/// Is negation applied only to EDB predicates (the built-in `ADom` counts
+/// as EDB)?
+pub fn is_semi_positive(p: &Program) -> bool {
+    let adom = rel(ADOM);
+    p.rules
+        .iter()
+        .flat_map(|r| r.negated.iter())
+        .all(|a| a.rel == adom || !p.is_idb(a.rel))
+}
+
+/// Is the rule connected: do its positive body atoms form a connected
+/// hypergraph (through shared variables)?
+pub fn is_connected_rule(r: &ConjunctiveQuery) -> bool {
+    Hypergraph::of_query(r).is_connected()
+}
+
+/// Is every rule of the program connected?
+pub fn is_connected(p: &Program) -> bool {
+    p.rules.iter().all(is_connected_rule)
+}
+
+/// Is the program **semi-connected**: stratifiable, and every stratum
+/// except possibly the last consists of connected rules?
+///
+/// Returns `false` for non-stratifiable programs (the notion is defined
+/// for stratified Datalog; for the well-founded variant see
+/// [`crate::wellfounded`]).
+pub fn is_semi_connected(p: &Program) -> bool {
+    let Ok(strat) = p.stratify() else {
+        return false;
+    };
+    let n = strat.rule_strata.len();
+    for (level, rules) in strat.rule_strata.iter().enumerate() {
+        if level + 1 == n {
+            continue; // the last stratum may be disconnected
+        }
+        if !rules.iter().all(|&i| is_connected_rule(&p.rules[i])) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Check semi-connectedness of the *rule list itself* regardless of
+/// stratifiability — used for well-founded programs like win–move, where
+/// the survey's Section 5.3 result applies under the well-founded
+/// semantics: all rules must be connected except that rules defining
+/// predicates nothing else depends on may be disconnected.
+pub fn is_semi_connected_syntactic(p: &Program) -> bool {
+    // Predicates that are used in some other rule's body.
+    let used: Vec<_> = p
+        .rules
+        .iter()
+        .flat_map(|r| r.body.iter().chain(r.negated.iter()))
+        .map(|a| a.rel)
+        .collect();
+    p.rules
+        .iter()
+        .all(|r| is_connected_rule(r) || !used.contains(&r.head.rel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::parse_program;
+
+    fn tc() -> Program {
+        parse_program("TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), TC(z,y)").unwrap()
+    }
+
+    fn ntc() -> Program {
+        parse_program(
+            "TC(x,y) <- E(x,y)
+             TC(x,y) <- TC(x,z), TC(z,y)
+             OUT(x,y) <- ADom(x), ADom(y), not TC(x,y)",
+        )
+        .unwrap()
+    }
+
+    /// Example 5.13: QNT — edges of triangle-free graphs.
+    fn qnt() -> Program {
+        parse_program(
+            "T(x,y,z) <- E(x,y), E(y,z), E(z,x), y != x, y != z, x != z
+             S(x) <- ADom(x), T(u,v,w)
+             OUT(x,y) <- E(x,y), not S(x)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn positive_programs_are_semi_positive() {
+        assert!(is_semi_positive(&tc()));
+    }
+
+    #[test]
+    fn ntc_negates_idb_so_not_semi_positive() {
+        assert!(!is_semi_positive(&ntc()));
+    }
+
+    #[test]
+    fn open_triangle_is_semi_positive() {
+        let p = parse_program("Open(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap();
+        assert!(is_semi_positive(&p));
+    }
+
+    #[test]
+    fn adom_negation_counts_as_edb() {
+        let p = parse_program("L(x) <- E(x,y), not ADom(y)").unwrap();
+        assert!(is_semi_positive(&p));
+    }
+
+    /// Example 5.13's key distinction: ¬TC is semi-connected, QNT is not.
+    #[test]
+    fn figure_2_connectivity_examples() {
+        assert!(is_semi_connected(&ntc()));
+        assert!(!is_semi_connected(&qnt()));
+        // The culprit is S's rule: ADom(x) and T(u,v,w) share no variable.
+        let s_rule = &qnt().rules[1].clone();
+        assert!(!is_connected_rule(s_rule));
+    }
+
+    #[test]
+    fn fully_connected_program() {
+        assert!(is_connected(&tc()));
+        assert!(is_semi_connected(&tc()));
+    }
+
+    #[test]
+    fn disconnected_last_stratum_is_allowed() {
+        let p = parse_program(
+            "A(x,y) <- E(x,y)
+             OUT(x,y) <- ADom(x), ADom(y), not A(x,y)",
+        )
+        .unwrap();
+        // OUT's rule is disconnected (ADom(x) vs ADom(y) share nothing…
+        // except through the negated atom, which does not count), but it
+        // sits in the last stratum.
+        assert!(is_semi_connected(&p));
+    }
+
+    #[test]
+    fn disconnected_intermediate_stratum_is_rejected() {
+        let p = parse_program(
+            "A(x) <- E(x,y), F(z)
+             OUT(x) <- ADom(x), not A(x)",
+        )
+        .unwrap();
+        assert!(!is_semi_connected(&p));
+    }
+
+    #[test]
+    fn win_move_syntactic_connectivity() {
+        let p = parse_program("Win(x) <- Move(x,y), not Win(y)").unwrap();
+        // Not stratifiable, so the stratified notion rejects it…
+        assert!(!is_semi_connected(&p));
+        // …but its single rule is connected, so the well-founded-semantics
+        // route applies.
+        assert!(is_semi_connected_syntactic(&p));
+    }
+}

@@ -1,0 +1,206 @@
+//! Coordination analysis for Datalog programs — the Blazes direction of
+//! Section 6.
+//!
+//! "Alvaro et al. propose program analysis techniques to detect code
+//! fragments where coordination is perhaps overused. This way, some uses
+//! of coordination could be replaced with strategies like eventual
+//! consistency, reducing the overall amount of coordination."
+//!
+//! For a stratified program, the points that force global coordination in
+//! a naive distributed execution are exactly the **negative dependency
+//! edges**: deriving `¬Q`-dependent facts requires `Q` to be *sealed*
+//! (complete). The analysis below:
+//!
+//! * locates every coordination point (rule + negated predicate),
+//! * classifies each as **global** (the negated predicate's definition is
+//!   disconnected or recursive-through-negation territory) or **local**
+//!   (the rule is connected, so sealing can proceed per component /
+//!   per responsible node — the F1/F2 strategies of Section 5.2.2), and
+//! * reports the number of barriers a naive stratum-per-barrier execution
+//!   would use versus the minimum the analysis certifies.
+
+use crate::analysis::is_connected_rule;
+use crate::program::{Program, ProgramError, ADOM};
+use parlog_relal::symbols::{rel, RelId};
+use std::fmt;
+
+/// How a coordination point can be discharged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum CoordinationKind {
+    /// Negation on an EDB predicate: no synchronization needed at all —
+    /// the absence of a base fact is decided by the responsible node
+    /// (policy-awareness, class F1).
+    PolicyLocal,
+    /// Negation on derived data inside a connected rule: sealing can be
+    /// done per component under a domain-guided distribution (class F2).
+    ComponentLocal,
+    /// Negation in a disconnected rule over derived data: a global
+    /// barrier (full stratum synchronization) is required.
+    GlobalBarrier,
+}
+
+/// One coordination point: a rule's negated dependency.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CoordinationPoint {
+    /// Index of the rule in the program.
+    pub rule: usize,
+    /// The negated predicate (rendered).
+    pub negated_predicate: String,
+    /// How the point can be discharged.
+    pub kind: CoordinationKind,
+}
+
+/// The full analysis result.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CoordinationReport {
+    /// All coordination points, in rule order.
+    pub points: Vec<CoordinationPoint>,
+    /// Barriers a naive execution uses (strata − 1).
+    pub naive_barriers: usize,
+    /// Barriers remaining after discharging policy-/component-local
+    /// points.
+    pub required_barriers: usize,
+}
+
+impl CoordinationReport {
+    /// Is the program executable without any global barrier?
+    pub fn coordination_free(&self) -> bool {
+        self.required_barriers == 0
+    }
+}
+
+impl fmt::Display for CoordinationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "coordination points: {} (naive barriers: {}, required: {})",
+            self.points.len(),
+            self.naive_barriers,
+            self.required_barriers
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  rule {} negates {}: {:?}",
+                p.rule, p.negated_predicate, p.kind
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze a stratifiable program.
+pub fn analyze(p: &Program) -> Result<CoordinationReport, ProgramError> {
+    let strat = p.stratify()?;
+    let adom: RelId = rel(ADOM);
+    let mut points = Vec::new();
+    let mut global = 0usize;
+    for (ri, r) in p.rules.iter().enumerate() {
+        for a in &r.negated {
+            let kind = if a.rel == adom || !p.is_idb(a.rel) {
+                CoordinationKind::PolicyLocal
+            } else if is_connected_rule(r) {
+                CoordinationKind::ComponentLocal
+            } else {
+                CoordinationKind::GlobalBarrier
+            };
+            if kind == CoordinationKind::GlobalBarrier {
+                global += 1;
+            }
+            points.push(CoordinationPoint {
+                rule: ri,
+                negated_predicate: a.rel.to_string(),
+                kind,
+            });
+        }
+    }
+    Ok(CoordinationReport {
+        points,
+        naive_barriers: strat.len().saturating_sub(1),
+        required_barriers: global,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::parse_program;
+
+    #[test]
+    fn positive_program_has_no_coordination() {
+        let p = parse_program("TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), TC(z,y)").unwrap();
+        let r = analyze(&p).unwrap();
+        assert!(r.points.is_empty());
+        assert_eq!(r.naive_barriers, 0);
+        assert!(r.coordination_free());
+    }
+
+    #[test]
+    fn edb_negation_is_policy_local() {
+        let p = parse_program("Open(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap();
+        let r = analyze(&p).unwrap();
+        assert_eq!(r.points.len(), 1);
+        assert_eq!(r.points[0].kind, CoordinationKind::PolicyLocal);
+        assert!(r.coordination_free());
+    }
+
+    #[test]
+    fn ntc_is_component_local() {
+        // ¬TC negates derived data, but the rule (via ADom atoms… the
+        // OUT rule is disconnected! ADom(x), ADom(y) share no variable.
+        // Yet ¬TC ∈ Mdisjoint — the discharge works because the *derived*
+        // negation sits under components. Our syntactic analysis is
+        // conservative: a disconnected rule over IDB negation is flagged
+        // global; writing the rule connectedly (via TCpairs) discharges
+        // it.
+        let disconnected = parse_program(
+            "TC(x,y) <- E(x,y)
+             TC(x,y) <- TC(x,z), TC(z,y)
+             OUT(x,y) <- ADom(x), ADom(y), not TC(x,y)",
+        )
+        .unwrap();
+        let r = analyze(&disconnected).unwrap();
+        assert_eq!(r.points.len(), 1);
+        assert_eq!(r.points[0].kind, CoordinationKind::GlobalBarrier);
+        assert!(!r.coordination_free());
+
+        // Connected variant: candidate pairs drawn from a connected
+        // auxiliary relation.
+        let connected = parse_program(
+            "TC(x,y) <- E(x,y)
+             TC(x,y) <- TC(x,z), TC(z,y)
+             OUT(x,y) <- Cand(x,y), not TC(x,y)",
+        )
+        .unwrap();
+        let r = analyze(&connected).unwrap();
+        assert_eq!(r.points[0].kind, CoordinationKind::ComponentLocal);
+        assert!(r.coordination_free());
+    }
+
+    #[test]
+    fn mixed_program_counts_barriers() {
+        let p = parse_program(
+            "A(x) <- E(x,y)
+             B(x) <- ADom(x), Other(u,v), not A(x)
+             C(x) <- B(x), not E(x,x)",
+        )
+        .unwrap();
+        let r = analyze(&p).unwrap();
+        assert_eq!(r.points.len(), 2);
+        // B's rule is disconnected and negates IDB A → global barrier;
+        // C's negation is on EDB → policy-local. B and C share a stratum
+        // (C's negation is on the EDB), so the naive execution uses a
+        // single barrier between {A} and {B, C}.
+        assert_eq!(r.required_barriers, 1);
+        assert_eq!(r.naive_barriers, 1);
+        assert!(!r.coordination_free());
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = parse_program("B(x) <- E(x), not A(x)\nA(x) <- E(x), F(x)").unwrap();
+        let r = analyze(&p).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("coordination points"));
+    }
+}

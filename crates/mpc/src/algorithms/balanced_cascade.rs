@@ -1,0 +1,230 @@
+//! Balanced (logarithmic-depth) join cascades — the rounds-vs-
+//! communication trade-off of §3.2 in its purest form.
+//!
+//! The left-deep cascade of Example 3.1(2) needs `k−1` rounds for a
+//! `k`-atom query; joining *disjoint pairs in parallel* needs only
+//! `⌈log₂ k⌉` rounds (this is the depth trade-off the survey attributes
+//! to the shapes of GYM's tree decompositions: "the shapes of possible
+//! tree decompositions (in particular, their depth) delineate trade-offs
+//! between the number of rounds and the total amount of communication").
+//!
+//! Implementation: a balanced binary tree over the (connectivity-ordered)
+//! atoms, executed with the batched [`crate::algorithms::treejoin`]
+//! machinery — pairs at the same tree level share a round.
+
+use crate::algorithms::treejoin::{
+    join_local, joined_schema, normalize_atom, project_to_head, VarRel,
+};
+use crate::cluster::{Cluster, Routing};
+use crate::partition::{seed_cluster, HashPartitioner, InitialPartition};
+use crate::report::RunReport;
+use parlog_relal::instance::Instance;
+use parlog_relal::query::ConjunctiveQuery;
+
+/// Log-depth cascade of pairwise hash joins.
+#[derive(Debug, Clone)]
+pub struct BalancedCascade {
+    query: ConjunctiveQuery,
+    p: usize,
+    seed: u64,
+}
+
+impl BalancedCascade {
+    /// Build for a plain CQ on `p` servers.
+    pub fn new(q: &ConjunctiveQuery, p: usize, seed: u64) -> BalancedCascade {
+        assert!(q.is_plain_cq(), "balanced cascade handles plain CQs");
+        BalancedCascade {
+            query: q.clone(),
+            p,
+            seed,
+        }
+    }
+
+    /// Run on `db` from a round-robin initial partition.
+    pub fn run(&self, db: &Instance) -> RunReport {
+        let q = &self.query;
+        let p = self.p;
+        // Normalize atoms in body order (for path-shaped queries this is
+        // already adjacency order; for others correctness is unaffected —
+        // disconnected pairs degrade to single-server products).
+        let mut level: Vec<VarRel> = q
+            .body
+            .iter()
+            .enumerate()
+            .map(|(i, a)| VarRel::new(&format!("bc{i}_{}", self.seed), a.variables()))
+            .collect();
+
+        let mut cluster = Cluster::new(p);
+        seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
+        let body = q.body.clone();
+        let nodes = level.clone();
+        cluster.compute(move |shard| {
+            let mut out = Instance::new();
+            for (a, node) in body.iter().zip(&nodes) {
+                out.extend_from(&normalize_atom(shard, a, node));
+            }
+            out
+        });
+
+        let mut round_no = 0usize;
+        while level.len() > 1 {
+            // Pair up neighbours; an odd trailing relation passes through.
+            let pairs: Vec<(VarRel, VarRel)> = level
+                .chunks(2)
+                .filter(|c| c.len() == 2)
+                .map(|c| (c[0].clone(), c[1].clone()))
+                .collect();
+            let passthrough: Option<VarRel> = if level.len() % 2 == 1 {
+                level.last().cloned()
+            } else {
+                None
+            };
+            // One round: each pair hashes on its shared variables with its
+            // own hash function.
+            let plan: Vec<(
+                VarRel,
+                VarRel,
+                Vec<parlog_relal::atom::Var>,
+                HashPartitioner,
+            )> = pairs
+                .iter()
+                .enumerate()
+                .map(|(k, (a, b))| {
+                    (
+                        a.clone(),
+                        b.clone(),
+                        a.shared_with(b),
+                        HashPartitioner::new(
+                            self.seed ^ ((round_no as u64) << 24) ^ ((k as u64) << 4),
+                            p,
+                        ),
+                    )
+                })
+                .collect();
+            let route_plan = plan.clone();
+            cluster.reshuffle(move |_, f| {
+                for (a, b, on, h) in &route_plan {
+                    if f.rel == a.rel {
+                        return Routing::Send(vec![h.bucket_of(&a.key_of(f, on))]);
+                    }
+                    if f.rel == b.rel {
+                        return Routing::Send(vec![h.bucket_of(&b.key_of(f, on))]);
+                    }
+                }
+                Routing::Keep
+            });
+            // Local pairwise joins.
+            let outputs: Vec<VarRel> = pairs
+                .iter()
+                .enumerate()
+                .map(|(k, (a, b))| joined_schema(a, b, &format!("bcj{round_no}_{k}_{}", self.seed)))
+                .collect();
+            let compute_plan: Vec<(VarRel, VarRel, VarRel)> = pairs
+                .iter()
+                .zip(&outputs)
+                .map(|((a, b), o)| (a.clone(), b.clone(), o.clone()))
+                .collect();
+            cluster.compute(move |local| {
+                let mut out = local.clone();
+                for (a, b, o) in &compute_plan {
+                    let joined = join_local(a, b, o, &out);
+                    let gone: Vec<_> = out
+                        .relation(a.rel)
+                        .chain(out.relation(b.rel))
+                        .cloned()
+                        .collect();
+                    for f in gone {
+                        out.remove(&f);
+                    }
+                    out.extend_from(&joined);
+                }
+                out
+            });
+            level = outputs;
+            if let Some(pt) = passthrough {
+                level.push(pt);
+            }
+            round_no += 1;
+        }
+
+        project_to_head(&mut cluster, &level[0], &q.head);
+        RunReport::from_cluster("balanced-cascade", &cluster, db.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::cascade::CascadeJoin;
+    use crate::datagen;
+    use parlog_relal::eval::eval_query;
+    use parlog_relal::parser::parse_query;
+
+    fn path_query(k: usize) -> ConjunctiveQuery {
+        let body: Vec<String> = (0..k).map(|i| format!("R{i}(v{i}, v{})", i + 1)).collect();
+        parse_query(&format!("H(v0, v{k}) <- {}", body.join(", "))).unwrap()
+    }
+
+    fn path_db(k: usize, m: usize) -> Instance {
+        let mut db = Instance::new();
+        for i in 0..k {
+            for j in 0..m as u64 {
+                db.insert(parlog_relal::fact::fact(
+                    &format!("R{i}"),
+                    &[(i as u64) * 10_000 + j, (i as u64 + 1) * 10_000 + j],
+                ));
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn log_depth_rounds() {
+        // 8 atoms: balanced = 3 rounds, left-deep = 7.
+        let q = path_query(8);
+        let db = path_db(8, 60);
+        let bal = BalancedCascade::new(&q, 8, 3).run(&db);
+        let deep = CascadeJoin::new(&q, 8, 3).run(&db);
+        assert_eq!(bal.output, eval_query(&q, &db));
+        assert_eq!(bal.output, deep.output);
+        assert_eq!(bal.stats.rounds, 3);
+        assert_eq!(deep.stats.rounds, 7);
+    }
+
+    #[test]
+    fn odd_number_of_atoms() {
+        let q = path_query(5);
+        let db = path_db(5, 40);
+        let bal = BalancedCascade::new(&q, 8, 1).run(&db);
+        assert_eq!(bal.output, eval_query(&q, &db));
+        // levels: 5 → 3 → 2 → 1 = 3 rounds.
+        assert_eq!(bal.stats.rounds, 3);
+    }
+
+    #[test]
+    fn two_atoms_single_round() {
+        let q = path_query(2);
+        let db = path_db(2, 50);
+        let bal = BalancedCascade::new(&q, 4, 2).run(&db);
+        assert_eq!(bal.output, eval_query(&q, &db));
+        assert_eq!(bal.stats.rounds, 1);
+    }
+
+    #[test]
+    fn triangle_via_balanced_cascade() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let db = datagen::triangle_db(200, 40, 7);
+        let bal = BalancedCascade::new(&q, 8, 5).run(&db);
+        assert_eq!(bal.output, eval_query(&q, &db));
+        assert_eq!(bal.stats.rounds, 2); // 3 atoms → 2 → 1
+    }
+
+    #[test]
+    fn single_atom_no_rounds() {
+        let q = parse_query("H(x,y) <- R(x,y)").unwrap();
+        let db = datagen::uniform_relation("R", 40, 20, 1);
+        let bal = BalancedCascade::new(&q, 4, 1).run(&db);
+        assert_eq!(bal.output, eval_query(&q, &db));
+        assert_eq!(bal.stats.rounds, 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! Shared machinery for the tree-structured multi-round algorithms
+//! (Yannakakis, GYM, cascaded joins): relations-with-schemas, local
+//! join/semijoin operators, and the batched edge scheduler that executes a
+//! semijoin or join pass over a relation tree in as few MPC rounds as the
+//! tree allows (edges touching disjoint relations share a round — "taking
+//! advantage of the structure of the tree to perform some joins and
+//! semi-joins in parallel", §3.2).
+
+use crate::cluster::{Cluster, Routing};
+use crate::partition::HashPartitioner;
+use parlog_relal::atom::{Atom, Term, Var};
+use parlog_relal::fact::{Fact, Val};
+use parlog_relal::instance::Instance;
+use parlog_relal::symbols::{rel, RelId};
+
+/// A materialized relation with a variable schema: facts of `rel` whose
+/// `i`-th argument is the value of `vars[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarRel {
+    /// The (fresh) relation name holding the tuples.
+    pub rel: RelId,
+    /// The variable schema, in argument order.
+    pub vars: Vec<Var>,
+}
+
+impl VarRel {
+    /// A fresh relation named `name` with the given schema.
+    pub fn new(name: &str, vars: Vec<Var>) -> VarRel {
+        VarRel {
+            rel: rel(name),
+            vars,
+        }
+    }
+
+    /// The shared variables with another schema, in this schema's order.
+    pub fn shared_with(&self, other: &VarRel) -> Vec<Var> {
+        self.vars
+            .iter()
+            .filter(|v| other.vars.contains(v))
+            .cloned()
+            .collect()
+    }
+
+    /// The values a fact takes on `on` (which must be a subset of the
+    /// schema).
+    pub fn key_of(&self, f: &Fact, on: &[Var]) -> Vec<Val> {
+        on.iter()
+            .map(|v| {
+                let i = self
+                    .vars
+                    .iter()
+                    .position(|w| w == v)
+                    .expect("key variable must be in the schema");
+                f.args[i]
+            })
+            .collect()
+    }
+}
+
+/// Extract the variable binding a fact induces through an atom, or `None`
+/// if the fact does not match (wrong constants / repeated-variable clash).
+pub fn binding_of(atom: &Atom, f: &Fact) -> Option<Vec<(Var, Val)>> {
+    if atom.rel != f.rel || atom.arity() != f.arity() {
+        return None;
+    }
+    let mut out: Vec<(Var, Val)> = Vec::new();
+    for (t, &a) in atom.terms.iter().zip(f.args.iter()) {
+        match t {
+            Term::Const(c) => {
+                if *c != a {
+                    return None;
+                }
+            }
+            Term::Var(v) => match out.iter().find(|(w, _)| w == v) {
+                Some((_, prev)) => {
+                    if *prev != a {
+                        return None;
+                    }
+                }
+                None => out.push((v.clone(), a)),
+            },
+        }
+    }
+    Some(out)
+}
+
+/// Convert the facts of `shard` matching `atom` into facts of the
+/// var-schema relation `target` (whose schema must equal
+/// `atom.variables()`). This is the free local "loading" step of the
+/// tree algorithms.
+pub fn normalize_atom(shard: &Instance, atom: &Atom, target: &VarRel) -> Instance {
+    debug_assert_eq!(target.vars, atom.variables());
+    let mut out = Instance::new();
+    for f in shard.relation(atom.rel) {
+        if let Some(b) = binding_of(atom, f) {
+            let args = target
+                .vars
+                .iter()
+                .map(|v| b.iter().find(|(w, _)| w == v).expect("schema var").1)
+                .collect();
+            out.insert(Fact::new(target.rel, args));
+        }
+    }
+    out
+}
+
+/// Local semijoin: the facts of `a` (in `inst`) having a matching `b`
+/// fact on the shared variables.
+pub fn semijoin_local(a: &VarRel, b: &VarRel, inst: &Instance) -> Instance {
+    let on = a.shared_with(b);
+    let keys: parlog_relal::fastmap::FxSet<Vec<Val>> =
+        inst.relation(b.rel).map(|f| b.key_of(f, &on)).collect();
+    Instance::from_facts(
+        inst.relation(a.rel)
+            .filter(|f| keys.contains(&a.key_of(f, &on)))
+            .cloned(),
+    )
+}
+
+/// Local join of `a` and `b` into schema `out` (= `a.vars` followed by
+/// `b`'s private variables).
+pub fn join_local(a: &VarRel, b: &VarRel, out: &VarRel, inst: &Instance) -> Instance {
+    let on = a.shared_with(b);
+    let mut index: parlog_relal::fastmap::FxMap<Vec<Val>, Vec<&Fact>> =
+        parlog_relal::fastmap::fxmap();
+    for f in inst.relation(b.rel) {
+        index.entry(b.key_of(f, &on)).or_default().push(f);
+    }
+    let mut result = Instance::new();
+    for fa in inst.relation(a.rel) {
+        if let Some(bs) = index.get(&a.key_of(fa, &on)) {
+            for fb in bs {
+                let args: Vec<Val> = out
+                    .vars
+                    .iter()
+                    .map(|v| {
+                        if let Some(i) = a.vars.iter().position(|w| w == v) {
+                            fa.args[i]
+                        } else {
+                            let i = b.vars.iter().position(|w| w == v).expect("var in b");
+                            fb.args[i]
+                        }
+                    })
+                    .collect();
+                result.insert(Fact::new(out.rel, args));
+            }
+        }
+    }
+    result
+}
+
+/// The joined schema of two [`VarRel`]s under a fresh relation name.
+pub fn joined_schema(a: &VarRel, b: &VarRel, name: &str) -> VarRel {
+    let mut vars = a.vars.clone();
+    for v in &b.vars {
+        if !vars.contains(v) {
+            vars.push(v.clone());
+        }
+    }
+    VarRel::new(name, vars)
+}
+
+/// A tree of var-schema relations: `parent[i]` points upward, the root
+/// points to itself. Used as a join tree (Yannakakis) or bag tree (GYM).
+#[derive(Debug, Clone)]
+pub struct RelTree {
+    /// One materialized relation per node.
+    pub nodes: Vec<VarRel>,
+    /// Parent pointers.
+    pub parent: Vec<usize>,
+    /// The root node.
+    pub root: usize,
+}
+
+impl RelTree {
+    fn depth(&self, mut i: usize) -> usize {
+        let mut d = 0;
+        while self.parent[i] != i {
+            i = self.parent[i];
+            d += 1;
+        }
+        d
+    }
+
+    /// Edges `(child, parent)` ordered deepest-child-first.
+    pub fn edges_bottom_up(&self) -> Vec<(usize, usize)> {
+        let mut edges: Vec<(usize, usize)> = (0..self.nodes.len())
+            .filter(|&i| i != self.root)
+            .map(|i| (i, self.parent[i]))
+            .collect();
+        edges.sort_by_key(|&(c, _)| std::cmp::Reverse(self.depth(c)));
+        edges
+    }
+}
+
+/// Group an ordered edge list into *rounds*: consecutive edges are packed
+/// into the same round as long as no relation (by node index) is touched
+/// twice in the round — those semijoins/joins hash different keys and
+/// must not collide.
+pub fn batch_edges(edges: &[(usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+    let mut batches: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut current: Vec<(usize, usize)> = Vec::new();
+    let mut used: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for &(c, p) in edges {
+        if used.contains(&c) || used.contains(&p) {
+            batches.push(std::mem::take(&mut current));
+            used.clear();
+        }
+        used.insert(c);
+        used.insert(p);
+        current.push((c, p));
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+/// Execute a **semijoin pass** over the tree on the cluster: for every
+/// edge in `edges` (already ordered), replace `filtered ⟵ filtered ⋉
+/// other`. With `child_filters_parent = true` this is the bottom-up
+/// (full-reducer first half) pass; with `false` the top-down second half.
+///
+/// `state` maps node index → its current [`VarRel`]; the pass filters in
+/// place (schemas do not change under semijoins).
+pub fn semijoin_pass(
+    cluster: &mut Cluster,
+    state: &[VarRel],
+    edges: &[(usize, usize)],
+    child_filters_parent: bool,
+    seed: u64,
+) {
+    let p = cluster.p();
+    for batch in batch_edges(edges) {
+        // Communication: hash both sides of each edge on the shared vars.
+        let plan: Vec<(usize, usize, Vec<Var>, HashPartitioner)> = batch
+            .iter()
+            .enumerate()
+            .map(|(k, &(c, pa))| {
+                let on = state[c].shared_with(&state[pa]);
+                (c, pa, on, HashPartitioner::new(seed ^ (k as u64) << 17, p))
+            })
+            .collect();
+        cluster.reshuffle(|_, f| {
+            for (c, pa, on, h) in &plan {
+                if f.rel == state[*c].rel {
+                    return Routing::Send(vec![h.bucket_of(&state[*c].key_of(f, on))]);
+                }
+                if f.rel == state[*pa].rel {
+                    return Routing::Send(vec![h.bucket_of(&state[*pa].key_of(f, on))]);
+                }
+            }
+            Routing::Keep
+        });
+        // Computation: apply the semijoins locally.
+        cluster.compute(|local| {
+            let mut out = local.clone();
+            for &(c, pa) in &batch {
+                let (filtered, other) = if child_filters_parent {
+                    (pa, c)
+                } else {
+                    (c, pa)
+                };
+                let kept = semijoin_local(&state[filtered], &state[other], &out);
+                // Replace the filtered relation's facts.
+                let dropped: Vec<Fact> = out
+                    .relation(state[filtered].rel)
+                    .filter(|f| !kept.contains(f))
+                    .cloned()
+                    .collect();
+                for f in dropped {
+                    out.remove(&f);
+                }
+            }
+            out
+        });
+    }
+}
+
+/// Execute the **join pass** bottom-up: each edge merges the child's
+/// accumulated state into the parent's (`parent ⟵ parent ⋈ child`),
+/// growing the parent's schema. Returns the root's final [`VarRel`],
+/// whose facts (spread over the cluster) are the full join.
+pub fn join_pass(cluster: &mut Cluster, tree: &RelTree, seed: u64, name_prefix: &str) -> VarRel {
+    let p = cluster.p();
+    let mut state: Vec<VarRel> = tree.nodes.clone();
+    let edges = tree.edges_bottom_up();
+    let mut fresh = 0usize;
+    for batch in batch_edges(&edges) {
+        let plan: Vec<(usize, usize, Vec<Var>, HashPartitioner)> = batch
+            .iter()
+            .enumerate()
+            .map(|(k, &(c, pa))| {
+                let on = state[c].shared_with(&state[pa]);
+                (
+                    c,
+                    pa,
+                    on,
+                    HashPartitioner::new(seed ^ 0xbeef ^ ((k as u64) << 21), p),
+                )
+            })
+            .collect();
+        cluster.reshuffle(|_, f| {
+            for (c, pa, on, h) in &plan {
+                if f.rel == state[*c].rel {
+                    return Routing::Send(vec![h.bucket_of(&state[*c].key_of(f, on))]);
+                }
+                if f.rel == state[*pa].rel {
+                    return Routing::Send(vec![h.bucket_of(&state[*pa].key_of(f, on))]);
+                }
+            }
+            Routing::Keep
+        });
+        // Local joins; schema of each parent grows.
+        let mut new_state = state.clone();
+        let mut merged: Vec<(usize, usize, VarRel)> = Vec::new();
+        for &(c, pa) in &batch {
+            let out = joined_schema(
+                &new_state[pa],
+                &state[c],
+                &format!("{name_prefix}_j{fresh}"),
+            );
+            fresh += 1;
+            merged.push((c, pa, out.clone()));
+            new_state[pa] = out;
+        }
+        cluster.compute(|local| {
+            let mut out = local.clone();
+            let mut st = state.clone();
+            for (c, pa, target) in &merged {
+                let joined = join_local(&st[*pa], &st[*c], target, &out);
+                // Remove the inputs, add the join.
+                let gone: Vec<Fact> = out
+                    .relation(st[*pa].rel)
+                    .chain(out.relation(st[*c].rel))
+                    .cloned()
+                    .collect();
+                for f in gone {
+                    out.remove(&f);
+                }
+                out.extend_from(&joined);
+                st[*pa] = target.clone();
+            }
+            out
+        });
+        state = new_state;
+    }
+    state[tree.root].clone()
+}
+
+/// Project the facts of `source` onto the head atom `head` locally on
+/// every server, leaving only the projected facts.
+pub fn project_to_head(cluster: &mut Cluster, source: &VarRel, head: &Atom) {
+    let src = source.clone();
+    let head = head.clone();
+    cluster.compute(|local| {
+        let mut out = Instance::new();
+        for f in local.relation(src.rel) {
+            let args: Vec<Val> = head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => {
+                        let i = src
+                            .vars
+                            .iter()
+                            .position(|w| w == v)
+                            .expect("head variable must be in the join result");
+                        f.args[i]
+                    }
+                })
+                .collect();
+            out.insert(Fact::new(head.rel, args));
+        }
+        out
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::fact::fact;
+    use parlog_relal::parser::parse_atom;
+
+    fn vr(name: &str, vars: &[&str]) -> VarRel {
+        VarRel::new(name, vars.iter().map(|v| Var::new(*v)).collect())
+    }
+
+    #[test]
+    fn binding_extraction() {
+        let a = parse_atom("R(x, y, x)").unwrap();
+        assert_eq!(
+            binding_of(&a, &fact("R", &[1, 2, 1])),
+            Some(vec![(Var::new("x"), Val(1)), (Var::new("y"), Val(2))])
+        );
+        assert_eq!(binding_of(&a, &fact("R", &[1, 2, 3])), None);
+        assert_eq!(binding_of(&a, &fact("S", &[1, 2, 1])), None);
+    }
+
+    #[test]
+    fn normalization() {
+        let a = parse_atom("R(x, 7, y)").unwrap();
+        let target = vr("n0", &["x", "y"]);
+        let shard = Instance::from_facts([fact("R", &[1, 7, 2]), fact("R", &[1, 8, 2])]);
+        let n = normalize_atom(&shard, &a, &target);
+        assert_eq!(n.sorted_facts(), vec![fact("n0", &[1, 2])]);
+    }
+
+    #[test]
+    fn local_semijoin_and_join() {
+        let a = vr("A", &["x", "y"]);
+        let b = vr("B", &["y", "z"]);
+        let inst = Instance::from_facts([
+            fact("A", &[1, 2]),
+            fact("A", &[1, 9]),
+            fact("B", &[2, 3]),
+            fact("B", &[2, 4]),
+        ]);
+        let semi = semijoin_local(&a, &b, &inst);
+        assert_eq!(semi.sorted_facts(), vec![fact("A", &[1, 2])]);
+        let out = joined_schema(&a, &b, "AB");
+        assert_eq!(out.vars.len(), 3);
+        let j = join_local(&a, &b, &out, &inst);
+        assert_eq!(
+            j.sorted_facts(),
+            vec![fact("AB", &[1, 2, 3]), fact("AB", &[1, 2, 4])]
+        );
+    }
+
+    #[test]
+    fn batching_respects_relation_disjointness() {
+        // Edges (0,1), (2,1) share parent 1 → separate rounds; (3,4) can
+        // join the first round.
+        let batches = batch_edges(&[(0, 1), (3, 4), (2, 1)]);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], vec![(0, 1), (3, 4)]);
+        assert_eq!(batches[1], vec![(2, 1)]);
+    }
+
+    #[test]
+    fn empty_shared_vars_join_is_cartesian() {
+        let a = vr("Ax", &["x"]);
+        let b = vr("By", &["y"]);
+        let inst = Instance::from_facts([fact("Ax", &[1]), fact("Ax", &[2]), fact("By", &[7])]);
+        let out = joined_schema(&a, &b, "AxBy");
+        let j = join_local(&a, &b, &out, &inst);
+        assert_eq!(j.len(), 2);
+    }
+}

@@ -1,0 +1,314 @@
+//! The two-round skew-resilient triangle algorithm (§3.2).
+//!
+//! "Beame, Koutris and Suciu show that for some queries, the maximum load
+//! for skewed data can be brought down to the load of skew-free data by
+//! using multiple rounds. For example, the triangle query can be computed
+//! with load m/p^{2/3} in two rounds, even if the data is skewed, while it
+//! is provably at least m/p^{1/2} for one round."
+//!
+//! Structure (after BKS's residual-query treatment of heavy hitters):
+//!
+//! * **Heavy** join values `y` (frequency above a threshold) are handled
+//!   in round 1 by the *residual query* `H(x,z) ← R'(x), S'(z), T(z,x)`
+//!   on a shared √p × √p grid: `R(x,y)` goes to row `h(x)`, `S(y,z)` to
+//!   column `h(z)`, and `T(z,x)` to the single cell `(h(x), h(z))`. All
+//!   heavy triangles close locally in round 1 — no quadratic intermediate
+//!   is ever materialized.
+//! * **Light** values follow the cascade: round 1 hash-joins `R ⋈ S` on
+//!   `y` (safe — light frequencies are bounded), round 2 joins the
+//!   intermediate with `T` on the pair `(x, z)`.
+//!
+//! Following the survey's setting for the skewed upper bounds, the heavy
+//! hitters "and their frequencies are known" — the simulator computes them
+//! globally; a real system would piggyback a statistics round.
+
+use crate::algorithms::treejoin::{join_local, normalize_atom, VarRel};
+use crate::cluster::{Cluster, Routing};
+use crate::datagen::heavy_hitters;
+use crate::partition::{seed_cluster, HashPartitioner, InitialPartition};
+use crate::report::RunReport;
+use parlog_relal::atom::Term;
+use parlog_relal::fact::{Fact, Val};
+use parlog_relal::instance::Instance;
+use parlog_relal::parser::parse_query;
+use parlog_relal::query::ConjunctiveQuery;
+use parlog_relal::symbols::rel;
+
+/// The canonical triangle query over relations `R`, `S`, `T`.
+pub fn triangle_query() -> ConjunctiveQuery {
+    parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").expect("valid query")
+}
+
+/// Two-round, skew-resilient triangle join.
+#[derive(Debug, Clone)]
+pub struct TwoRoundTriangle {
+    p: usize,
+    seed: u64,
+    /// Values with more occurrences than this on the join attribute are
+    /// treated as heavy. Defaults to `m/p` at run time when `None`.
+    pub heavy_threshold: Option<usize>,
+}
+
+impl TwoRoundTriangle {
+    /// Build for `p` servers.
+    pub fn new(p: usize, seed: u64) -> TwoRoundTriangle {
+        TwoRoundTriangle {
+            p,
+            seed,
+            heavy_threshold: None,
+        }
+    }
+
+    /// Run on a database over binary relations `R`, `S`, `T`.
+    pub fn run(&self, db: &Instance) -> RunReport {
+        let q = triangle_query();
+        let p = self.p;
+        let g = ((p as f64).sqrt().floor() as usize).max(1);
+
+        let vnames = |s: &str| format!("t2{s}_{}", self.seed);
+        let r_node = VarRel::new(&vnames("R"), q.body[0].variables());
+        let s_node = VarRel::new(&vnames("S"), q.body[1].variables());
+        let t_node = VarRel::new(&vnames("T"), q.body[2].variables());
+        let k_node = VarRel::new(
+            &vnames("K"),
+            ["x", "y", "z"]
+                .iter()
+                .map(|v| parlog_relal::atom::Var::new(*v))
+                .collect(),
+        );
+
+        // Heavy hitters of the join attribute y (R position 1, S position 0).
+        let m = db.len();
+        let threshold = self.heavy_threshold.unwrap_or((m / p).max(1));
+        let mut heavy: Vec<Val> = heavy_hitters(db, rel("R"), 1, threshold);
+        heavy.extend(heavy_hitters(db, rel("S"), 0, threshold));
+        heavy.sort_unstable();
+        heavy.dedup();
+        let is_heavy = move |v: Val| heavy.binary_search(&v).is_ok();
+
+        let mut cluster = Cluster::new(p);
+        seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
+        {
+            let (rn, sn, tn) = (r_node.clone(), s_node.clone(), t_node.clone());
+            let body = q.body.clone();
+            cluster.compute(move |shard| {
+                let mut out = Instance::new();
+                out.extend_from(&normalize_atom(shard, &body[0], &rn));
+                out.extend_from(&normalize_atom(shard, &body[1], &sn));
+                out.extend_from(&normalize_atom(shard, &body[2], &tn));
+                out
+            });
+        }
+
+        // Round 1. Heavy: residual grid over cells (h_x(x), h_z(z)); every
+        // T fact lands in its cell; heavy R rows, heavy S columns. Light:
+        // hash on y. Grid cells and hash buckets share the p servers.
+        let hx = HashPartitioner::new(self.seed ^ 0x11, g);
+        let hz = HashPartitioner::new(self.seed ^ 0x22, g);
+        let hy = HashPartitioner::new(self.seed ^ 0x33, p);
+        let (rn, sn, tn) = (r_node.clone(), s_node.clone(), t_node.clone());
+        let heavy_check = is_heavy.clone();
+        cluster.reshuffle(move |_, f| {
+            if f.rel == rn.rel {
+                // Schema [x, y].
+                let (x, y) = (f.args[0], f.args[1]);
+                if heavy_check(y) {
+                    let row = hx.bucket(x);
+                    Routing::Send((0..g).map(|col| row * g + col).collect())
+                } else {
+                    Routing::Send(vec![hy.bucket(y)])
+                }
+            } else if f.rel == sn.rel {
+                // Schema [y, z].
+                let (y, z) = (f.args[0], f.args[1]);
+                if heavy_check(y) {
+                    let col = hz.bucket(z);
+                    Routing::Send((0..g).map(|row| row * g + col).collect())
+                } else {
+                    Routing::Send(vec![hy.bucket(y)])
+                }
+            } else if f.rel == tn.rel {
+                // Schema [z, x]: land in the residual cell; round 2 will
+                // reshuffle T again for the light side.
+                let (z, x) = (f.args[0], f.args[1]);
+                Routing::Send(vec![hx.bucket(x) * g + hz.bucket(z)])
+            } else {
+                Routing::Drop
+            }
+        });
+
+        // Compute phase 1: close heavy triangles locally (any triangle
+        // found on a server is genuine; the grid guarantees the heavy ones
+        // all appear somewhere); join the light R ⋈ S into K. Keep T.
+        let head_rel = q.head.rel;
+        {
+            let (rn, sn, tn, kn) = (
+                r_node.clone(),
+                s_node.clone(),
+                t_node.clone(),
+                k_node.clone(),
+            );
+            let heavy_check = is_heavy.clone();
+            cluster.compute(move |local| {
+                let mut out = Instance::new();
+                // Keep T.
+                for f in local.relation(tn.rel) {
+                    out.insert(f.clone());
+                }
+                // Close triangles among co-located facts (heavy path).
+                let kk = VarRel::new("t2tmpK", kn.vars.clone());
+                let all_k = join_local(&rn, &sn, &kk, local);
+                let mut probe = local.clone();
+                probe.extend_from(&all_k);
+                let outn = VarRel::new("t2tmpO", kn.vars.clone());
+                for f in join_local(&kk, &tn, &outn, &probe).iter() {
+                    out.insert(Fact::new(head_rel, f.args.clone()));
+                }
+                // Light intermediate K for round 2.
+                for f in all_k.iter() {
+                    if !heavy_check(f.args[1]) {
+                        out.insert(Fact::new(kn.rel, f.args.clone()));
+                    }
+                }
+                out
+            });
+        }
+
+        // Round 2: join light K(x,y,z) with T(z,x) on (x,z); finished H
+        // facts ride along to wherever (cheap: they are output, keep them).
+        let h2 = HashPartitioner::new(self.seed ^ 0x44, p);
+        {
+            let (kn, tn) = (k_node.clone(), t_node.clone());
+            cluster.reshuffle(move |_, f| {
+                if f.rel == kn.rel {
+                    Routing::Send(vec![h2.bucket_of(&[f.args[0], f.args[2]])])
+                } else if f.rel == tn.rel {
+                    Routing::Send(vec![h2.bucket_of(&[f.args[1], f.args[0]])])
+                } else if f.rel == head_rel {
+                    Routing::Keep
+                } else {
+                    Routing::Drop
+                }
+            });
+        }
+        {
+            let (kn, tn) = (k_node.clone(), t_node.clone());
+            cluster.compute(move |local| {
+                let mut out = Instance::new();
+                for f in local.relation(head_rel) {
+                    out.insert(f.clone());
+                }
+                let outn = VarRel::new("t2tmpO2", kn.vars.clone());
+                for f in join_local(&kn, &tn, &outn, local).iter() {
+                    out.insert(Fact::new(head_rel, f.args.clone()));
+                }
+                out
+            });
+        }
+
+        RunReport::from_cluster("two-round-triangle", &cluster, db.len())
+    }
+}
+
+/// Sanity helper used by tests: are the head terms of the triangle query
+/// plain variables in x, y, z order? (They are — guards against query
+/// drift.)
+fn _head_shape_is_xyz(q: &ConjunctiveQuery) -> bool {
+    q.head
+        .terms
+        .iter()
+        .zip(["x", "y", "z"])
+        .all(|(t, n)| matches!(t, Term::Var(v) if v.0 == n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen;
+    use crate::hypercube::HypercubeAlgorithm;
+    use parlog_relal::eval::eval_query;
+
+    #[test]
+    fn head_shape_guard() {
+        assert!(_head_shape_is_xyz(&triangle_query()));
+    }
+
+    #[test]
+    fn correct_on_skew_free_data() {
+        let db = datagen::triangle_db(200, 40, 3);
+        let report = TwoRoundTriangle::new(16, 1).run(&db);
+        assert_eq!(report.output, eval_query(&triangle_query(), &db));
+        assert_eq!(report.stats.rounds, 2);
+    }
+
+    #[test]
+    fn correct_on_heavily_skewed_data() {
+        let db = datagen::triangle_heavy_db(200, 50, 5);
+        let report = TwoRoundTriangle::new(16, 2).run(&db);
+        assert_eq!(report.output, eval_query(&triangle_query(), &db));
+    }
+
+    #[test]
+    fn beats_single_round_repartition_under_skew() {
+        // The fair one-round baseline that skew hurts: cascade's first
+        // round is a hash join on y, which concentrates the heavy hitters.
+        let db = datagen::triangle_heavy_db(600, 100, 7);
+        let q = triangle_query();
+        let mut cas = crate::algorithms::cascade::CascadeJoin::new(&q, 64, 7);
+        cas.order = vec![0, 1, 2]; // join on the skewed attribute y first
+        let cascade = cas.run(&db);
+        let two = TwoRoundTriangle::new(64, 7).run(&db);
+        assert_eq!(cascade.output, two.output);
+        assert!(
+            two.stats.max_load < cascade.stats.max_load,
+            "two-round {} should beat hash-cascade {} under skew",
+            two.stats.max_load,
+            cascade.stats.max_load
+        );
+    }
+
+    #[test]
+    fn load_stays_within_sqrt_p_regime_under_skew() {
+        let db = datagen::triangle_heavy_db(600, 100, 7);
+        let q = triangle_query();
+        let two = TwoRoundTriangle::new(64, 7).run(&db);
+        let one = HypercubeAlgorithm::new(&q, 64).unwrap().run(&db, 0);
+        assert_eq!(one.output, two.output);
+        // m/p^{1/2} with m = 1800, p = 64 is 225; the two-round algorithm
+        // must stay in that regime (generous 2× allowance for hashing
+        // variance and the light-side intermediate).
+        let m = db.len();
+        let bound = 2 * (m as f64 / (64f64).sqrt()) as usize;
+        assert!(
+            two.stats.max_load <= bound,
+            "two-round load {} above bound {bound}",
+            two.stats.max_load
+        );
+    }
+
+    #[test]
+    fn empty_db() {
+        let report = TwoRoundTriangle::new(8, 0).run(&Instance::new());
+        assert!(report.output.is_empty());
+    }
+
+    #[test]
+    fn all_heavy_threshold_zero_still_correct() {
+        // Forcing everything heavy exercises the pure residual-grid path.
+        let db = datagen::triangle_db(120, 25, 4);
+        let mut alg = TwoRoundTriangle::new(9, 3);
+        alg.heavy_threshold = Some(0);
+        let report = alg.run(&db);
+        assert_eq!(report.output, eval_query(&triangle_query(), &db));
+    }
+
+    #[test]
+    fn none_heavy_threshold_huge_still_correct() {
+        // Forcing everything light exercises the pure cascade path.
+        let db = datagen::triangle_db(120, 25, 4);
+        let mut alg = TwoRoundTriangle::new(9, 3);
+        alg.heavy_threshold = Some(usize::MAX);
+        let report = alg.run(&db);
+        assert_eq!(report.output, eval_query(&triangle_query(), &db));
+    }
+}

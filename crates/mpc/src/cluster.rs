@@ -1,0 +1,399 @@
+//! The simulated MPC cluster: `p` servers, synchronized rounds, exact load
+//! accounting.
+//!
+//! A round consists of a **communication phase** — every server routes
+//! every locally held fact to a set of destination servers — followed by a
+//! **computation phase** — a local function over the received data. The
+//! *load* of a server in a round is the number of facts it receives; the
+//! model's key metrics, maximum load and total communication, are recorded
+//! per round in [`RoundStats`].
+
+use parlog_relal::fact::Fact;
+use parlog_relal::instance::Instance;
+
+/// A server id in `[0, p)`.
+pub type ServerId = usize;
+
+/// The fate of a fact in a [`Cluster::reshuffle`] round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Routing {
+    /// The fact stays at its current holder — no communication, no load.
+    Keep,
+    /// The fact is sent to the given servers; each delivery counts as load
+    /// (a server hashing a fact to itself still "receives" it, as in the
+    /// model's accounting of repartitioning).
+    Send(Vec<ServerId>),
+    /// The fact is discarded.
+    Drop,
+}
+
+/// Per-round communication statistics.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RoundStats {
+    /// Facts received by each server during the communication phase.
+    pub received: Vec<usize>,
+    /// `max(received)` — the survey's "maximum load".
+    pub max_load: usize,
+    /// `Σ received` — the survey's "total load"/"communication cost".
+    pub total_comm: usize,
+}
+
+impl RoundStats {
+    fn from_received(received: Vec<usize>) -> RoundStats {
+        let max_load = received.iter().copied().max().unwrap_or(0);
+        let total_comm = received.iter().sum();
+        RoundStats {
+            received,
+            max_load,
+            total_comm,
+        }
+    }
+
+    /// The load expressed as the exponent `ε` in `load = m/p^{1−ε}`…
+    /// solved for the more convenient form: returns `e` such that
+    /// `load = m / p^e`. Skew-free HyperCube on the triangle gives
+    /// `e ≈ 2/3`; a plain repartition join gives `e ≈ 1`.
+    pub fn load_exponent(&self, m: usize, p: usize) -> f64 {
+        if self.max_load == 0 || m == 0 || p <= 1 {
+            return 0.0;
+        }
+        (m as f64 / self.max_load as f64).ln() / (p as f64).ln()
+    }
+}
+
+/// A simulated shared-nothing cluster of `p` servers.
+///
+/// The local state of each server is an [`Instance`]. Rounds are driven by
+/// [`Cluster::communicate`] and [`Cluster::compute`]; statistics accumulate
+/// in [`Cluster::rounds`].
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    local: Vec<Instance>,
+    rounds: Vec<RoundStats>,
+}
+
+impl Cluster {
+    /// Create a cluster of `p` empty servers.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Cluster {
+        assert!(p > 0, "a cluster needs at least one server");
+        Cluster {
+            local: vec![Instance::new(); p],
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn p(&self) -> usize {
+        self.local.len()
+    }
+
+    /// The local instance of server `s`.
+    pub fn local(&self, s: ServerId) -> &Instance {
+        &self.local[s]
+    }
+
+    /// Mutable access to the local instance of server `s` — used to seed
+    /// the initial partition.
+    pub fn local_mut(&mut self, s: ServerId) -> &mut Instance {
+        &mut self.local[s]
+    }
+
+    /// Statistics of the communication rounds executed so far.
+    pub fn rounds(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Maximum load over all rounds so far (the algorithm's load).
+    pub fn max_load(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_load).max().unwrap_or(0)
+    }
+
+    /// Total communication over all rounds so far.
+    pub fn total_comm(&self) -> usize {
+        self.rounds.iter().map(|r| r.total_comm).sum()
+    }
+
+    /// Number of communication rounds executed (the survey's
+    /// "synchronization barriers").
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The union of all local instances — the algorithm's output lives
+    /// here ("the output must be present in the union of the p servers").
+    pub fn union_all(&self) -> Instance {
+        let mut out = Instance::new();
+        for inst in &self.local {
+            out.extend_from(inst);
+        }
+        out
+    }
+
+    /// **Communication phase**: every fact currently held anywhere is
+    /// routed by `route` to a set of destination servers; the new local
+    /// state of each server is exactly what it received. Duplicate
+    /// deliveries of the same fact to the same server from different
+    /// sources are counted once (the routing function is deterministic per
+    /// fact, so all holders compute the same destinations; sending is
+    /// deduplicated as a real system would via its partitioning contract).
+    ///
+    /// Returns the stats of this round.
+    pub fn communicate<F>(&mut self, mut route: F) -> &RoundStats
+    where
+        F: FnMut(&Fact) -> Vec<ServerId>,
+    {
+        let p = self.p();
+        let mut next: Vec<Instance> = vec![Instance::new(); p];
+        let mut received = vec![0usize; p];
+        // Collect the distinct facts across servers to route each once.
+        let mut all = Instance::new();
+        for inst in &self.local {
+            all.extend_from(inst);
+        }
+        for f in all.iter() {
+            for &dest in route(f).iter() {
+                assert!(dest < p, "destination {dest} out of range for p={p}");
+                if next[dest].insert(f.clone()) {
+                    received[dest] += 1;
+                }
+            }
+        }
+        self.local = next;
+        self.rounds.push(RoundStats::from_received(received));
+        self.rounds.last().expect("just pushed")
+    }
+
+    /// Like [`Cluster::communicate`], but destinations may depend on which
+    /// server currently holds the fact (needed e.g. for the grouped join,
+    /// where routing is by *tuple position*, not value). A fact held by
+    /// several servers is routed from each holder; deliveries are
+    /// deduplicated per destination.
+    pub fn communicate_from<F>(&mut self, mut route: F) -> &RoundStats
+    where
+        F: FnMut(ServerId, &Fact) -> Vec<ServerId>,
+    {
+        let p = self.p();
+        let mut next: Vec<Instance> = vec![Instance::new(); p];
+        let mut received = vec![0usize; p];
+        for src in 0..p {
+            for f in self.local[src].clone().iter() {
+                for &dest in route(src, f).iter() {
+                    assert!(dest < p, "destination {dest} out of range for p={p}");
+                    if next[dest].insert(f.clone()) {
+                        received[dest] += 1;
+                    }
+                }
+            }
+        }
+        self.local = next;
+        self.rounds.push(RoundStats::from_received(received));
+        self.rounds.last().expect("just pushed")
+    }
+
+    /// Communication phase with per-fact keep/send/drop decisions — the
+    /// workhorse of the multi-round algorithms, which carry intermediate
+    /// relations across rounds (`Keep`, free) while rehashing the
+    /// relations participating in the current semijoin/join (`Send`,
+    /// counted as load at every destination).
+    ///
+    /// Accounting note: when the same fact is `Keep`-retained by one
+    /// holder and `Send`-routed to that same server by another holder,
+    /// the delivery deduplicates against the kept copy and is not
+    /// counted. Routing decisions in this workspace are value-
+    /// deterministic (all holders of a fact choose the same fate), so
+    /// the case does not arise in practice.
+    pub fn reshuffle<F>(&mut self, mut route: F) -> &RoundStats
+    where
+        F: FnMut(ServerId, &Fact) -> Routing,
+    {
+        let p = self.p();
+        let mut next: Vec<Instance> = vec![Instance::new(); p];
+        let mut received = vec![0usize; p];
+        for src in 0..p {
+            for f in std::mem::take(&mut self.local[src]).iter() {
+                match route(src, f) {
+                    Routing::Keep => {
+                        next[src].insert(f.clone());
+                    }
+                    Routing::Send(dests) => {
+                        for &dest in &dests {
+                            assert!(dest < p, "destination {dest} out of range for p={p}");
+                            if next[dest].insert(f.clone()) {
+                                received[dest] += 1;
+                            }
+                        }
+                    }
+                    Routing::Drop => {}
+                }
+            }
+        }
+        self.local = next;
+        self.rounds.push(RoundStats::from_received(received));
+        self.rounds.last().expect("just pushed")
+    }
+
+    /// Computation phase applied per server with access to the server id.
+    pub fn compute_per_server<F>(&mut self, mut f: F)
+    where
+        F: FnMut(ServerId, &Instance) -> Instance,
+    {
+        for (s, inst) in self.local.iter_mut().enumerate() {
+            *inst = f(s, inst);
+        }
+    }
+
+    /// Communication phase that also draws on per-server *storage* shards:
+    /// multi-round algorithms keep their input partition on disk and
+    /// reshuffle (parts of) it in later rounds together with intermediate
+    /// results. Facts from `storage[s]` are routed exactly like local
+    /// facts; reading one's own storage is free — only *received* facts
+    /// count as load, as in the model.
+    ///
+    /// `route` must be value-deterministic (same fact ⇒ same destinations
+    /// regardless of holder), which lets the simulator route each distinct
+    /// fact once.
+    pub fn communicate_with<F>(&mut self, storage: &[Instance], mut route: F) -> &RoundStats
+    where
+        F: FnMut(&Fact) -> Vec<ServerId>,
+    {
+        assert_eq!(storage.len(), self.p(), "one storage shard per server");
+        let p = self.p();
+        let mut next: Vec<Instance> = vec![Instance::new(); p];
+        let mut received = vec![0usize; p];
+        let mut all = Instance::new();
+        for inst in self.local.iter().chain(storage.iter()) {
+            all.extend_from(inst);
+        }
+        for f in all.iter() {
+            for &dest in route(f).iter() {
+                assert!(dest < p, "destination {dest} out of range for p={p}");
+                if next[dest].insert(f.clone()) {
+                    received[dest] += 1;
+                }
+            }
+        }
+        self.local = next;
+        self.rounds.push(RoundStats::from_received(received));
+        self.rounds.last().expect("just pushed")
+    }
+
+    /// **Computation phase**: replace every server's local instance with
+    /// `f(local)`. Purely local — no communication, no load.
+    pub fn compute<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&Instance) -> Instance,
+    {
+        for inst in &mut self.local {
+            *inst = f(inst);
+        }
+    }
+
+    /// Computation phase that *adds* facts instead of replacing (useful
+    /// when servers must retain their inputs for a later round).
+    pub fn compute_extend<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&Instance) -> Instance,
+    {
+        for inst in &mut self.local {
+            let extra = f(inst);
+            inst.extend_from(&extra);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::fact::fact;
+
+    fn seeded(p: usize, facts: &[Fact]) -> Cluster {
+        let mut c = Cluster::new(p);
+        for (i, f) in facts.iter().enumerate() {
+            c.local_mut(i % p).insert(f.clone());
+        }
+        c
+    }
+
+    #[test]
+    fn union_all_reassembles() {
+        let facts = vec![fact("R", &[1, 2]), fact("R", &[3, 4]), fact("S", &[5, 6])];
+        let c = seeded(2, &facts);
+        assert_eq!(c.union_all(), Instance::from_facts(facts));
+    }
+
+    #[test]
+    fn communicate_moves_and_counts() {
+        let facts = vec![fact("R", &[1, 2]), fact("R", &[3, 4])];
+        let mut c = seeded(2, &facts);
+        // Send everything to server 0.
+        c.communicate(|_| vec![0]);
+        assert_eq!(c.local(0).len(), 2);
+        assert_eq!(c.local(1).len(), 0);
+        let r = &c.rounds()[0];
+        assert_eq!(r.max_load, 2);
+        assert_eq!(r.total_comm, 2);
+        assert_eq!(c.round_count(), 1);
+    }
+
+    #[test]
+    fn broadcast_replicates_with_full_load() {
+        let facts = vec![fact("R", &[1, 2]), fact("R", &[3, 4])];
+        let mut c = seeded(2, &facts);
+        c.communicate(|_| vec![0, 1]);
+        assert_eq!(c.local(0).len(), 2);
+        assert_eq!(c.local(1).len(), 2);
+        assert_eq!(c.rounds()[0].total_comm, 4);
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_counted_once() {
+        // Both servers hold the same fact; both route it to server 0.
+        let mut c = Cluster::new(2);
+        c.local_mut(0).insert(fact("R", &[9, 9]));
+        c.local_mut(1).insert(fact("R", &[9, 9]));
+        c.communicate_from(|_, _| vec![0]);
+        assert_eq!(c.local(0).len(), 1);
+        assert_eq!(c.rounds()[0].received[0], 1);
+    }
+
+    #[test]
+    fn compute_is_local() {
+        let facts = vec![fact("R", &[1, 2])];
+        let mut c = seeded(1, &facts);
+        c.compute(|inst| {
+            let mut out = Instance::new();
+            for f in inst.iter() {
+                out.insert(fact("Out", &[f.args[0].0, f.args[1].0]));
+            }
+            out
+        });
+        assert_eq!(c.local(0).sorted_facts(), vec![fact("Out", &[1, 2])]);
+        assert_eq!(c.round_count(), 0); // no communication happened
+    }
+
+    #[test]
+    fn load_exponent_sanity() {
+        let r = RoundStats::from_received(vec![25, 25, 25, 25]);
+        // m = 100, p = 4, load 25 = m/p → exponent 1.
+        assert!((r.load_exponent(100, 4) - 1.0).abs() < 1e-9);
+        let r2 = RoundStats::from_received(vec![100, 0, 0, 0]);
+        // load = m → exponent 0.
+        assert!(r2.load_exponent(100, 4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        Cluster::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_rejected() {
+        let mut c = seeded(2, &[fact("R", &[1, 2])]);
+        c.communicate(|_| vec![5]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Run reports: the measurable quantities of the MPC model, serializable
+//! for the experiment harness in `parlog-bench`.
+
+use crate::cluster::Cluster;
+use parlog_relal::instance::Instance;
+
+/// Aggregate statistics of one algorithm execution.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunStats {
+    /// Servers used.
+    pub p: usize,
+    /// Input size (facts).
+    pub m: usize,
+    /// Communication rounds (synchronization barriers).
+    pub rounds: usize,
+    /// Maximum per-server load over all rounds.
+    pub max_load: usize,
+    /// Total facts communicated over all rounds.
+    pub total_comm: usize,
+    /// `total_comm / m` — the replication rate.
+    pub replication: f64,
+    /// The exponent `e` with `max_load = m / p^e` (0 = all data on one
+    /// server, 1 = perfectly balanced).
+    pub load_exponent: f64,
+}
+
+/// The result of running an algorithm: its output and its stats.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Name of the algorithm (for reports).
+    pub algorithm: &'static str,
+    /// The computed query answer (union over servers).
+    pub output: Instance,
+    /// Aggregated load statistics.
+    pub stats: RunStats,
+}
+
+impl RunReport {
+    /// Build a report from a finished cluster run.
+    pub fn from_cluster(algorithm: &'static str, cluster: &Cluster, m: usize) -> RunReport {
+        let p = cluster.p();
+        let max_load = cluster.max_load();
+        let total_comm = cluster.total_comm();
+        let load_exponent = if max_load == 0 || m == 0 || p <= 1 {
+            0.0
+        } else {
+            (m as f64 / max_load as f64).ln() / (p as f64).ln()
+        };
+        RunReport {
+            algorithm,
+            output: cluster.union_all(),
+            stats: RunStats {
+                p,
+                m,
+                rounds: cluster.round_count(),
+                max_load,
+                total_comm,
+                replication: if m == 0 {
+                    0.0
+                } else {
+                    total_comm as f64 / m as f64
+                },
+                load_exponent,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::fact::fact;
+
+    #[test]
+    fn report_reflects_cluster_state() {
+        let mut c = Cluster::new(4);
+        for i in 0..8u64 {
+            c.local_mut((i % 4) as usize).insert(fact("R", &[i, i]));
+        }
+        c.communicate(|_| vec![0, 1]); // replicate everything twice
+        let r = RunReport::from_cluster("test", &c, 8);
+        assert_eq!(r.stats.p, 4);
+        assert_eq!(r.stats.rounds, 1);
+        assert_eq!(r.stats.total_comm, 16);
+        assert!((r.stats.replication - 2.0).abs() < 1e-9);
+        assert_eq!(r.stats.max_load, 8);
+        assert!(r.stats.load_exponent.abs() < 1e-9); // load = m
+        assert_eq!(r.output.len(), 8);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let c = Cluster::new(2);
+        let r = RunReport::from_cluster("t", &c, 0);
+        let json = serde_json::to_string(&r.stats);
+        assert!(json.is_ok());
+    }
+}

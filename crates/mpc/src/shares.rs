@@ -1,0 +1,203 @@
+//! Integer share allocation — the Shares algorithm of Afrati–Ullman.
+//!
+//! Section 3.1: "Every server can be identified by a triple in
+//! `[1,αx] × [1,αy] × [1,αz]` … the values αx, αy, αz are called *shares*
+//! and the algorithm focuses on computing optimal values for the shares".
+//!
+//! We compute optimal *fractional* exponents with the LP of
+//! [`parlog_relal::packing::share_exponents`] (whose optimum is `1/τ*`)
+//! and round them to integer shares with product ≤ p. A `uniform`
+//! constructor (equal shares, the naive choice) is provided for the
+//! ablation benchmarks.
+
+use parlog_relal::atom::Var;
+use parlog_relal::packing::share_exponents;
+use parlog_relal::query::ConjunctiveQuery;
+use parlog_relal::simplex::LpError;
+
+/// A share allocation: one positive integer share per body variable of a
+/// query; the product of the shares is the number of servers used.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Shares {
+    /// The variables, in `q.body_variables()` order.
+    pub vars: Vec<String>,
+    /// The share of each variable.
+    pub shares: Vec<usize>,
+}
+
+impl Shares {
+    /// Optimal shares for `q` on (at most) `p` servers, from the LP
+    /// exponents. Shares are ≥ 1 and their product is ≤ `p`.
+    pub fn optimal(q: &ConjunctiveQuery, p: usize) -> Result<Shares, LpError> {
+        assert!(p >= 1);
+        let se = share_exponents(q)?;
+        let reals: Vec<f64> = se.exponents.iter().map(|e| (p as f64).powf(*e)).collect();
+        let mut shares: Vec<usize> = reals.iter().map(|r| (r.floor() as usize).max(1)).collect();
+        // Greedy refinement: repeatedly bump the share that is furthest
+        // below its real value, as long as the product stays within p.
+        loop {
+            let product: usize = shares.iter().product();
+            let candidate = (0..shares.len())
+                .filter(|&i| product / shares[i] * (shares[i] + 1) <= p)
+                .max_by(|&i, &j| {
+                    let di = reals[i] / shares[i] as f64;
+                    let dj = reals[j] / shares[j] as f64;
+                    di.partial_cmp(&dj).expect("no NaN")
+                });
+            match candidate {
+                Some(i) => shares[i] += 1,
+                None => break,
+            }
+        }
+        Ok(Shares {
+            vars: se.vars.into_iter().map(|v| v.0).collect(),
+            shares,
+        })
+    }
+
+    /// Uniform shares: every variable gets `⌊p^(1/k)⌋` (at least 1).
+    pub fn uniform(q: &ConjunctiveQuery, p: usize) -> Shares {
+        let vars = q.body_variables();
+        let k = vars.len().max(1);
+        let s = ((p as f64).powf(1.0 / k as f64).floor() as usize).max(1);
+        Shares {
+            vars: vars.into_iter().map(|v| v.0).collect(),
+            shares: vec![s; k],
+        }
+    }
+
+    /// Explicit shares (must match the query's body variables in order).
+    pub fn manual(vars: Vec<String>, shares: Vec<usize>) -> Shares {
+        assert_eq!(vars.len(), shares.len());
+        assert!(shares.iter().all(|&s| s >= 1), "shares must be positive");
+        Shares { vars, shares }
+    }
+
+    /// The number of servers actually addressed: the product of shares.
+    pub fn servers(&self) -> usize {
+        self.shares.iter().product()
+    }
+
+    /// The share of a variable, 1 if the variable is unknown (variables
+    /// outside the share space are unconstrained — their coordinate is
+    /// absent).
+    pub fn share_of(&self, v: &Var) -> usize {
+        self.vars
+            .iter()
+            .position(|n| *n == v.0)
+            .map(|i| self.shares[i])
+            .unwrap_or(1)
+    }
+
+    /// The replication factor of an atom: the product of the shares of the
+    /// variables *not* occurring in the atom (each tuple of the atom's
+    /// relation is sent to that many servers). For the triangle query with
+    /// shares `p^{1/3}` each, this is `p^{1/3}` per relation.
+    pub fn replication_of(&self, atom: &parlog_relal::atom::Atom) -> usize {
+        let atom_vars: Vec<String> = atom.variables().into_iter().map(|v| v.0).collect();
+        self.vars
+            .iter()
+            .zip(&self.shares)
+            .filter(|(v, _)| !atom_vars.contains(v))
+            .map(|(_, &s)| s)
+            .product()
+    }
+
+    /// Convert a mixed-radix coordinate vector (one digit per variable) to
+    /// a flat server id.
+    pub fn flatten(&self, coord: &[usize]) -> usize {
+        debug_assert_eq!(coord.len(), self.shares.len());
+        let mut id = 0usize;
+        for (c, &s) in coord.iter().zip(&self.shares) {
+            debug_assert!(*c < s);
+            id = id * s + c;
+        }
+        id
+    }
+
+    /// Inverse of [`Shares::flatten`].
+    pub fn unflatten(&self, mut id: usize) -> Vec<usize> {
+        let mut coord = vec![0usize; self.shares.len()];
+        for i in (0..self.shares.len()).rev() {
+            coord[i] = id % self.shares[i];
+            id /= self.shares[i];
+        }
+        coord
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::parser::parse_query;
+
+    #[test]
+    fn triangle_optimal_shares_are_cube_root() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let s = Shares::optimal(&q, 64).unwrap();
+        assert_eq!(s.shares, vec![4, 4, 4]);
+        assert_eq!(s.servers(), 64);
+        // Each relation replicated p^{1/3} = 4 times.
+        for a in &q.body {
+            assert_eq!(s.replication_of(a), 4);
+        }
+    }
+
+    #[test]
+    fn join_optimal_shares_concentrate_on_join_variable() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        let s = Shares::optimal(&q, 16).unwrap();
+        let y = s.vars.iter().position(|v| v == "y").unwrap();
+        assert_eq!(s.shares[y], 16);
+        assert_eq!(s.servers(), 16);
+        // No replication: each tuple goes to exactly one server.
+        for a in &q.body {
+            assert_eq!(s.replication_of(a), 1);
+        }
+    }
+
+    #[test]
+    fn product_never_exceeds_p() {
+        for p in [1, 2, 3, 5, 7, 10, 17, 50, 100, 1000] {
+            let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+            let s = Shares::optimal(&q, p).unwrap();
+            assert!(s.servers() <= p, "p={p} used={}", s.servers());
+            assert!(s.servers() >= 1);
+        }
+    }
+
+    #[test]
+    fn uniform_shares() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let s = Shares::uniform(&q, 27);
+        assert_eq!(s.shares, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let s = Shares::manual(vec!["x".into(), "y".into(), "z".into()], vec![2, 3, 4]);
+        for id in 0..s.servers() {
+            assert_eq!(s.flatten(&s.unflatten(id)), id);
+        }
+    }
+
+    #[test]
+    fn share_of_unknown_var_is_1() {
+        let s = Shares::manual(vec!["x".into()], vec![5]);
+        assert_eq!(s.share_of(&Var::new("zzz")), 1);
+        assert_eq!(s.share_of(&Var::new("x")), 5);
+    }
+
+    #[test]
+    fn optimal_beats_uniform_on_asymmetric_query() {
+        // For the two-atom join, uniform shares on 16 servers give 2 per
+        // variable (8 servers used, replication 2 for each relation);
+        // optimal uses all 16 on y with no replication.
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        let uni = Shares::uniform(&q, 16);
+        let opt = Shares::optimal(&q, 16).unwrap();
+        let uni_rep: usize = q.body.iter().map(|a| uni.replication_of(a)).sum();
+        let opt_rep: usize = q.body.iter().map(|a| opt.replication_of(a)).sum();
+        assert!(opt_rep < uni_rep);
+    }
+}

@@ -1,0 +1,300 @@
+//! SharesSkew — heavy-hitter-aware share allocation (Afrati,
+//! Stasinopoulos, Ullman, Vasilakopoulos; §3.1).
+//!
+//! "Afrati et al. provide a generalization of the Shares algorithm
+//! incorporating skew by distinguishing tuples that are heavy hitters."
+//!
+//! The valuation space of the query is partitioned by **heavy patterns**:
+//! the set of variables that take heavy values, together with those
+//! values. Each pattern gets its own block of servers and its own
+//! **residual** share allocation — the share LP re-solved with the
+//! pattern's variables bound (they need no axis: their value is fixed, so
+//! the freed shares go to the light variables, exactly the residual-query
+//! treatment of Beame–Koutris–Suciu's skewed bounds). A tuple is routed,
+//! through every atom it matches, to every pattern consistent with its
+//! binding: heavy-bound variables must agree with the pattern, light
+//! variables are hashed on the residual grid.
+
+use crate::cluster::Cluster;
+use crate::datagen::heavy_hitters;
+use crate::hypercube::HypercubeAlgorithm;
+use crate::partition::{seed_cluster, InitialPartition};
+use crate::report::RunReport;
+use crate::shares::Shares;
+use parlog_relal::atom::{Term, Var};
+use parlog_relal::eval::eval_query;
+use parlog_relal::fact::{Fact, Val};
+use parlog_relal::instance::Instance;
+use parlog_relal::query::ConjunctiveQuery;
+
+/// A heavy pattern: an assignment of heavy values to a subset of the
+/// query's variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyPattern {
+    /// `(variable, heavy value)` pairs, sorted by variable.
+    pub bound: Vec<(Var, Val)>,
+}
+
+impl HeavyPattern {
+    fn value_of(&self, v: &Var) -> Option<Val> {
+        self.bound.iter().find(|(w, _)| w == v).map(|(_, val)| *val)
+    }
+}
+
+/// The SharesSkew one-round algorithm.
+pub struct SharesSkewAlgorithm {
+    query: ConjunctiveQuery,
+    patterns: Vec<HeavyPattern>,
+    /// One residual HyperCube per pattern, over its server block.
+    residuals: Vec<HypercubeAlgorithm>,
+    block: usize,
+    /// Per-variable heavy value lists (sorted).
+    heavy: Vec<(Var, Vec<Val>)>,
+}
+
+impl SharesSkewAlgorithm {
+    /// Build for `q` on `p` servers from the database's statistics:
+    /// values occurring more than `threshold` times in a position bound
+    /// to a variable are heavy for that variable (capped at
+    /// `max_heavy_per_var` per variable to bound the pattern count).
+    pub fn from_stats(
+        q: &ConjunctiveQuery,
+        db: &Instance,
+        p: usize,
+        threshold: usize,
+        max_heavy_per_var: usize,
+        seed: u64,
+    ) -> SharesSkewAlgorithm {
+        assert!(q.is_plain_cq(), "SharesSkew handles plain CQs");
+        // Heavy values per variable: union over (atom, position) pairs
+        // binding the variable.
+        let vars = q.body_variables();
+        let mut heavy: Vec<(Var, Vec<Val>)> = Vec::new();
+        for v in &vars {
+            let mut hs: Vec<Val> = Vec::new();
+            for a in &q.body {
+                for (pos, t) in a.terms.iter().enumerate() {
+                    if matches!(t, Term::Var(w) if w == v) {
+                        hs.extend(heavy_hitters(db, a.rel, pos, threshold));
+                    }
+                }
+            }
+            hs.sort_unstable();
+            hs.dedup();
+            hs.truncate(max_heavy_per_var);
+            heavy.push((v.clone(), hs));
+        }
+
+        // Enumerate patterns: the cross product over variables of
+        // {light} ∪ heavy values.
+        let mut patterns: Vec<HeavyPattern> = vec![HeavyPattern { bound: Vec::new() }];
+        for (v, hs) in &heavy {
+            let mut next = Vec::with_capacity(patterns.len() * (hs.len() + 1));
+            for pat in &patterns {
+                next.push(pat.clone()); // v stays light
+                for &hval in hs {
+                    let mut bound = pat.bound.clone();
+                    bound.push((v.clone(), hval));
+                    next.push(HeavyPattern { bound });
+                }
+            }
+            patterns = next;
+        }
+        assert!(
+            patterns.len() <= p.max(64),
+            "{} heavy patterns exceed the server budget; raise the threshold",
+            patterns.len()
+        );
+
+        let block = (p / patterns.len()).max(1);
+        // Residual query per pattern: substitute the bound variables by
+        // their heavy constants; the share LP then optimizes the light
+        // variables only.
+        let residuals = patterns
+            .iter()
+            .map(|pat| {
+                let subst = |a: &parlog_relal::atom::Atom| parlog_relal::atom::Atom {
+                    rel: a.rel,
+                    terms: a
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(v) => match pat.value_of(v) {
+                                Some(val) => Term::Const(val),
+                                None => t.clone(),
+                            },
+                            c => c.clone(),
+                        })
+                        .collect(),
+                };
+                let residual = ConjunctiveQuery {
+                    head: q.head.clone(),
+                    body: q.body.iter().map(&subst).collect(),
+                    negated: Vec::new(),
+                    inequalities: q.inequalities.clone(),
+                };
+                let shares = Shares::optimal(&residual, block)
+                    .unwrap_or_else(|_| Shares::uniform(&residual, block));
+                HypercubeAlgorithm::with_shares(&residual, shares, seed ^ 0x5afe)
+            })
+            .collect();
+
+        SharesSkewAlgorithm {
+            query: q.clone(),
+            patterns,
+            residuals,
+            block,
+            heavy,
+        }
+    }
+
+    /// Number of heavy patterns (1 = no skew detected).
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Is `val` heavy for variable `v`?
+    fn is_heavy(&self, v: &Var, val: Val) -> bool {
+        self.heavy
+            .iter()
+            .find(|(w, _)| w == v)
+            .is_some_and(|(_, hs)| hs.binary_search(&val).is_ok())
+    }
+
+    /// Destinations of a fact: union over atoms and consistent patterns
+    /// of the residual-grid destinations, offset by the pattern block.
+    pub fn destinations(&self, f: &Fact) -> Vec<usize> {
+        let mut out = Vec::new();
+        for atom in &self.query.body {
+            let Some(binding) = crate::algorithms::treejoin::binding_of(atom, f) else {
+                continue;
+            };
+            'patterns: for (pi, pat) in self.patterns.iter().enumerate() {
+                // Consistency: every bound variable that is heavy must be
+                // in the pattern with that value; light-bound variables
+                // must be absent from the pattern.
+                for (v, val) in &binding {
+                    match pat.value_of(v) {
+                        Some(pval) => {
+                            if pval != *val {
+                                continue 'patterns;
+                            }
+                        }
+                        None => {
+                            if self.is_heavy(v, *val) {
+                                continue 'patterns;
+                            }
+                        }
+                    }
+                }
+                let offset = pi * self.block;
+                out.extend(
+                    self.residuals[pi]
+                        .destinations(f)
+                        .into_iter()
+                        .map(|d| offset + d),
+                );
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Run the one-round algorithm.
+    pub fn run(&self, db: &Instance) -> RunReport {
+        let p = self.patterns.len() * self.block;
+        let mut cluster = Cluster::new(p);
+        seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
+        cluster.communicate(|f| self.destinations(f));
+        let q = self.query.clone();
+        cluster.compute(|local| eval_query(&q, local));
+        RunReport::from_cluster("shares-skew", &cluster, db.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen;
+    use parlog_relal::parser::parse_query;
+
+    fn join() -> ConjunctiveQuery {
+        parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap()
+    }
+
+    fn skewed_join_db(m: usize) -> Instance {
+        let mut db = datagen::heavy_hitter_relation("R", m, 0.4, 7, 1, 0);
+        db.extend_from(&datagen::heavy_hitter_relation("S", m, 0.4, 7, 0, 50_000));
+        db
+    }
+
+    #[test]
+    fn no_skew_degenerates_to_plain_shares() {
+        let q = join();
+        let db = datagen::matching_relation("R", 100, 0)
+            .union(&datagen::matching_relation("S", 100, 10_000));
+        let alg = SharesSkewAlgorithm::from_stats(&q, &db, 16, 10, 4, 1);
+        assert_eq!(alg.pattern_count(), 1);
+        let r = alg.run(&db);
+        assert_eq!(r.output, parlog_relal::eval::eval_query(&q, &db));
+    }
+
+    #[test]
+    fn detects_heavy_hitters_and_stays_correct() {
+        let q = join();
+        let db = skewed_join_db(400);
+        let alg = SharesSkewAlgorithm::from_stats(&q, &db, 16, 50, 4, 2);
+        assert!(alg.pattern_count() > 1, "the heavy y must form a pattern");
+        let r = alg.run(&db);
+        assert_eq!(r.output, parlog_relal::eval::eval_query(&q, &db));
+    }
+
+    #[test]
+    fn beats_plain_hypercube_under_skew() {
+        let q = join();
+        let db = skewed_join_db(2000);
+        let skew_aware = SharesSkewAlgorithm::from_stats(&q, &db, 64, 100, 4, 3);
+        let plain = crate::hypercube::HypercubeAlgorithm::new(&q, 64).unwrap();
+        let rs = skew_aware.run(&db);
+        let rp = plain.run(&db, 0);
+        assert_eq!(rs.output, rp.output);
+        assert!(
+            rs.stats.max_load < rp.stats.max_load,
+            "shares-skew {} should beat plain hypercube {} on skewed data",
+            rs.stats.max_load,
+            rp.stats.max_load
+        );
+    }
+
+    #[test]
+    fn triangle_with_heavy_join_value() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let db = datagen::triangle_heavy_db(400, 80, 3);
+        let alg = SharesSkewAlgorithm::from_stats(&q, &db, 27, 40, 3, 9);
+        let r = alg.run(&db);
+        assert_eq!(r.output, parlog_relal::eval::eval_query(&q, &db));
+    }
+
+    #[test]
+    fn heavy_and_light_facts_route_disjointly_by_pattern() {
+        let q = join();
+        let db = skewed_join_db(400);
+        let alg = SharesSkewAlgorithm::from_stats(&q, &db, 16, 50, 4, 2);
+        // A heavy-y R fact and a light-y R fact must use different
+        // pattern blocks.
+        let heavy_f = db
+            .relation(parlog_relal::symbols::rel("R"))
+            .find(|f| f.args[1] == Val(7))
+            .unwrap()
+            .clone();
+        let light_f = db
+            .relation(parlog_relal::symbols::rel("R"))
+            .find(|f| f.args[1] != Val(7))
+            .unwrap()
+            .clone();
+        let dh = alg.destinations(&heavy_f);
+        let dl = alg.destinations(&light_f);
+        assert!(dh.iter().all(|d| !dl.contains(d)), "{dh:?} vs {dl:?}");
+    }
+}

@@ -1,0 +1,392 @@
+//! Evaluation of conjunctive queries on instances.
+//!
+//! The semantics is the valuation semantics of Section 2: the result of
+//! `Q` on `I` is the set of facts derived by satisfying valuations. The
+//! implementation is a backtracking join over the positive atoms with
+//! per-(relation, position) hash indices, i.e. a simple generic-join-style
+//! evaluator; negated atoms and inequalities are checked as soon as their
+//! variables are bound.
+//!
+//! This evaluator is also the *local computation phase* of every MPC server
+//! in `parlog-mpc` and of every transducer node in `parlog-transducer`.
+
+use crate::atom::{Atom, Term};
+use crate::fact::{Fact, Val};
+use crate::fastmap::{fxmap, FxMap};
+use crate::instance::Instance;
+use crate::query::{ConjunctiveQuery, UnionQuery};
+use crate::symbols::RelId;
+use crate::valuation::Valuation;
+
+/// Per-relation fact store with positional value indices, built once per
+/// evaluation.
+struct Indexed<'a> {
+    facts: FxMap<RelId, Vec<&'a Fact>>,
+    /// `(rel, position, value) → fact indices` into `facts[rel]`.
+    by_pos: FxMap<(RelId, usize, Val), Vec<usize>>,
+}
+
+impl<'a> Indexed<'a> {
+    fn build(instance: &'a Instance, rels: &[RelId]) -> Indexed<'a> {
+        let mut facts: FxMap<RelId, Vec<&Fact>> = fxmap();
+        let mut by_pos: FxMap<(RelId, usize, Val), Vec<usize>> = fxmap();
+        for &r in rels {
+            let fs: Vec<&Fact> = instance.relation(r).collect();
+            for (i, f) in fs.iter().enumerate() {
+                for (pos, &v) in f.args.iter().enumerate() {
+                    by_pos.entry((r, pos, v)).or_default().push(i);
+                }
+            }
+            facts.insert(r, fs);
+        }
+        Indexed { facts, by_pos }
+    }
+
+    /// Candidate facts for `atom` under the partial valuation `val`:
+    /// if some position is bound, use the positional index, else scan all.
+    fn candidates(&self, atom: &Atom, val: &Valuation) -> Vec<&'a Fact> {
+        let all = match self.facts.get(&atom.rel) {
+            Some(fs) => fs,
+            None => return Vec::new(),
+        };
+        // Find the most selective bound position.
+        let mut best: Option<&Vec<usize>> = None;
+        for (pos, t) in atom.terms.iter().enumerate() {
+            if let Some(v) = val.apply_term(t) {
+                match self.by_pos.get(&(atom.rel, pos, v)) {
+                    Some(ix) => {
+                        if best.is_none_or(|b| ix.len() < b.len()) {
+                            best = Some(ix);
+                        }
+                    }
+                    None => return Vec::new(), // bound value absent entirely
+                }
+            }
+        }
+        match best {
+            Some(ix) => ix.iter().map(|&i| all[i]).collect(),
+            None => all.clone(),
+        }
+    }
+}
+
+/// Try to extend `val` so that `atom` maps onto `f`; returns the list of
+/// variables newly bound (for backtracking), or `None` on mismatch.
+fn unify(atom: &Atom, f: &Fact, val: &mut Valuation) -> Option<Vec<crate::atom::Var>> {
+    if f.args.len() != atom.terms.len() {
+        return None;
+    }
+    let mut newly = Vec::new();
+    for (t, &a) in atom.terms.iter().zip(f.args.iter()) {
+        match t {
+            Term::Const(c) => {
+                if *c != a {
+                    undo(val, newly);
+                    return None;
+                }
+            }
+            Term::Var(v) => match val.get(v) {
+                Some(prev) => {
+                    if prev != a {
+                        undo(val, newly);
+                        return None;
+                    }
+                }
+                None => {
+                    val.bind(v.clone(), a);
+                    newly.push(v.clone());
+                }
+            },
+        }
+    }
+    Some(newly)
+}
+
+fn undo(val: &mut Valuation, newly: Vec<crate::atom::Var>) {
+    for v in newly {
+        val.unbind(&v);
+    }
+}
+
+/// Check every inequality of `q` whose endpoints are both bound.
+fn inequalities_ok_so_far(q: &ConjunctiveQuery, val: &Valuation) -> bool {
+    q.inequalities.iter().all(|(s, t)| {
+        match (val.apply_term(s), val.apply_term(t)) {
+            (Some(a), Some(b)) => a != b,
+            _ => true, // not yet decidable
+        }
+    })
+}
+
+/// Order body atoms greedily: start from the atom over the smallest
+/// relation, then repeatedly pick the atom sharing the most variables with
+/// those already placed (ties: smaller relation first). This keeps the
+/// backtracking search close to a left-deep join over connected atoms.
+fn atom_order(q: &ConjunctiveQuery, instance: &Instance) -> Vec<usize> {
+    let n = q.body.len();
+    let mut placed: Vec<usize> = Vec::with_capacity(n);
+    let mut bound_vars: Vec<crate::atom::Var> = Vec::new();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while !remaining.is_empty() {
+        let (k, &idx) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &i)| {
+                let a = &q.body[i];
+                let shared = a
+                    .variables()
+                    .iter()
+                    .filter(|v| bound_vars.contains(v))
+                    .count();
+                let size = instance.relation_len(a.rel);
+                // Maximize shared vars (negate), then minimize size.
+                (usize::MAX - shared, size)
+            })
+            .unwrap();
+        placed.push(idx);
+        for v in q.body[idx].variables() {
+            if !bound_vars.contains(&v) {
+                bound_vars.push(v);
+            }
+        }
+        remaining.remove(k);
+    }
+    placed
+}
+
+/// Enumerate all satisfying valuations of `q` on `instance`.
+///
+/// For plain CQs these are exactly the valuations whose required facts are
+/// contained in the instance; for `CQ¬`/`CQ≠` the negated atoms and
+/// inequalities are enforced as well.
+pub fn satisfying_valuations(q: &ConjunctiveQuery, instance: &Instance) -> Vec<Valuation> {
+    let rels: Vec<RelId> = q.body.iter().map(|a| a.rel).collect();
+    let index = Indexed::build(instance, &rels);
+    let order = atom_order(q, instance);
+    let mut out = Vec::new();
+    let mut val = Valuation::new();
+
+    fn recurse(
+        q: &ConjunctiveQuery,
+        order: &[usize],
+        depth: usize,
+        index: &Indexed<'_>,
+        instance: &Instance,
+        val: &mut Valuation,
+        out: &mut Vec<Valuation>,
+    ) {
+        if depth == order.len() {
+            // All positive atoms matched; check negation (inequalities have
+            // been checked incrementally and are all bound by safety).
+            for a in &q.negated {
+                match val.apply(a) {
+                    Some(f) if !instance.contains(&f) => {}
+                    _ => return,
+                }
+            }
+            out.push(val.clone());
+            return;
+        }
+        let atom = &q.body[order[depth]];
+        for f in index.candidates(atom, val) {
+            if let Some(newly) = unify(atom, f, val) {
+                if inequalities_ok_so_far(q, val) {
+                    recurse(q, order, depth + 1, index, instance, val, out);
+                }
+                undo(val, newly);
+            }
+        }
+    }
+
+    recurse(q, &order, 0, &index, instance, &mut val, &mut out);
+    out
+}
+
+/// Evaluate `q` on `instance`, returning the set of derived head facts
+/// (`Q(I)` in the survey).
+pub fn eval_query(q: &ConjunctiveQuery, instance: &Instance) -> Instance {
+    Instance::from_facts(
+        satisfying_valuations(q, instance)
+            .iter()
+            .map(|v| v.derived_fact(q)),
+    )
+}
+
+/// Evaluate a union of conjunctive queries: the union of the disjuncts'
+/// results.
+pub fn eval_union(u: &UnionQuery, instance: &Instance) -> Instance {
+    let mut out = Instance::new();
+    for d in &u.disjuncts {
+        out.extend_from(&eval_query(d, instance));
+    }
+    out
+}
+
+/// Reference evaluator: enumerate *all* total valuations over the active
+/// domain and keep the satisfying ones. Exponential; used in tests and
+/// property checks to validate [`eval_query`].
+pub fn eval_query_naive(q: &ConjunctiveQuery, instance: &Instance) -> Instance {
+    let vars = q.variables();
+    let dom = instance.adom_sorted();
+    let mut out = Instance::new();
+    let mut assignment = vec![0usize; vars.len()];
+    if vars.is_empty() {
+        let v = Valuation::new();
+        if v.satisfies(q, instance) {
+            out.insert(v.derived_fact(q));
+        }
+        return out;
+    }
+    if dom.is_empty() {
+        return out;
+    }
+    loop {
+        let v: Valuation = vars
+            .iter()
+            .cloned()
+            .zip(assignment.iter().map(|&i| dom[i]))
+            .collect();
+        if v.satisfies(q, instance) {
+            out.insert(v.derived_fact(q));
+        }
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == vars.len() {
+                return out;
+            }
+            assignment[k] += 1;
+            if assignment[k] < dom.len() {
+                break;
+            }
+            assignment[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::fact;
+    use crate::parser::parse_query;
+
+    fn triangle_db() -> Instance {
+        Instance::from_facts([
+            fact("R", &[1, 2]),
+            fact("R", &[4, 5]),
+            fact("S", &[2, 3]),
+            fact("S", &[5, 6]),
+            fact("T", &[3, 1]),
+        ])
+    }
+
+    #[test]
+    fn triangle_query_finds_single_triangle() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let out = eval_query(&q, &triangle_db());
+        assert_eq!(out.sorted_facts(), vec![fact("H", &[1, 2, 3])]);
+    }
+
+    #[test]
+    fn example_4_1_of_the_survey() {
+        // Qe: H(x1,x3) <- R(x1,x2), R(x2,x3), S(x3,x1) on Ie.
+        use crate::fact::fact_syms;
+        let q = parse_query("H(x1,x3) <- R(x1,x2), R(x2,x3), S(x3,x1)").unwrap();
+        let ie = Instance::from_facts([
+            fact_syms("R", &["a", "b"]),
+            fact_syms("R", &["b", "a"]),
+            fact_syms("R", &["b", "c"]),
+            fact_syms("S", &["a", "a"]),
+            fact_syms("S", &["c", "a"]),
+        ]);
+        let out = eval_query(&q, &ie);
+        // Note: the survey prints the result as {H(a,b)} ∪ {H(a,c)}, but
+        // H(a,b) would require S(b,a) ∉ Ie; the valuation x1↦a, x2↦b, x3↦a
+        // uses {R(a,b), R(b,a), S(a,a)} ⊆ Ie and derives H(a,a). The "b" is
+        // a typo in the paper; the correct answer is {H(a,a), H(a,c)}.
+        assert_eq!(
+            out.sorted_facts(),
+            vec![fact_syms("H", &["a", "a"]), fact_syms("H", &["a", "c"])]
+        );
+    }
+
+    #[test]
+    fn self_join_with_repeated_vars() {
+        let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+        let i = Instance::from_facts([fact("R", &[1, 1]), fact("R", &[1, 2])]);
+        let out = eval_query(&q, &i);
+        // x=1 requires R(1,1); y∈{1,2}: y=1 gives z∈{1,2}; y=2 gives nothing
+        // (no R(2,_)).
+        assert_eq!(
+            out.sorted_facts(),
+            vec![fact("H", &[1, 1]), fact("H", &[1, 2])]
+        );
+    }
+
+    #[test]
+    fn negation_and_inequalities() {
+        let q = parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x), x != z").unwrap();
+        let i = Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[3, 1]), // closes 1-2-3, so (1,2,3) excluded
+            fact("E", &[2, 4]), // open: 1-2-4
+        ]);
+        let out = eval_query(&q, &i);
+        assert!(out.contains(&fact("H", &[1, 2, 4])));
+        assert!(!out.contains(&fact("H", &[1, 2, 3])));
+    }
+
+    #[test]
+    fn constants_in_atoms() {
+        let q = parse_query("H(x) <- R(1, x)").unwrap();
+        let i = Instance::from_facts([fact("R", &[1, 7]), fact("R", &[2, 8])]);
+        assert_eq!(eval_query(&q, &i).sorted_facts(), vec![fact("H", &[7])]);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let q = parse_query("H() <- R(x,x)").unwrap();
+        let yes = Instance::from_facts([fact("R", &[3, 3])]);
+        let no = Instance::from_facts([fact("R", &[3, 4])]);
+        assert_eq!(eval_query(&q, &yes).len(), 1);
+        assert_eq!(eval_query(&q, &no).len(), 0);
+    }
+
+    #[test]
+    fn empty_instance_empty_result() {
+        let q = parse_query("H(x) <- R(x)").unwrap();
+        assert!(eval_query(&q, &Instance::new()).is_empty());
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z), x != z").unwrap();
+        let i = Instance::from_facts([
+            fact("R", &[1, 2]),
+            fact("R", &[2, 2]),
+            fact("R", &[3, 1]),
+            fact("S", &[2, 1]),
+            fact("S", &[2, 3]),
+            fact("S", &[1, 1]),
+        ]);
+        assert_eq!(eval_query(&q, &i), eval_query_naive(&q, &i));
+    }
+
+    #[test]
+    fn union_evaluation() {
+        use crate::parser::parse_union;
+        let u = parse_union("H(x) <- R(x); H(x) <- S(x)").unwrap();
+        let i = Instance::from_facts([fact("R", &[1]), fact("S", &[2])]);
+        assert_eq!(eval_union(&u, &i).len(), 2);
+    }
+
+    #[test]
+    fn valuation_count_includes_all_witnesses() {
+        let q = parse_query("H(x) <- R(x,y)").unwrap();
+        let i = Instance::from_facts([fact("R", &[1, 2]), fact("R", &[1, 3])]);
+        assert_eq!(satisfying_valuations(&q, &i).len(), 2);
+        assert_eq!(eval_query(&q, &i).len(), 1); // projection dedups
+    }
+}

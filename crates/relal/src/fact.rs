@@ -1,0 +1,168 @@
+//! Domain values and facts.
+//!
+//! Section 2 of the survey: "we assume an infinite domain **dom** and a
+//! database scheme consisting of relation names with associated arities. A
+//! (database) instance I is simply a finite set of facts."
+
+use crate::symbols::{rel, sym, val_name, RelId, Sym};
+use std::fmt;
+
+/// A domain value. The domain is (conceptually) infinite; we realize it as
+/// `u64`, where small values are produced by data generators and values
+/// above [`crate::symbols::SYM_BASE`] are named constants.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Val(pub u64);
+
+impl Val {
+    /// The named constant `name`.
+    pub fn named(name: &str) -> Val {
+        Val(sym(name).0)
+    }
+}
+
+impl From<u64> for Val {
+    fn from(v: u64) -> Val {
+        Val(v)
+    }
+}
+
+impl From<Sym> for Val {
+    fn from(s: Sym) -> Val {
+        Val(s.0)
+    }
+}
+
+impl fmt::Debug for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", val_name(self.0))
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", val_name(self.0))
+    }
+}
+
+/// A fact `R(a₁, …, aₖ)`: a relation name applied to domain values.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Fact {
+    /// The relation this fact belongs to.
+    pub rel: RelId,
+    /// The argument tuple.
+    pub args: Vec<Val>,
+}
+
+impl Fact {
+    /// Construct a fact from a relation id and arguments.
+    pub fn new(rel: RelId, args: Vec<Val>) -> Fact {
+        Fact { rel, args }
+    }
+
+    /// Arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The active domain of the fact: the set of values occurring in it
+    /// (`adom(f)` in the survey). Returned as a sorted, deduplicated vec.
+    pub fn adom(&self) -> Vec<Val> {
+        let mut vs = self.args.clone();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Does the fact mention the value `v`?
+    pub fn mentions(&self, v: Val) -> bool {
+        self.args.contains(&v)
+    }
+
+    /// Is the fact *domain distinct* from the value set `dom`, i.e. does it
+    /// contain at least one value outside `dom`? (Section 5.2.2.)
+    pub fn domain_distinct_from(&self, dom: &crate::fastmap::FxSet<Val>) -> bool {
+        self.args.iter().any(|a| !dom.contains(a))
+    }
+
+    /// Is the fact *domain disjoint* from the value set `dom`, i.e. does it
+    /// contain no value of `dom`? (Section 5.2.2.)
+    pub fn domain_disjoint_from(&self, dom: &crate::fastmap::FxSet<Val>) -> bool {
+        self.args.iter().all(|a| !dom.contains(a))
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Shorthand for building a fact over integer values:
+/// `fact("R", &[1, 2])` is `R(1, 2)`.
+pub fn fact(rel_name: &str, args: &[u64]) -> Fact {
+    Fact::new(rel(rel_name), args.iter().map(|&v| Val(v)).collect())
+}
+
+/// Shorthand for building a fact over named constants:
+/// `fact_syms("R", &["a", "b"])` is `R(a, b)`.
+pub fn fact_syms(rel_name: &str, args: &[&str]) -> Fact {
+    Fact::new(rel(rel_name), args.iter().map(|s| Val::named(s)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fastmap::fxset;
+
+    #[test]
+    fn fact_equality_and_display() {
+        let f = fact("R", &[1, 2]);
+        let g = fact("R", &[1, 2]);
+        assert_eq!(f, g);
+        assert_eq!(format!("{f}"), "R(1,2)");
+    }
+
+    #[test]
+    fn named_constants_display() {
+        let f = fact_syms("S", &["a", "b"]);
+        assert_eq!(format!("{f}"), "S(a,b)");
+        assert_eq!(f.arity(), 2);
+    }
+
+    #[test]
+    fn adom_dedups() {
+        let f = fact("R", &[3, 1, 3]);
+        assert_eq!(f.adom(), vec![Val(1), Val(3)]);
+    }
+
+    #[test]
+    fn domain_distinct_and_disjoint() {
+        let mut dom = fxset();
+        dom.insert(Val(1));
+        dom.insert(Val(2));
+        let inside = fact("R", &[1, 2]);
+        let straddling = fact("R", &[2, 9]);
+        let outside = fact("R", &[8, 9]);
+        assert!(!inside.domain_distinct_from(&dom));
+        assert!(straddling.domain_distinct_from(&dom));
+        assert!(outside.domain_distinct_from(&dom));
+        assert!(!inside.domain_disjoint_from(&dom));
+        assert!(!straddling.domain_disjoint_from(&dom));
+        assert!(outside.domain_disjoint_from(&dom));
+    }
+}

@@ -1,0 +1,139 @@
+//! Fast hash map/set aliases used throughout the workspace.
+//!
+//! Facts and values are hashed in the innermost loops of every simulator
+//! (HyperCube routing hashes each fact once per server coordinate; the
+//! parallel-correctness decision procedures hash millions of candidate
+//! valuations). The default SipHash is safe against HashDoS but slow for
+//! the short integer keys we use, so we provide an FxHash-style hasher —
+//! the multiply-xor scheme used by rustc — implemented locally to avoid an
+//! extra dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplication constant (64-bit golden-ratio based).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for short keys.
+///
+/// Identical to rustc's `FxHasher` modulo minor structuring. Not resistant
+/// to adversarial inputs; our keys are interned ids and simulator-generated
+/// integers, never untrusted data.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Create an empty [`FxMap`].
+pub fn fxmap<K, V>() -> FxMap<K, V> {
+    FxMap::default()
+}
+
+/// Create an empty [`FxSet`].
+pub fn fxset<K>() -> FxSet<K> {
+    FxSet::default()
+}
+
+/// Hash a single `u64` with the Fx scheme — used by the MPC partitioners,
+/// where we need a cheap stand-alone hash with an explicit seed.
+#[inline]
+pub fn hash_u64(seed: u64, x: u64) -> u64 {
+    let mut h = FxHasher { hash: seed };
+    h.add_to_hash(x);
+    // One extra round improves diffusion of low bits, which matter because
+    // partitioners reduce the hash modulo small server counts.
+    h.add_to_hash(h.hash >> 32);
+    h.hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxMap<u64, &str> = fxmap();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_seed_sensitive() {
+        assert_eq!(hash_u64(0, 42), hash_u64(0, 42));
+        assert_ne!(hash_u64(0, 42), hash_u64(1, 42));
+        assert_ne!(hash_u64(0, 42), hash_u64(0, 43));
+    }
+
+    #[test]
+    fn hash_spreads_low_bits() {
+        // Partitioners take `hash % p`; consecutive keys must not all land
+        // in the same bucket.
+        let p = 7u64;
+        let buckets: FxSet<u64> = (0..100).map(|x| hash_u64(9, x) % p).collect();
+        assert_eq!(buckets.len() as u64, p);
+    }
+
+    #[test]
+    fn write_bytes_matches_incremental() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

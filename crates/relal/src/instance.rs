@@ -1,0 +1,348 @@
+//! Database instances: finite sets of facts, indexed by relation.
+//!
+//! Beyond the basic set operations, this module implements the
+//! instance-level notions of Section 5.2.2 of the survey: induced
+//! subinstances `I|C` (Lemma 5.7), domain-distinct/disjoint extensions, and
+//! connected **components** (Lemma 5.11: an instance decomposes into
+//! subinstances with pairwise disjoint active domains).
+
+use crate::fact::{Fact, Val};
+use crate::fastmap::{fxmap, fxset, FxMap, FxSet};
+use crate::symbols::RelId;
+use std::fmt;
+
+/// A finite set of facts, indexed by relation for efficient evaluation.
+#[derive(Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Instance {
+    by_rel: FxMap<RelId, FxSet<Fact>>,
+    len: usize,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Build an instance from an iterator of facts.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Instance {
+        let mut inst = Instance::new();
+        for f in facts {
+            inst.insert(f);
+        }
+        inst
+    }
+
+    /// Insert a fact; returns `true` if it was not already present.
+    pub fn insert(&mut self, f: Fact) -> bool {
+        let fresh = self.by_rel.entry(f.rel).or_default().insert(f);
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Remove a fact; returns `true` if it was present.
+    pub fn remove(&mut self, f: &Fact) -> bool {
+        let removed = self
+            .by_rel
+            .get_mut(&f.rel)
+            .map(|s| s.remove(f))
+            .unwrap_or(false);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Does the instance contain the fact?
+    pub fn contains(&self, f: &Fact) -> bool {
+        self.by_rel.get(&f.rel).is_some_and(|s| s.contains(f))
+    }
+
+    /// Number of facts (`m` in the survey's load bounds).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over all facts.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.by_rel.values().flat_map(|s| s.iter())
+    }
+
+    /// Iterate over the facts of one relation.
+    pub fn relation(&self, rel: RelId) -> impl Iterator<Item = &Fact> {
+        self.by_rel.get(&rel).into_iter().flat_map(|s| s.iter())
+    }
+
+    /// Number of facts in one relation.
+    pub fn relation_len(&self, rel: RelId) -> usize {
+        self.by_rel.get(&rel).map_or(0, |s| s.len())
+    }
+
+    /// The relations with at least one fact.
+    pub fn relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.by_rel
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&r, _)| r)
+    }
+
+    /// The active domain `adom(I)`: all values occurring in some fact.
+    pub fn adom(&self) -> FxSet<Val> {
+        let mut dom = fxset();
+        for f in self.iter() {
+            dom.extend(f.args.iter().copied());
+        }
+        dom
+    }
+
+    /// The active domain as a sorted vec (deterministic iteration order).
+    pub fn adom_sorted(&self) -> Vec<Val> {
+        let mut vs: Vec<Val> = self.adom().into_iter().collect();
+        vs.sort_unstable();
+        vs
+    }
+
+    /// Set union (`I ∪ J`).
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for f in other.iter() {
+            out.insert(f.clone());
+        }
+        out
+    }
+
+    /// In-place union; returns the number of newly added facts.
+    pub fn extend_from(&mut self, other: &Instance) -> usize {
+        let mut added = 0;
+        for f in other.iter() {
+            if self.insert(f.clone()) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Set intersection (`I ∩ J`).
+    pub fn intersection(&self, other: &Instance) -> Instance {
+        Instance::from_facts(self.iter().filter(|f| other.contains(f)).cloned())
+    }
+
+    /// Set difference (`I \ J`).
+    pub fn difference(&self, other: &Instance) -> Instance {
+        Instance::from_facts(self.iter().filter(|f| !other.contains(f)).cloned())
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset_of(&self, other: &Instance) -> bool {
+        self.iter().all(|f| other.contains(f))
+    }
+
+    /// The induced subinstance `I|C = {f ∈ I | adom(f) ⊆ C}` (Lemma 5.7).
+    pub fn restrict_to(&self, dom: &FxSet<Val>) -> Instance {
+        Instance::from_facts(
+            self.iter()
+                .filter(|f| f.args.iter().all(|a| dom.contains(a)))
+                .cloned(),
+        )
+    }
+
+    /// Is `other` **domain distinct** from `self`: does every fact of
+    /// `other` contain at least one value outside `adom(self)`?
+    pub fn is_domain_distinct_extension(&self, other: &Instance) -> bool {
+        let dom = self.adom();
+        other.iter().all(|f| f.domain_distinct_from(&dom))
+    }
+
+    /// Is `other` **domain disjoint** from `self`: does no fact of `other`
+    /// mention any value of `adom(self)`?
+    pub fn is_domain_disjoint_extension(&self, other: &Instance) -> bool {
+        let dom = self.adom();
+        other.iter().all(|f| f.domain_disjoint_from(&dom))
+    }
+
+    /// Decompose the instance into its **components**: minimal nonempty
+    /// subinstances `J ⊆ I` with `adom(J) ∩ adom(I∖J) = ∅` (Section 5.2.2).
+    ///
+    /// Computed as connected components of the graph on facts where two
+    /// facts are adjacent when they share a value. Facts with empty active
+    /// domain (nullary facts) each form their own component.
+    pub fn components(&self) -> Vec<Instance> {
+        // Union-find over facts via shared values.
+        let facts: Vec<&Fact> = self.iter().collect();
+        let mut parent: Vec<usize> = (0..facts.len()).collect();
+        // Iterative find with path halving — immune to stack overflow on
+        // adversarially long union chains.
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut owner: FxMap<Val, usize> = fxmap();
+        for (i, f) in facts.iter().enumerate() {
+            for &a in &f.args {
+                match owner.get(&a) {
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        if ri != rj {
+                            parent[ri] = rj;
+                        }
+                    }
+                    None => {
+                        owner.insert(a, i);
+                    }
+                }
+            }
+        }
+        let mut groups: FxMap<usize, Instance> = fxmap();
+        for (i, f) in facts.iter().enumerate() {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().insert((*f).clone());
+        }
+        let mut out: Vec<Instance> = groups.into_values().collect();
+        // Deterministic order: by smallest fact.
+        out.sort_by_key(|inst| inst.iter().min().cloned());
+        out
+    }
+
+    /// All facts, sorted — handy for deterministic assertions and reports.
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.iter().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Instance) -> bool {
+        self.len == other.len && self.is_subset_of(other)
+    }
+}
+
+impl Eq for Instance {}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> Instance {
+        Instance::from_facts(iter)
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.sorted_facts().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::fact;
+
+    fn abc() -> Instance {
+        Instance::from_facts([fact("R", &[1, 2]), fact("R", &[2, 3]), fact("S", &[7, 7])])
+    }
+
+    #[test]
+    fn insert_dedups_and_counts() {
+        let mut i = Instance::new();
+        assert!(i.insert(fact("R", &[1, 2])));
+        assert!(!i.insert(fact("R", &[1, 2])));
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&fact("R", &[1, 2])));
+        assert!(i.remove(&fact("R", &[1, 2])));
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn adom_and_restrict() {
+        let i = abc();
+        let mut dom = fxset();
+        dom.insert(Val(1));
+        dom.insert(Val(2));
+        let r = i.restrict_to(&dom);
+        assert_eq!(r.sorted_facts(), vec![fact("R", &[1, 2])]);
+        assert_eq!(i.adom().len(), 4);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let i = abc();
+        let j = Instance::from_facts([fact("R", &[1, 2]), fact("T", &[9])]);
+        assert_eq!(i.union(&j).len(), 4);
+        assert_eq!(i.intersection(&j).sorted_facts(), vec![fact("R", &[1, 2])]);
+        assert_eq!(i.difference(&j).len(), 2);
+        assert!(i.intersection(&j).is_subset_of(&i));
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let i = abc();
+        let mut j = Instance::new();
+        // Insert in a different order.
+        j.insert(fact("S", &[7, 7]));
+        j.insert(fact("R", &[2, 3]));
+        j.insert(fact("R", &[1, 2]));
+        assert_eq!(i, j);
+    }
+
+    #[test]
+    fn domain_distinct_and_disjoint_extensions() {
+        let i = Instance::from_facts([fact("E", &[1, 2])]);
+        let distinct = Instance::from_facts([fact("E", &[2, 5])]);
+        let disjoint = Instance::from_facts([fact("E", &[8, 9])]);
+        let neither = Instance::from_facts([fact("E", &[2, 1])]);
+        assert!(i.is_domain_distinct_extension(&distinct));
+        assert!(!i.is_domain_disjoint_extension(&distinct));
+        assert!(i.is_domain_distinct_extension(&disjoint));
+        assert!(i.is_domain_disjoint_extension(&disjoint));
+        assert!(!i.is_domain_distinct_extension(&neither));
+    }
+
+    #[test]
+    fn components_split_on_disjoint_adoms() {
+        let i = Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[10, 11]),
+            fact("F", &[11, 12]),
+            fact("G", &[20]),
+        ]);
+        let comps = i.components();
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&2)); // {E(1,2), E(2,3)}
+        assert!(sizes.contains(&1)); // {G(20)}
+                                     // Every component is domain disjoint from the rest of the instance.
+        for c in &comps {
+            let rest = i.difference(c);
+            assert!(rest.is_domain_disjoint_extension(c));
+        }
+    }
+
+    #[test]
+    fn components_of_connected_instance_is_single() {
+        let i = Instance::from_facts([fact("E", &[1, 2]), fact("E", &[2, 3]), fact("E", &[3, 1])]);
+        assert_eq!(i.components().len(), 1);
+    }
+}

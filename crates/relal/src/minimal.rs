@@ -1,0 +1,324 @@
+//! Minimal valuations — Definition 4.4 of the survey.
+//!
+//! > A valuation V for a CQ Q is **minimal** for Q if there does not exist
+//! > a valuation V′ for Q that derives the same head fact with a strict
+//! > subset of body facts.
+//!
+//! Minimal valuations are the semantic core of parallel-correctness:
+//! Proposition 4.6 characterizes parallel-correctness of a CQ under a
+//! distribution policy as "the required facts of every *minimal* valuation
+//! meet at some node" (condition PC1), and Proposition 4.13 characterizes
+//! parallel-correctness *transfer* through the `covers` relation, again in
+//! terms of minimal valuations.
+//!
+//! Minimality is a property of the pair (query, valuation) only — no
+//! instance is involved. The witness V′ can be assumed to map into
+//! `adom(V(body_Q)) ∪ consts(Q)`: its required facts are a subset of V's,
+//! and its head fact is V's. This makes the check finite and exact.
+//!
+//! These notions are defined here for CQs with inequalities (`CQ≠`), where
+//! both V and V′ must satisfy the inequalities; negated atoms are *not*
+//! supported (the survey shows parallel-correctness for `CQ¬` needs a
+//! different, counterexample-based approach — see `parlog::pc`).
+
+use crate::fact::Val;
+use crate::instance::Instance;
+use crate::query::{ConjunctiveQuery, UnionQuery};
+use crate::valuation::Valuation;
+
+/// Enumerate all total valuations of `vars` over `universe`, invoking `f`
+/// on each. Visits `|universe|^|vars|` valuations.
+pub fn for_each_valuation<F: FnMut(&Valuation)>(
+    vars: &[crate::atom::Var],
+    universe: &[Val],
+    mut f: F,
+) {
+    if vars.is_empty() {
+        f(&Valuation::new());
+        return;
+    }
+    if universe.is_empty() {
+        return;
+    }
+    let mut idx = vec![0usize; vars.len()];
+    loop {
+        let v: Valuation = vars
+            .iter()
+            .cloned()
+            .zip(idx.iter().map(|&i| universe[i]))
+            .collect();
+        f(&v);
+        let mut k = 0;
+        loop {
+            if k == vars.len() {
+                return;
+            }
+            idx[k] += 1;
+            if idx[k] < universe.len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Is `v` a *minimal* valuation for `q` (Definition 4.4)?
+///
+/// `q` must be negation-free; inequalities are honoured (a valuation
+/// violating them is not "for Q" at all, hence neither minimal nor a
+/// candidate witness).
+///
+/// # Panics
+/// Panics if `q` has negated atoms or `v` is not total for `q`.
+pub fn is_minimal(q: &ConjunctiveQuery, v: &Valuation) -> bool {
+    assert!(
+        q.negated.is_empty(),
+        "minimal valuations are defined for negation-free queries"
+    );
+    assert!(v.is_total_for(q), "valuation must be total for the query");
+    if !v.satisfies_inequalities(q) {
+        return false;
+    }
+    let required = v.required_facts(q);
+    let head = v.derived_fact(q);
+
+    // Candidate witness values: adom of the required facts plus the
+    // query's constants (head constants are covered by `head`'s values,
+    // which occur in required facts via safety... except constants that
+    // appear only in the head — include them explicitly).
+    let mut universe: Vec<Val> = required.adom_sorted();
+    for c in q.constants() {
+        if !universe.contains(&c) {
+            universe.push(c);
+        }
+    }
+    universe.sort_unstable();
+    universe.dedup();
+
+    let vars = q.variables();
+    let mut found_smaller = false;
+    for_each_valuation(&vars, &universe, |w| {
+        if found_smaller {
+            return;
+        }
+        if !w.satisfies_inequalities(q) {
+            return;
+        }
+        if w.derived_fact(q) != head {
+            return;
+        }
+        let w_req = w.required_facts(q);
+        if w_req.len() < required.len() && w_req.is_subset_of(&required) {
+            found_smaller = true;
+        } else if w_req.len() == required.len()
+            && w_req.is_subset_of(&required)
+            && w_req != required
+        {
+            // Can't happen (equal size subsets are equal) — kept for clarity.
+            found_smaller = true;
+        }
+    });
+    !found_smaller
+}
+
+/// All minimal valuations for `q` with values drawn from `universe`.
+///
+/// This is the enumeration behind condition **PC1** (Proposition 4.6): a
+/// CQ is parallel-correct under a policy with universe `U` iff the required
+/// facts of every minimal valuation over `U` meet at some node.
+pub fn minimal_valuations_over(q: &ConjunctiveQuery, universe: &[Val]) -> Vec<Valuation> {
+    let vars = q.variables();
+    let mut out = Vec::new();
+    for_each_valuation(&vars, universe, |v| {
+        if v.satisfies_inequalities(q) && is_minimal(q, v) {
+            out.push(v.clone());
+        }
+    });
+    out
+}
+
+/// The minimal valuations among those *satisfying* `q` on `instance`.
+pub fn minimal_valuations(q: &ConjunctiveQuery, instance: &Instance) -> Vec<Valuation> {
+    crate::eval::satisfying_valuations(q, instance)
+        .into_iter()
+        .filter(|v| is_minimal(q, v))
+        .collect()
+}
+
+/// A minimal valuation for a *union* of CQs: the pair (disjunct index,
+/// valuation). `(i, V)` is minimal for the union when no pair `(j, V′)`
+/// derives the same head fact from a strict subset of `V(body_{Q_i})`.
+/// (This is the "suitable definition" the survey alludes to after
+/// Theorem 4.8, following Geck et al.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionValuation {
+    /// Index of the disjunct the valuation belongs to.
+    pub disjunct: usize,
+    /// The valuation itself (total for that disjunct).
+    pub valuation: Valuation,
+}
+
+/// Is `(i, v)` minimal for the union `u`?
+pub fn is_minimal_for_union(u: &UnionQuery, disjunct: usize, v: &Valuation) -> bool {
+    let q = &u.disjuncts[disjunct];
+    assert!(
+        u.disjuncts.iter().all(|d| d.negated.is_empty()),
+        "minimal valuations are defined for negation-free unions"
+    );
+    if !v.satisfies_inequalities(q) {
+        return false;
+    }
+    let required = v.required_facts(q);
+    let head = v.derived_fact(q);
+    let mut universe: Vec<Val> = required.adom_sorted();
+    for d in &u.disjuncts {
+        for c in d.constants() {
+            if !universe.contains(&c) {
+                universe.push(c);
+            }
+        }
+    }
+    for (j, d) in u.disjuncts.iter().enumerate() {
+        let vars = d.variables();
+        let mut found = false;
+        for_each_valuation(&vars, &universe, |w| {
+            if found || !w.satisfies_inequalities(d) {
+                return;
+            }
+            if w.derived_fact(d) != head {
+                return;
+            }
+            let w_req = w.required_facts(d);
+            let strictly_smaller = w_req.len() < required.len() && w_req.is_subset_of(&required);
+            // A *different* disjunct matching with equal (or smaller) facts
+            // does not break minimality unless strictly smaller — two
+            // disjuncts may legitimately derive the fact from the same set.
+            let _ = j;
+            if strictly_smaller {
+                found = true;
+            }
+        });
+        if found {
+            return false;
+        }
+    }
+    true
+}
+
+/// All minimal union-valuations over `universe`.
+pub fn minimal_union_valuations_over(u: &UnionQuery, universe: &[Val]) -> Vec<UnionValuation> {
+    let mut out = Vec::new();
+    for (i, d) in u.disjuncts.iter().enumerate() {
+        let vars = d.variables();
+        for_each_valuation(&vars, universe, |v| {
+            if v.satisfies_inequalities(d) && is_minimal_for_union(u, i, v) {
+                out.push(UnionValuation {
+                    disjunct: i,
+                    valuation: v.clone(),
+                });
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_union};
+
+    /// Example 4.5 of the survey: for
+    /// `H(x,z) <- R(x,y), R(y,z), R(x,x)`,
+    /// V1 = {x↦a, y↦b, z↦a} is NOT minimal, V2 = {x↦a, y↦a, z↦a} is.
+    #[test]
+    fn example_4_5() {
+        let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+        let v1 = Valuation::of(&[("x", 1), ("y", 2), ("z", 1)]);
+        let v2 = Valuation::of(&[("x", 1), ("y", 1), ("z", 1)]);
+        assert!(!is_minimal(&q, &v1));
+        assert!(is_minimal(&q, &v2));
+    }
+
+    #[test]
+    fn injective_valuations_on_selfjoin_free_queries_are_minimal() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let v = Valuation::of(&[("x", 1), ("y", 2), ("z", 3)]);
+        assert!(is_minimal(&q, &v));
+    }
+
+    #[test]
+    fn minimal_valuations_over_universe() {
+        let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+        let universe = [Val(1), Val(2)];
+        let mins = minimal_valuations_over(&q, &universe);
+        // All 8 total valuations; the non-minimal ones are those of the
+        // V1-shape (x,y,z)=(a,b,a) with a≠b, which require 3 facts but can
+        // be replaced by the constant valuation on a. Count by brute force:
+        for m in &mins {
+            assert!(is_minimal(&q, m));
+        }
+        // The two constant valuations must be present.
+        assert!(mins.contains(&Valuation::of(&[("x", 1), ("y", 1), ("z", 1)])));
+        assert!(mins.contains(&Valuation::of(&[("x", 2), ("y", 2), ("z", 2)])));
+        // The V1-shape must be absent.
+        assert!(!mins.contains(&Valuation::of(&[("x", 1), ("y", 2), ("z", 1)])));
+    }
+
+    #[test]
+    fn inequalities_restrict_candidates() {
+        // With x != y the collapsing witness (x=y=z) is not a legal
+        // valuation, so the V1-shape becomes minimal.
+        let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x), x != y").unwrap();
+        let v1 = Valuation::of(&[("x", 1), ("y", 2), ("z", 1)]);
+        assert!(is_minimal(&q, &v1));
+    }
+
+    #[test]
+    fn minimal_valuations_on_instance() {
+        let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+        let i = Instance::from_facts([
+            crate::fact::fact("R", &[1, 2]),
+            crate::fact::fact("R", &[2, 1]),
+            crate::fact::fact("R", &[1, 1]),
+        ]);
+        let sats = crate::eval::satisfying_valuations(&q, &i);
+        let mins = minimal_valuations(&q, &i);
+        assert!(mins.len() < sats.len());
+        assert!(mins.iter().all(|v| v.satisfies(&q, &i)));
+    }
+
+    #[test]
+    fn union_minimality_crosses_disjuncts() {
+        // Disjunct 2 can derive H(a) from one fact R(a,a); the valuation of
+        // disjunct 1 requiring {R(a,b), R(b,a), R(a,a)} with same head is
+        // not minimal for the union.
+        let u = parse_union("H(x) <- R(x,y), R(y,x), R(x,x); H(x) <- R(x,x)").unwrap();
+        let v = Valuation::of(&[("x", 1), ("y", 2)]);
+        assert!(!is_minimal_for_union(&u, 0, &v));
+        let w = Valuation::of(&[("x", 1)]);
+        assert!(is_minimal_for_union(&u, 1, &w));
+    }
+
+    #[test]
+    fn union_enumeration_is_sound() {
+        let u = parse_union("H(x) <- R(x,y); H(x) <- S(x)").unwrap();
+        let universe = [Val(1), Val(2)];
+        let mins = minimal_union_valuations_over(&u, &universe);
+        for m in &mins {
+            assert!(is_minimal_for_union(&u, m.disjunct, &m.valuation));
+        }
+        // Every injective valuation of H(x) <- R(x,y) is minimal; the
+        // second disjunct's (single-var) valuations are always minimal.
+        assert!(mins.iter().any(|m| m.disjunct == 0));
+        assert!(mins.iter().any(|m| m.disjunct == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "negation-free")]
+    fn negation_is_rejected() {
+        let q = parse_query("H(x) <- R(x,y), not S(y)").unwrap();
+        let v = Valuation::of(&[("x", 1), ("y", 2)]);
+        is_minimal(&q, &v);
+    }
+}

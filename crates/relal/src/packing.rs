@@ -1,0 +1,298 @@
+//! Fractional edge packings and covers of query hypergraphs.
+//!
+//! Section 3.1 of the survey (after Beame–Koutris–Suciu): for a full
+//! conjunctive query `Q`, the optimal one-round (HyperCube) maximum load
+//! is `O(m/p^{1/τ*})` where `τ*` is the value of the **optimal fractional
+//! edge packing** of `Q`:
+//!
+//! ```text
+//! maximize   Σ_e u_e
+//! subject to Σ_{e ∋ x} u_e ≤ 1    for every variable x
+//!            u ≥ 0
+//! ```
+//!
+//! For the join of Example 3.1, `τ* = 1`; for the triangle query,
+//! `τ* = 3/2` (load `m/p^{2/3}`).
+//!
+//! The module also computes the **fractional edge cover** number `ρ*`
+//! (via LP duality with the fractional vertex packing program), which
+//! governs worst-case output size (AGM) and the worst-case-optimal
+//! variants of HyperCube discussed in the survey.
+
+use crate::atom::Var;
+use crate::query::ConjunctiveQuery;
+use crate::simplex::{maximize, LpError};
+
+/// A fractional edge packing/cover result.
+#[derive(Debug, Clone)]
+pub struct PackingResult {
+    /// The optimum value (`τ*` for packings, `ρ*` for covers).
+    pub value: f64,
+    /// One weight per body atom, in body order.
+    pub weights: Vec<f64>,
+}
+
+/// Build, per variable, the 0/1 incidence row over body atoms.
+fn incidence(q: &ConjunctiveQuery) -> (Vec<Var>, Vec<Vec<f64>>) {
+    let vars = q.body_variables();
+    let rows = vars
+        .iter()
+        .map(|v| {
+            q.body
+                .iter()
+                .map(|a| if a.variables().contains(v) { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    (vars, rows)
+}
+
+/// The optimal fractional **edge packing** of the query hypergraph:
+/// weights on atoms such that each variable carries total weight ≤ 1,
+/// maximizing total weight. Its value is `τ*`.
+pub fn fractional_edge_packing(q: &ConjunctiveQuery) -> Result<PackingResult, LpError> {
+    let (vars, rows) = incidence(q);
+    let c = vec![1.0; q.body.len()];
+    let b = vec![1.0; vars.len()];
+    let sol = maximize(&c, &rows, &b)?;
+    Ok(PackingResult {
+        value: sol.value,
+        weights: sol.x,
+    })
+}
+
+/// The optimal fractional **vertex cover**: weights on variables covering
+/// every atom with total weight ≥ 1, minimized. By LP duality its value
+/// equals `τ*`; the weights are read from the packing LP's duals.
+pub fn fractional_vertex_cover(q: &ConjunctiveQuery) -> Result<PackingResult, LpError> {
+    let (_, rows) = incidence(q);
+    let c = vec![1.0; q.body.len()];
+    let b = vec![1.0; rows.len()];
+    let sol = maximize(&c, &rows, &b)?;
+    Ok(PackingResult {
+        value: sol.value,
+        weights: sol.duals,
+    })
+}
+
+/// The optimal fractional **edge cover** number `ρ*`: weights on atoms
+/// such that every variable is covered with total weight ≥ 1, minimized.
+///
+/// Solved through its dual — the fractional *vertex packing* LP
+/// (`maximize Σ_x y_x` s.t. per-atom `Σ_{x ∈ e} y_x ≤ 1`) — whose duals
+/// are the cover weights.
+///
+/// Requires every body variable to occur in some atom (always true) and
+/// every atom to have at least one variable; atoms with no variables get
+/// weight 0 and are ignored.
+pub fn fractional_edge_cover(q: &ConjunctiveQuery) -> Result<PackingResult, LpError> {
+    let vars = q.body_variables();
+    // Dual LP: variables = query variables, constraints = atoms.
+    let rows: Vec<Vec<f64>> = q
+        .body
+        .iter()
+        .map(|a| {
+            vars.iter()
+                .map(|v| if a.variables().contains(v) { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let c = vec![1.0; vars.len()];
+    let b = vec![1.0; q.body.len()];
+    let sol = maximize(&c, &rows, &b)?;
+    Ok(PackingResult {
+        value: sol.value,
+        weights: sol.duals,
+    })
+}
+
+/// The load exponent `1/τ*` of the one-round HyperCube algorithm for `q`
+/// (skew-free data): the maximum load per server is `O(m / p^{1/τ*})`.
+pub fn hypercube_load_exponent(q: &ConjunctiveQuery) -> Result<f64, LpError> {
+    Ok(1.0 / fractional_edge_packing(q)?.value)
+}
+
+/// The optimal HyperCube **share exponents**: per-variable exponents
+/// `e_x ≥ 0` with `Σ e_x = 1` maximizing `min_j Σ_{x ∈ atom j} e_x`.
+/// The optimum of that inner minimum is exactly `1/τ*`, and the shares
+/// `p^{e_x}` realize the `O(m/p^{1/τ*})` bound.
+///
+/// LP formulation (all-≤, zero/one rhs, so the slack basis is feasible):
+///
+/// ```text
+/// maximize λ
+/// subject to λ − Σ_{x ∈ atom j} e_x ≤ 0   for every atom j
+///            Σ_x e_x ≤ 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShareExponents {
+    /// Variables in `q.body_variables()` order.
+    pub vars: Vec<Var>,
+    /// Exponent per variable (sums to 1).
+    pub exponents: Vec<f64>,
+    /// The achieved `min_j Σ_{x∈atom j} e_x = 1/τ*`.
+    pub lambda: f64,
+}
+
+/// Compute optimal share exponents for `q` (see [`ShareExponents`]).
+pub fn share_exponents(q: &ConjunctiveQuery) -> Result<ShareExponents, LpError> {
+    let vars = q.body_variables();
+    let k = vars.len();
+    // Variables: [λ, e_1, …, e_k].
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(q.body.len() + 1);
+    let mut b = Vec::with_capacity(q.body.len() + 1);
+    for a in &q.body {
+        let mut row = vec![0.0; k + 1];
+        row[0] = 1.0;
+        for (i, v) in vars.iter().enumerate() {
+            if a.variables().contains(v) {
+                row[i + 1] = -1.0;
+            }
+        }
+        rows.push(row);
+        b.push(0.0);
+    }
+    let mut sum_row = vec![1.0; k + 1];
+    sum_row[0] = 0.0;
+    rows.push(sum_row);
+    b.push(1.0);
+    let mut c = vec![0.0; k + 1];
+    c[0] = 1.0;
+    let sol = maximize(&c, &rows, &b)?;
+    Ok(ShareExponents {
+        vars,
+        exponents: sol.x[1..].to_vec(),
+        lambda: sol.value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn binary_join_tau_is_1() {
+        // Q1 of Example 3.1: R(x,y) ⋈ S(y,z). τ* = 1 → load m/p.
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        let p = fractional_edge_packing(&q).unwrap();
+        assert_close(p.value, 1.0);
+        assert_close(hypercube_load_exponent(&q).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn triangle_tau_is_three_halves() {
+        // Q2 of Example 3.1: τ* = 3/2 → load m/p^{2/3}.
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let p = fractional_edge_packing(&q).unwrap();
+        assert_close(p.value, 1.5);
+        assert_close(hypercube_load_exponent(&q).unwrap(), 2.0 / 3.0);
+        for w in &p.weights {
+            assert_close(*w, 0.5);
+        }
+    }
+
+    #[test]
+    fn star_query_tau() {
+        // Star: R1(x,y1), R2(x,y2), R3(x,y3). Packing: each edge can take
+        // weight 1 on its private variable side? No — x constrains the sum
+        // of ALL edge weights to ≤ … each edge contains x, so Σu ≤ 1 from
+        // x alone: τ* = 1.
+        let q = parse_query("H(x,a,b,c) <- R1(x,a), R2(x,b), R3(x,c)").unwrap();
+        assert_close(fractional_edge_packing(&q).unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn cycle_queries_tau_is_k_over_2() {
+        // k-cycle: τ* = k/2.
+        let c4 = parse_query("H(x,y,z,w) <- R(x,y), S(y,z), T(z,w), U(w,x)").unwrap();
+        assert_close(fractional_edge_packing(&c4).unwrap().value, 2.0);
+        let c5 = parse_query("H(a,b,c,d,e) <- R(a,b), S(b,c), T(c,d), U(d,e), V(e,a)").unwrap();
+        assert_close(fractional_edge_packing(&c5).unwrap().value, 2.5);
+    }
+
+    #[test]
+    fn loomis_whitney_tau() {
+        // LW3: R(x,y), S(y,z), T(x,z) is the triangle; LW with ternary
+        // relations: R(x,y,z), S(y,z,w), … — check the 4-variable LW:
+        // every 3-subset of {x,y,z,w}. τ* = 4/3.
+        let q = parse_query("H(x,y,z,w) <- A(x,y,z), B(x,y,w), C(x,z,w), D(y,z,w)").unwrap();
+        assert_close(fractional_edge_packing(&q).unwrap().value, 4.0 / 3.0);
+    }
+
+    #[test]
+    fn vertex_cover_duality() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let vc = fractional_vertex_cover(&q).unwrap();
+        assert_close(vc.value, 1.5);
+        assert_eq!(vc.weights.len(), 3);
+        assert_close(vc.weights.iter().sum::<f64>(), 1.5);
+    }
+
+    #[test]
+    fn edge_cover_of_triangle() {
+        // ρ* of the triangle = 3/2 as well (weights 1/2 on each edge).
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let ec = fractional_edge_cover(&q).unwrap();
+        assert_close(ec.value, 1.5);
+        // Cover feasibility: every variable covered with ≥ 1.
+        let vars = q.body_variables();
+        for v in &vars {
+            let covered: f64 = q
+                .body
+                .iter()
+                .zip(&ec.weights)
+                .filter(|(a, _)| a.variables().contains(v))
+                .map(|(_, w)| w)
+                .sum();
+            assert!(covered + 1e-6 >= 1.0, "variable {v} uncovered");
+        }
+    }
+
+    #[test]
+    fn edge_cover_of_path() {
+        // Path R(x,y), S(y,z): ρ* = 2? Cover: need x covered (only R) → wR ≥ 1,
+        // z covered → wS ≥ 1; total 2.
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        assert_close(fractional_edge_cover(&q).unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn triangle_share_exponents_are_uniform() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let s = share_exponents(&q).unwrap();
+        assert_close(s.lambda, 2.0 / 3.0);
+        for e in &s.exponents {
+            assert_close(*e, 1.0 / 3.0);
+        }
+    }
+
+    #[test]
+    fn join_share_exponents_put_weight_on_join_var() {
+        // R(x,y) ⋈ S(y,z): optimum puts everything on y: λ = 1.
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        let s = share_exponents(&q).unwrap();
+        assert_close(s.lambda, 1.0);
+        let y_idx = s.vars.iter().position(|v| v.0 == "y").unwrap();
+        assert_close(s.exponents[y_idx], 1.0);
+    }
+
+    #[test]
+    fn lambda_matches_inverse_tau_on_assorted_queries() {
+        for src in [
+            "H(x,y,z) <- R(x,y), S(y,z), T(z,x)",
+            "H(x,y,z,w) <- R(x,y), S(y,z), T(z,w), U(w,x)",
+            "H(x,a,b) <- R(x,a), S(x,b)",
+            "H(x,y) <- R(x,y)",
+        ] {
+            let q = parse_query(src).unwrap();
+            let tau = fractional_edge_packing(&q).unwrap().value;
+            let s = share_exponents(&q).unwrap();
+            assert!((s.lambda - 1.0 / tau).abs() < 1e-6, "query {src}");
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Distribution policies — the common vocabulary of Sections 4 and 5.
+//!
+//! A **distribution policy** `P = (U, rfacts_P)` maps every node of a
+//! network to the set of facts it is *responsible* for (Section 4.1). The
+//! same notion drives the policy-aware transducer networks of
+//! Section 5.2.2 and the **domain-guided** policies `P^α` of Theorem 5.12,
+//! where a *domain assignment* `α : dom → 2^N` induces
+//! `P^α(R(a₁,…,aₖ)) = α(a₁) ∪ … ∪ α(aₖ)`.
+//!
+//! Policies here answer "is node κ responsible for fact f" for arbitrary
+//! candidate facts; decision procedures in `parlog` (core) quantify this
+//! over minimal valuations (condition PC1).
+
+use crate::fact::{Fact, Val};
+use crate::fastmap::{fxmap, hash_u64, FxMap};
+use crate::instance::Instance;
+use crate::symbols::RelId;
+use std::sync::Arc;
+
+/// A node identifier.
+pub type NodeId = usize;
+
+/// A distribution policy over a fixed set of nodes.
+pub trait DistributionPolicy: Send + Sync {
+    /// Number of nodes in the network.
+    fn num_nodes(&self) -> usize;
+
+    /// Is `node` responsible for `fact`?
+    fn responsible(&self, node: NodeId, fact: &Fact) -> bool;
+
+    /// All nodes responsible for `fact`.
+    fn nodes_for(&self, fact: &Fact) -> Vec<NodeId> {
+        (0..self.num_nodes())
+            .filter(|&n| self.responsible(n, fact))
+            .collect()
+    }
+
+    /// The local instance of `node` for a global instance `I`:
+    /// `loc-inst(κ) = I ∩ rfacts(κ)`.
+    fn local_instance(&self, node: NodeId, global: &Instance) -> Instance {
+        Instance::from_facts(global.iter().filter(|f| self.responsible(node, f)).cloned())
+    }
+
+    /// Distribute a global instance over all nodes.
+    fn distribute(&self, global: &Instance) -> Vec<Instance> {
+        (0..self.num_nodes())
+            .map(|n| self.local_instance(n, global))
+            .collect()
+    }
+}
+
+/// An explicitly enumerated policy — the class `Pfin` of the survey, where
+/// "all pairs (κ, f) of a node and a fact are explicitly enumerated".
+#[derive(Debug, Clone, Default)]
+pub struct ExplicitPolicy {
+    num_nodes: usize,
+    rfacts: Vec<Instance>,
+}
+
+impl ExplicitPolicy {
+    /// A policy over `n` nodes with empty responsibilities.
+    pub fn new(n: usize) -> ExplicitPolicy {
+        ExplicitPolicy {
+            num_nodes: n,
+            rfacts: vec![Instance::new(); n],
+        }
+    }
+
+    /// Make `node` responsible for `fact`.
+    pub fn assign(&mut self, node: NodeId, fact: Fact) -> &mut Self {
+        assert!(node < self.num_nodes);
+        self.rfacts[node].insert(fact);
+        self
+    }
+
+    /// Make `node` responsible for every fact of `facts`.
+    pub fn assign_all<I: IntoIterator<Item = Fact>>(
+        &mut self,
+        node: NodeId,
+        facts: I,
+    ) -> &mut Self {
+        for f in facts {
+            self.assign(node, f);
+        }
+        self
+    }
+
+    /// The responsibilities of a node.
+    pub fn rfacts(&self, node: NodeId) -> &Instance {
+        &self.rfacts[node]
+    }
+}
+
+impl DistributionPolicy for ExplicitPolicy {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn responsible(&self, node: NodeId, fact: &Fact) -> bool {
+        self.rfacts[node].contains(fact)
+    }
+}
+
+/// Hash policy: a fact is assigned to one node by hashing the values at
+/// the given positions of its relation (unlisted relations hash the whole
+/// tuple). This models the repartition strategies of Example 3.1(1a).
+#[derive(Debug, Clone)]
+pub struct HashPolicy {
+    num_nodes: usize,
+    seed: u64,
+    /// Per-relation key positions.
+    keys: FxMap<RelId, Vec<usize>>,
+}
+
+impl HashPolicy {
+    /// A whole-tuple hash policy.
+    pub fn new(num_nodes: usize, seed: u64) -> HashPolicy {
+        HashPolicy {
+            num_nodes,
+            seed,
+            keys: fxmap(),
+        }
+    }
+
+    /// Hash relation `rel` on the values at `positions`.
+    pub fn with_key(mut self, rel: RelId, positions: Vec<usize>) -> HashPolicy {
+        self.keys.insert(rel, positions);
+        self
+    }
+
+    /// The node a fact hashes to. Keyed relations hash *only* the key
+    /// values — not the relation name — so that facts of different
+    /// relations sharing a join key co-locate (the repartition-join
+    /// policy); unkeyed relations hash the whole tuple including the
+    /// relation.
+    pub fn node_of(&self, fact: &Fact) -> NodeId {
+        let mut h;
+        match self.keys.get(&fact.rel) {
+            Some(ps) => {
+                h = self.seed;
+                for &p in ps {
+                    h = hash_u64(h, fact.args.get(p).map_or(0, |v| v.0));
+                }
+            }
+            None => {
+                h = self.seed ^ hash_u64(self.seed, fact.rel.0 as u64);
+                for v in &fact.args {
+                    h = hash_u64(h, v.0);
+                }
+            }
+        }
+        (h % self.num_nodes as u64) as usize
+    }
+}
+
+impl DistributionPolicy for HashPolicy {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn responsible(&self, node: NodeId, fact: &Fact) -> bool {
+        self.node_of(fact) == node
+    }
+}
+
+/// Range policy: facts are assigned by thresholds on one attribute — the
+/// survey's "range partitioning on a relation Customer that assigns tuples
+/// to network nodes determined by a threshold on the area code"
+/// (Section 4.1). Facts of other relations go to node 0.
+#[derive(Debug, Clone)]
+pub struct RangePolicy {
+    rel: RelId,
+    position: usize,
+    /// Ascending thresholds; value `v` goes to the first node whose
+    /// threshold exceeds it, or to the last node.
+    thresholds: Vec<u64>,
+}
+
+impl RangePolicy {
+    /// Partition `rel` on `position` by `thresholds` (one fewer than the
+    /// number of nodes).
+    pub fn new(rel: RelId, position: usize, thresholds: Vec<u64>) -> RangePolicy {
+        RangePolicy {
+            rel,
+            position,
+            thresholds,
+        }
+    }
+
+    /// The node a fact belongs to.
+    pub fn node_of(&self, fact: &Fact) -> NodeId {
+        if fact.rel != self.rel {
+            return 0;
+        }
+        let v = fact.args.get(self.position).map_or(0, |v| v.0);
+        self.thresholds
+            .iter()
+            .position(|&t| v < t)
+            .unwrap_or(self.thresholds.len())
+    }
+}
+
+impl DistributionPolicy for RangePolicy {
+    fn num_nodes(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    fn responsible(&self, node: NodeId, fact: &Fact) -> bool {
+        self.node_of(fact) == node
+    }
+}
+
+/// Replicate-everything policy — the "ideal" distribution of Section 5.1
+/// assigning the complete database to every node.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicateAll {
+    /// Network size.
+    pub num_nodes: usize,
+}
+
+impl DistributionPolicy for ReplicateAll {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn responsible(&self, _node: NodeId, _fact: &Fact) -> bool {
+        true
+    }
+}
+
+/// A domain assignment `α : dom → 2^N` and its induced **domain-guided**
+/// policy `P^α` (Section 5.2.2): every node in `α(a)` is responsible for
+/// every fact containing `a`.
+#[derive(Clone)]
+pub struct DomainGuidedPolicy {
+    num_nodes: usize,
+    /// The assignment; values outside the map fall back to `default_of`.
+    assignment: FxMap<Val, Vec<NodeId>>,
+    /// Assignment for unmapped values (total function on dom).
+    default_of: Arc<dyn Fn(Val) -> Vec<NodeId> + Send + Sync>,
+}
+
+impl std::fmt::Debug for DomainGuidedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainGuidedPolicy")
+            .field("num_nodes", &self.num_nodes)
+            .field("assignment", &self.assignment.len())
+            .finish()
+    }
+}
+
+impl DomainGuidedPolicy {
+    /// Build with an explicit assignment and a hash default for the rest
+    /// of the (infinite) domain.
+    pub fn new(num_nodes: usize, seed: u64) -> DomainGuidedPolicy {
+        DomainGuidedPolicy {
+            num_nodes,
+            assignment: fxmap(),
+            default_of: Arc::new(move |v| vec![(hash_u64(seed, v.0) % num_nodes as u64) as usize]),
+        }
+    }
+
+    /// Assign value `v` to the given nodes.
+    pub fn assign(&mut self, v: Val, nodes: Vec<NodeId>) -> &mut Self {
+        assert!(nodes.iter().all(|&n| n < self.num_nodes));
+        assert!(!nodes.is_empty(), "α must be total and nonempty per value");
+        self.assignment.insert(v, nodes);
+        self
+    }
+
+    /// The nodes of `α(v)`.
+    pub fn alpha(&self, v: Val) -> Vec<NodeId> {
+        self.assignment
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| (self.default_of)(v))
+    }
+}
+
+impl DistributionPolicy for DomainGuidedPolicy {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn responsible(&self, node: NodeId, fact: &Fact) -> bool {
+        fact.args.iter().any(|&v| self.alpha(v).contains(&node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::fact;
+    use crate::symbols::rel;
+
+    #[test]
+    fn explicit_policy_example_4_1() {
+        // P1 of Example 4.1: R-facts to both nodes; S(d1,d2) to node 0 when
+        // d1 = d2, else node 1.
+        use crate::fact::fact_syms;
+        let rfacts = [
+            fact_syms("R", &["a", "b"]),
+            fact_syms("R", &["b", "a"]),
+            fact_syms("R", &["b", "c"]),
+        ];
+        let mut p = ExplicitPolicy::new(2);
+        p.assign_all(0, rfacts.iter().cloned());
+        p.assign_all(1, rfacts.iter().cloned());
+        p.assign(0, fact_syms("S", &["a", "a"]));
+        p.assign(1, fact_syms("S", &["c", "a"]));
+        let ie = Instance::from_facts(
+            rfacts
+                .iter()
+                .cloned()
+                .chain([fact_syms("S", &["a", "a"]), fact_syms("S", &["c", "a"])]),
+        );
+        let loc0 = p.local_instance(0, &ie);
+        let loc1 = p.local_instance(1, &ie);
+        assert_eq!(loc0.len(), 4);
+        assert_eq!(loc1.len(), 4);
+        assert!(loc0.contains(&fact_syms("S", &["a", "a"])));
+        assert!(!loc0.contains(&fact_syms("S", &["c", "a"])));
+    }
+
+    #[test]
+    fn hash_policy_partitions() {
+        let p = HashPolicy::new(4, 9).with_key(rel("R"), vec![1]);
+        let f1 = fact("R", &[1, 7]);
+        let f2 = fact("R", &[2, 7]);
+        // Keyed on position 1: same key ⇒ same node.
+        assert_eq!(p.node_of(&f1), p.node_of(&f2));
+        assert_eq!(p.nodes_for(&f1).len(), 1);
+        // Distribution is a partition: each fact on exactly one node.
+        let total: usize = (0..4)
+            .map(|n| {
+                p.local_instance(n, &Instance::from_facts([f1.clone(), f2.clone()]))
+                    .len()
+            })
+            .sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn range_policy_thresholds() {
+        let p = RangePolicy::new(rel("Customer"), 0, vec![100, 200]);
+        assert_eq!(p.num_nodes(), 3);
+        assert_eq!(p.node_of(&fact("Customer", &[50])), 0);
+        assert_eq!(p.node_of(&fact("Customer", &[150])), 1);
+        assert_eq!(p.node_of(&fact("Customer", &[999])), 2);
+    }
+
+    #[test]
+    fn replicate_all_is_ideal() {
+        let p = ReplicateAll { num_nodes: 3 };
+        let f = fact("R", &[1]);
+        assert_eq!(p.nodes_for(&f), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn domain_guided_union_rule() {
+        let mut p = DomainGuidedPolicy::new(4, 0);
+        p.assign(Val(1), vec![0]);
+        p.assign(Val(2), vec![1, 2]);
+        let f = fact("E", &[1, 2]);
+        // Responsible: α(1) ∪ α(2) = {0, 1, 2}.
+        assert_eq!(p.nodes_for(&f), vec![0, 1, 2]);
+        // Every node in α(a) holds *every* fact containing a.
+        let g = fact("E", &[2, 9]);
+        assert!(p.responsible(1, &g));
+        assert!(p.responsible(2, &g));
+    }
+
+    #[test]
+    fn domain_guided_default_is_total() {
+        let p = DomainGuidedPolicy::new(4, 7);
+        let f = fact("E", &[123456, 99]);
+        assert!(!p.nodes_for(&f).is_empty());
+    }
+
+    #[test]
+    fn distribute_covers_instance() {
+        let p = HashPolicy::new(3, 5);
+        let db = Instance::from_facts((0..30u64).map(|i| fact("R", &[i, i + 1])));
+        let shards = p.distribute(&db);
+        let mut union = Instance::new();
+        for s in &shards {
+            union.extend_from(s);
+        }
+        assert_eq!(union, db);
+    }
+}

@@ -1,0 +1,257 @@
+//! A small, self-contained simplex solver for the linear programs of
+//! Section 3.1.
+//!
+//! Every LP we need (fractional edge packing, fractional vertex packing,
+//! the HyperCube share-exponent program) has the form
+//!
+//! ```text
+//! maximize c·x   subject to   A x ≤ b,  x ≥ 0,  b ≥ 0
+//! ```
+//!
+//! so the all-slack basis is feasible and a single-phase primal simplex
+//! with Bland's rule (which cannot cycle) suffices. The solver also
+//! reports the optimal **dual** values — read off the slack columns of the
+//! final objective row — which is how `packing` recovers fractional vertex
+//! covers and edge covers without a second solver.
+
+use std::fmt;
+
+/// Numeric tolerance for pivoting and optimality tests.
+const EPS: f64 = 1e-9;
+
+/// The outcome of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub value: f64,
+    /// Optimal primal variable assignment.
+    pub x: Vec<f64>,
+    /// Optimal dual values, one per constraint.
+    pub duals: Vec<f64>,
+    /// Number of simplex pivots performed.
+    pub pivots: usize,
+}
+
+/// Errors from the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The LP is unbounded above.
+    Unbounded,
+    /// Dimension mismatch between `c`, `a` and `b`.
+    BadShape(String),
+    /// Some `b[i] < 0` (the caller must formulate with non-negative rhs).
+    NegativeRhs(usize),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Unbounded => write!(f, "LP is unbounded"),
+            LpError::BadShape(s) => write!(f, "malformed LP: {s}"),
+            LpError::NegativeRhs(i) => write!(f, "b[{i}] is negative; rewrite the constraint"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Maximize `c·x` subject to `a·x ≤ b`, `x ≥ 0`, with all `b ≥ 0`.
+///
+/// `a` is row-major: `a[i]` is constraint `i`. Uses Bland's rule, so it
+/// terminates on degenerate inputs (our packing LPs have many zero rhs in
+/// the share program).
+pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError> {
+    let m = a.len();
+    let n = c.len();
+    if b.len() != m {
+        return Err(LpError::BadShape(format!(
+            "{} constraint rows but {} rhs entries",
+            m,
+            b.len()
+        )));
+    }
+    for (i, row) in a.iter().enumerate() {
+        if row.len() != n {
+            return Err(LpError::BadShape(format!(
+                "row {i} has {} coefficients, expected {n}",
+                row.len()
+            )));
+        }
+    }
+    if let Some(i) = (0..m).find(|&i| b[i] < -EPS) {
+        return Err(LpError::NegativeRhs(i));
+    }
+
+    // Tableau: m rows of [A | I | b], objective row [-c | 0 | 0].
+    let width = n + m + 1;
+    let mut t: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+    for i in 0..m {
+        let mut row = vec![0.0; width];
+        row[..n].copy_from_slice(&a[i]);
+        row[n + i] = 1.0;
+        row[width - 1] = b[i];
+        t.push(row);
+    }
+    let mut obj = vec![0.0; width];
+    for j in 0..n {
+        obj[j] = -c[j];
+    }
+    t.push(obj);
+
+    // basis[i] = variable index basic in row i (starts as slack n+i).
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    let mut pivots = 0usize;
+
+    // Bland: entering variable = smallest index with negative objective
+    // coefficient (i.e. positive reduced cost for maximization); the loop
+    // ends when none remains (optimality).
+    while let Some(enter) = (0..n + m).find(|&j| t[m][j] < -EPS) {
+        // Ratio test with Bland tie-breaking on the basic variable index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][width - 1] / t[i][enter];
+                let better = ratio < best - EPS
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
+                if better {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Err(LpError::Unbounded);
+        };
+
+        // Pivot on (leave, enter).
+        let piv = t[leave][enter];
+        for x in t[leave].iter_mut() {
+            *x /= piv;
+        }
+        for i in 0..=m {
+            if i != leave && t[i][enter].abs() > EPS {
+                let factor = t[i][enter];
+                // Split borrows: clone the pivot row once per update row is
+                // wasteful; index arithmetic instead.
+                let (pivot_row, target_row) = if i < leave {
+                    let (a, b) = t.split_at_mut(leave);
+                    (&b[0], &mut a[i])
+                } else {
+                    let (a, b) = t.split_at_mut(i);
+                    (&a[leave], &mut b[0])
+                };
+                for j in 0..width {
+                    target_row[j] -= factor * pivot_row[j];
+                }
+            }
+        }
+        basis[leave] = enter;
+        pivots += 1;
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][width - 1];
+        }
+    }
+    let duals: Vec<f64> = (0..m).map(|i| t[m][n + i]).collect();
+    Ok(LpSolution {
+        value: t[m][width - 1],
+        x,
+        duals,
+        pivots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_2d_lp() {
+        // max x + y s.t. x ≤ 2, y ≤ 3, x + y ≤ 4.
+        let sol = maximize(
+            &[1.0, 1.0],
+            &[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+            &[2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert_close(sol.value, 4.0);
+        assert_close(sol.x[0] + sol.x[1], 4.0);
+    }
+
+    #[test]
+    fn triangle_edge_packing_value() {
+        // Edges xy, yz, zx; per-vertex constraint u_e sums ≤ 1.
+        // Optimum: 1/2 each, value 3/2 = τ* of the triangle query.
+        let sol = maximize(
+            &[1.0, 1.0, 1.0],
+            &[
+                vec![1.0, 0.0, 1.0], // vertex x in edges 0 and 2
+                vec![1.0, 1.0, 0.0], // vertex y
+                vec![0.0, 1.0, 1.0], // vertex z
+            ],
+            &[1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        assert_close(sol.value, 1.5);
+        for &u in &sol.x {
+            assert_close(u, 0.5);
+        }
+        // Dual = fractional vertex cover, also 3/2 in total.
+        assert_close(sol.duals.iter().sum::<f64>(), 1.5);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let e = maximize(&[1.0], &[vec![-1.0]], &[1.0]).unwrap_err();
+        assert_eq!(e, LpError::Unbounded);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(matches!(
+            maximize(&[1.0], &[vec![1.0, 2.0]], &[1.0]),
+            Err(LpError::BadShape(_))
+        ));
+        assert!(matches!(
+            maximize(&[1.0], &[vec![1.0]], &[-1.0]),
+            Err(LpError::NegativeRhs(0))
+        ));
+    }
+
+    #[test]
+    fn degenerate_zero_rhs_terminates() {
+        // max λ s.t. λ - e ≤ 0, e ≤ 1 — optimum 1 with degenerate pivots.
+        let sol = maximize(&[1.0, 0.0], &[vec![1.0, -1.0], vec![0.0, 1.0]], &[0.0, 1.0]).unwrap();
+        assert_close(sol.value, 1.0);
+    }
+
+    #[test]
+    fn duals_satisfy_complementary_slackness() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = [8.0, 9.0];
+        let c = [3.0, 4.0];
+        let sol = maximize(&c, &a, &b).unwrap();
+        // Strong duality: c·x = b·y.
+        let dual_val: f64 = b.iter().zip(&sol.duals).map(|(bi, yi)| bi * yi).sum();
+        assert_close(sol.value, dual_val);
+        // Dual feasibility: Aᵀy ≥ c.
+        for j in 0..2 {
+            let lhs: f64 = (0..2).map(|i| a[i][j] * sol.duals[i]).sum();
+            assert!(lhs + 1e-6 >= c[j]);
+        }
+    }
+
+    #[test]
+    fn zero_objective_is_fine() {
+        let sol = maximize(&[0.0], &[vec![1.0]], &[5.0]).unwrap();
+        assert_close(sol.value, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Horizontal distributions: how the global instance is split over nodes.
+//!
+//! A horizontal distribution `H` maps each node to a shard such that the
+//! union of the shards is the global database (shards may overlap). The
+//! transducer semantics quantifies over *all* of them; the generators
+//! here produce representative families for the consistency checkers.
+
+use parlog_relal::fastmap::hash_u64;
+use parlog_relal::instance::Instance;
+use parlog_relal::policy::DistributionPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The ideal distribution of Section 5.1: every node holds everything.
+pub fn ideal_distribution(db: &Instance, n: usize) -> Vec<Instance> {
+    vec![db.clone(); n]
+}
+
+/// All data on node 0, the rest empty.
+pub fn single_node_distribution(db: &Instance, n: usize) -> Vec<Instance> {
+    let mut shards = vec![Instance::new(); n];
+    shards[0] = db.clone();
+    shards
+}
+
+/// A value-oblivious hash partition of the facts (each fact on exactly one
+/// node).
+pub fn hash_distribution(db: &Instance, n: usize, seed: u64) -> Vec<Instance> {
+    let mut shards = vec![Instance::new(); n];
+    for f in db.iter() {
+        let mut h = hash_u64(seed, f.rel.0 as u64);
+        for v in &f.args {
+            h = hash_u64(h, v.0);
+        }
+        shards[(h % n as u64) as usize].insert(f.clone());
+    }
+    shards
+}
+
+/// A random distribution where every fact lands on one or more random
+/// nodes (overlap allowed — distributions need not partition).
+pub fn random_distribution(db: &Instance, n: usize, seed: u64) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shards = vec![Instance::new(); n];
+    for f in db.iter() {
+        let copies = 1 + rng.gen_range(0..2usize.min(n));
+        let mut placed = 0;
+        while placed < copies {
+            let node = rng.gen_range(0..n);
+            if shards[node].insert(f.clone()) {
+                placed += 1;
+            }
+        }
+    }
+    shards
+}
+
+/// The distribution induced by a policy: `H(κ) = I ∩ rfacts(κ)`, as in the
+/// policy-aware setting of Section 5.2.2. Facts no node is responsible for
+/// are dropped (a total policy assigns everything somewhere).
+pub fn policy_distribution<P: DistributionPolicy + ?Sized>(
+    db: &Instance,
+    policy: &P,
+) -> Vec<Instance> {
+    policy.distribute(db)
+}
+
+/// A small standard family of distributions used by the consistency
+/// checkers: ideal, single-node, and a few hash/random splits.
+pub fn standard_family(db: &Instance, n: usize, seed: u64) -> Vec<(String, Vec<Instance>)> {
+    vec![
+        ("ideal".into(), ideal_distribution(db, n)),
+        ("single-node".into(), single_node_distribution(db, n)),
+        ("hash-a".into(), hash_distribution(db, n, seed)),
+        ("hash-b".into(), hash_distribution(db, n, seed ^ 0xdead)),
+        ("random".into(), random_distribution(db, n, seed ^ 0xbeef)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::fact::fact;
+
+    fn db() -> Instance {
+        Instance::from_facts((0..20u64).map(|i| fact("E", &[i, i + 1])))
+    }
+
+    #[test]
+    fn unions_reassemble_global_instance() {
+        let d = db();
+        for (name, shards) in standard_family(&d, 4, 3) {
+            let mut union = Instance::new();
+            for s in &shards {
+                union.extend_from(s);
+            }
+            assert_eq!(union, d, "distribution {name}");
+            assert_eq!(shards.len(), 4, "distribution {name}");
+        }
+    }
+
+    #[test]
+    fn hash_distribution_partitions() {
+        let shards = hash_distribution(&db(), 4, 1);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn ideal_replicates() {
+        let shards = ideal_distribution(&db(), 3);
+        assert!(shards.iter().all(|s| s.len() == 20));
+    }
+
+    #[test]
+    fn policy_distribution_matches_policy() {
+        use parlog_relal::policy::HashPolicy;
+        let p = HashPolicy::new(3, 9);
+        let shards = policy_distribution(&db(), &p);
+        for (node, shard) in shards.iter().enumerate() {
+            for f in shard.iter() {
+                assert!(p.responsible(node, f));
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The transducer-program abstraction.
+//!
+//! Every node runs the same program. A transition either consumes one
+//! message (a fact, with its sender) or is a *heartbeat* (no message
+//! read). Transitions may update the node state, write output and
+//! broadcast facts to all other nodes.
+//!
+//! The context [`Ctx`] controls what a program may know:
+//!
+//! * `all` — the `All` relation: the names (here: the count, from which
+//!   ids follow) of all nodes. Programs of the *oblivious* classes
+//!   `A0/A1/A2` must work with `all = None`.
+//! * `policy` — for **policy-aware** networks (Section 5.2.2), the node
+//!   may ask whether it is responsible for a fact, *provided the fact's
+//!   values occur in its current state* ("κ can not query P^H for values
+//!   occurring outside of the local active domain").
+
+use crate::network::NodeState;
+use parlog_relal::fact::Fact;
+use parlog_relal::policy::DistributionPolicy;
+use std::sync::Arc;
+
+/// Execution context handed to every transition.
+#[derive(Clone)]
+pub struct Ctx {
+    /// `Some(n)` when the network provides the `All` relation (network-
+    /// aware programs); `None` for oblivious programs.
+    pub all: Option<usize>,
+    /// The distribution policy, for policy-aware networks.
+    pub policy: Option<Arc<dyn DistributionPolicy>>,
+}
+
+impl Ctx {
+    /// A context with neither `All` nor a policy.
+    pub fn oblivious() -> Ctx {
+        Ctx {
+            all: None,
+            policy: None,
+        }
+    }
+
+    /// A network-aware context over `n` nodes.
+    pub fn aware(n: usize) -> Ctx {
+        Ctx {
+            all: Some(n),
+            policy: None,
+        }
+    }
+
+    /// Attach a policy (making nodes policy-aware).
+    pub fn with_policy(mut self, p: Arc<dyn DistributionPolicy>) -> Ctx {
+        self.policy = Some(p);
+        self
+    }
+
+    /// Policy query: is `node` responsible for `fact`? Enforces the
+    /// survey's visibility restriction — every value of the fact must
+    /// occur in the node's current active domain (local ∪ aux ∪ output).
+    ///
+    /// # Panics
+    /// Panics when the network is not policy-aware or the fact mentions a
+    /// value the node has never seen.
+    pub fn responsible(&self, node: &NodeState, fact: &Fact) -> bool {
+        let policy = self
+            .policy
+            .as_ref()
+            .expect("this network is not policy-aware");
+        let mut adom = node.local.adom();
+        adom.extend(node.aux.adom());
+        adom.extend(node.output_so_far().adom());
+        assert!(
+            fact.args.iter().all(|v| adom.contains(v)),
+            "policy queried for a value outside the local active domain: {fact}"
+        );
+        policy.responsible(node.id, fact)
+    }
+}
+
+/// The effects of one transition: facts broadcast to all other nodes.
+pub type Broadcast = Vec<Fact>;
+
+/// A relational transducer program. Deterministic, generic, same on every
+/// node.
+pub trait TransducerProgram: Send + Sync {
+    /// Human-readable name (for reports).
+    fn name(&self) -> &str;
+
+    /// Does the program require the `All` relation? Programs in the
+    /// oblivious classes `A0/A1/A2` return `false`; the scheduler refuses
+    /// to run an `All`-requiring program in an oblivious context.
+    fn requires_all(&self) -> bool {
+        false
+    }
+
+    /// Called once per node before any message is delivered; returns the
+    /// initial broadcast.
+    fn init(&self, node: &mut NodeState, ctx: &Ctx) -> Broadcast;
+
+    /// Consume one message (a fact from `from`); returns a broadcast.
+    fn on_fact(&self, node: &mut NodeState, from: usize, fact: &Fact, ctx: &Ctx) -> Broadcast;
+
+    /// A heartbeat transition: no message is read. Default: do nothing.
+    fn heartbeat(&self, _node: &mut NodeState, _ctx: &Ctx) -> Broadcast {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::fact::fact;
+    use parlog_relal::instance::Instance;
+    use parlog_relal::policy::ReplicateAll;
+
+    #[test]
+    fn responsible_respects_local_adom() {
+        let ctx = Ctx::oblivious().with_policy(Arc::new(ReplicateAll { num_nodes: 2 }));
+        let node = NodeState::new(0, Instance::from_facts([fact("E", &[1, 2])]));
+        assert!(ctx.responsible(&node, &fact("E", &[2, 1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the local active domain")]
+    fn responsible_rejects_unseen_values() {
+        let ctx = Ctx::oblivious().with_policy(Arc::new(ReplicateAll { num_nodes: 2 }));
+        let node = NodeState::new(0, Instance::from_facts([fact("E", &[1, 2])]));
+        ctx.responsible(&node, &fact("E", &[1, 99]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not policy-aware")]
+    fn responsible_requires_policy() {
+        let ctx = Ctx::oblivious();
+        let node = NodeState::new(0, Instance::new());
+        ctx.responsible(&node, &fact("E", &[1]));
+    }
+}

@@ -1,0 +1,199 @@
+//! The explicitly *coordinating* broadcast of Example 5.1(2).
+//!
+//! Non-monotone queries (the open-triangle query) cannot be computed
+//! coordination-free in the plain model (Theorem 5.3). The correct-but-
+//! coordinating strategy: every node broadcasts its data plus an
+//! end-of-data marker carrying how many facts it sent; a node outputs
+//! `Q(everything)` once it has received every other node's complete data.
+//! This "requires that every node knows all other nodes participating in
+//! the network" — the program needs the `All` relation, so it lives
+//! outside the oblivious classes `A0/A1/A2`.
+
+use crate::network::{NodeState, QueryFunction};
+use crate::program::{Broadcast, Ctx, TransducerProgram};
+use parlog_relal::fact::{Fact, Val};
+use parlog_relal::symbols::{rel, RelId};
+use std::sync::Arc;
+
+/// The reserved end-of-data marker relation `‡EOD(sender, fact_count)`.
+fn eod_rel() -> RelId {
+    rel("‡EOD")
+}
+
+/// Per-sender received-count bookkeeping relation `‡CNT(sender, n)` in the
+/// node's aux state.
+fn cnt_rel() -> RelId {
+    rel("‡CNT")
+}
+
+/// Barrier-style evaluation of an arbitrary (possibly non-monotone) query.
+#[derive(Clone)]
+pub struct CoordinatedBroadcast {
+    query: Arc<dyn QueryFunction>,
+    name: String,
+}
+
+impl CoordinatedBroadcast {
+    /// Wrap any query function.
+    pub fn new<Q: QueryFunction + 'static>(query: Q) -> CoordinatedBroadcast {
+        CoordinatedBroadcast {
+            query: Arc::new(query),
+            name: "coordinated-broadcast".into(),
+        }
+    }
+
+    fn received_count(node: &NodeState, from: usize) -> u64 {
+        node.aux
+            .relation(cnt_rel())
+            .find(|f| f.args[0] == Val(from as u64))
+            .map(|f| f.args[1].0)
+            .unwrap_or(0)
+    }
+
+    fn bump_count(node: &mut NodeState, from: usize) {
+        let old = Self::received_count(node, from);
+        node.aux
+            .remove(&Fact::new(cnt_rel(), vec![Val(from as u64), Val(old)]));
+        node.aux
+            .insert(Fact::new(cnt_rel(), vec![Val(from as u64), Val(old + 1)]));
+    }
+
+    fn expected_count(node: &NodeState, from: usize) -> Option<u64> {
+        node.aux
+            .relation(eod_rel())
+            .find(|f| f.args[0] == Val(from as u64))
+            .map(|f| f.args[1].0)
+    }
+
+    fn barrier_reached(&self, node: &NodeState, ctx: &Ctx) -> bool {
+        let n = ctx.all.expect("program requires All");
+        (0..n).filter(|&j| j != node.id).all(|j| {
+            Self::expected_count(node, j).is_some_and(|k| Self::received_count(node, j) == k)
+        })
+    }
+
+    fn try_output(&self, node: &mut NodeState, ctx: &Ctx) {
+        if self.barrier_reached(node, ctx) {
+            let result = self.query.eval(&node.local);
+            node.output_all(&result);
+        }
+    }
+}
+
+impl TransducerProgram for CoordinatedBroadcast {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn requires_all(&self) -> bool {
+        true
+    }
+
+    fn init(&self, node: &mut NodeState, ctx: &Ctx) -> Broadcast {
+        let mut out: Vec<Fact> = node.local.iter().cloned().collect();
+        out.push(Fact::new(
+            eod_rel(),
+            vec![Val(node.id as u64), Val(out.len() as u64)],
+        ));
+        // A single-node network is already complete.
+        self.try_output(node, ctx);
+        out
+    }
+
+    fn on_fact(&self, node: &mut NodeState, from: usize, fact: &Fact, ctx: &Ctx) -> Broadcast {
+        if fact.rel == eod_rel() {
+            node.aux.insert(fact.clone());
+        } else {
+            Self::bump_count(node, from);
+            node.local.insert(fact.clone());
+        }
+        self.try_output(node, ctx);
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{hash_distribution, ideal_distribution, single_node_distribution};
+    use crate::scheduler::{run_heartbeats_only, run_to_quiescence, run_with_ctx, Schedule};
+    use parlog_relal::fact::fact;
+    use parlog_relal::instance::Instance;
+    use parlog_relal::parser::parse_query;
+
+    fn open_triangle_query() -> parlog_relal::ConjunctiveQuery {
+        parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap()
+    }
+
+    fn graph() -> Instance {
+        Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[3, 1]), // closed triangle 1-2-3
+            fact("E", &[2, 4]), // 1-2-4 is open
+        ])
+    }
+
+    #[test]
+    fn computes_open_triangles_on_every_distribution() {
+        let db = graph();
+        let q = open_triangle_query();
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        assert!(expected.contains(&fact("H", &[1, 2, 4])));
+        let p = CoordinatedBroadcast::new(q);
+        for dist in [
+            ideal_distribution(&db, 3),
+            single_node_distribution(&db, 3),
+            hash_distribution(&db, 3, 7),
+            hash_distribution(&db, 4, 8),
+        ] {
+            for seed in 0..4 {
+                assert_eq!(run_to_quiescence(&p, &dist, seed), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn robust_under_adversarial_reordering() {
+        // LIFO delivery maximally reorders: EOD markers overtake data.
+        let db = graph();
+        let q = open_triangle_query();
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = CoordinatedBroadcast::new(q);
+        let dist = hash_distribution(&db, 3, 2);
+        let out = run_with_ctx(&p, &dist, Ctx::aware(3), Schedule::Lifo);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn is_not_coordination_free_in_behavior() {
+        // Even on the ideal distribution, the barrier waits for messages:
+        // a heartbeat-only run outputs nothing on networks with > 1 node.
+        let db = graph();
+        let q = open_triangle_query();
+        let p = CoordinatedBroadcast::new(q);
+        let out = run_heartbeats_only(&p, &ideal_distribution(&db, 3), Ctx::aware(3));
+        assert!(out.is_empty(), "barrier must block without messages");
+    }
+
+    #[test]
+    fn single_node_outputs_immediately() {
+        let db = graph();
+        let q = open_triangle_query();
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = CoordinatedBroadcast::new(q);
+        let out = run_heartbeats_only(&p, &ideal_distribution(&db, 1), Ctx::aware(1));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn duplicate_facts_across_nodes_are_counted_per_sender() {
+        // Both nodes hold the same fact: barrier still resolves.
+        let db = Instance::from_facts([fact("E", &[1, 2])]);
+        let q = open_triangle_query();
+        let p = CoordinatedBroadcast::new(q.clone());
+        let dist = ideal_distribution(&db, 2);
+        let out = run_to_quiescence(&p, &dist, 5);
+        assert_eq!(out, parlog_relal::eval::eval_query(&q, &db));
+    }
+}

@@ -1,0 +1,444 @@
+//! Fair asynchronous execution of transducer networks.
+//!
+//! "Computation is modeled as a transition system. At every point in time,
+//! one node is active and can perform a transition … The input message is
+//! chosen nondeterministically to model arbitrary delay of messages." We
+//! realize the nondeterminism with pluggable [`Schedule`]s — seeded-random
+//! (sampling fair runs), FIFO, LIFO (maximal reordering) and round-robin —
+//! and run until **quiescence**: all buffers drained and heartbeats
+//! produce no further change. For set-driven programs quiescence is the
+//! run's fixpoint, realizing eventual consistency on finite inputs.
+//!
+//! The runtime deduplicates a node's repeated broadcasts of the same fact
+//! (receivers are idempotent — their states are sets), which keeps runs
+//! finite without changing any program's semantics.
+
+use crate::network::NodeState;
+use crate::program::{Ctx, TransducerProgram};
+use parlog_relal::fact::Fact;
+use parlog_relal::fastmap::{fxset, FxSet};
+use parlog_relal::instance::Instance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Message-delivery strategies. All are fair (no message is deferred
+/// forever) because delivery continues until the buffers drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Uniformly random node and message choice, seeded.
+    Random(u64),
+    /// Deliver oldest messages first, nodes round-robin.
+    Fifo,
+    /// Deliver newest messages first (maximal reordering), nodes
+    /// round-robin.
+    Lifo,
+    /// One delivery per node in turn, oldest first.
+    RoundRobin,
+}
+
+/// A simulated run of a transducer network.
+pub struct SimRun {
+    /// Node states.
+    pub nodes: Vec<NodeState>,
+    /// In-flight messages per destination: `(from, fact)`.
+    buffers: Vec<Vec<(usize, Fact)>>,
+    /// Per-node set of facts already broadcast (runtime-level dedup).
+    sent: Vec<FxSet<Fact>>,
+    ctx: Ctx,
+    /// Total messages delivered so far.
+    pub delivered: usize,
+    /// Total facts broadcast (before fan-out to n−1 receivers).
+    pub facts_broadcast: usize,
+}
+
+impl SimRun {
+    /// Set up a network: one node per shard, run `init` everywhere, queue
+    /// the initial broadcasts.
+    pub fn new<P: TransducerProgram + ?Sized>(
+        program: &P,
+        shards: &[Instance],
+        ctx: Ctx,
+    ) -> SimRun {
+        assert!(!shards.is_empty(), "a network needs at least one node");
+        if program.requires_all() {
+            assert!(
+                ctx.all.is_some(),
+                "program `{}` requires the All relation but the context is oblivious",
+                program.name()
+            );
+        }
+        let n = shards.len();
+        let mut run = SimRun {
+            nodes: shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| NodeState::new(i, s.clone()))
+                .collect(),
+            buffers: vec![Vec::new(); n],
+            sent: vec![fxset(); n],
+            ctx,
+            delivered: 0,
+            facts_broadcast: 0,
+        };
+        for i in 0..n {
+            let out = program.init(&mut run.nodes[i], &run.ctx.clone());
+            run.broadcast(i, out);
+        }
+        run
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn broadcast(&mut self, from: usize, facts: Vec<Fact>) {
+        for f in facts {
+            if !self.sent[from].insert(f.clone()) {
+                continue; // runtime-level dedup per sender
+            }
+            self.facts_broadcast += 1;
+            for (dest, buf) in self.buffers.iter_mut().enumerate() {
+                if dest != from {
+                    buf.push((from, f.clone()));
+                }
+            }
+        }
+    }
+
+    /// Are all message buffers empty?
+    pub fn quiet(&self) -> bool {
+        self.buffers.iter().all(|b| b.is_empty())
+    }
+
+    /// Deliver one message according to `schedule`. Returns `false` when
+    /// nothing is in flight.
+    pub fn step<P: TransducerProgram + ?Sized>(
+        &mut self,
+        program: &P,
+        schedule: Schedule,
+        rng: &mut StdRng,
+        rr_cursor: &mut usize,
+    ) -> bool {
+        let nonempty: Vec<usize> = (0..self.n())
+            .filter(|&i| !self.buffers[i].is_empty())
+            .collect();
+        if nonempty.is_empty() {
+            return false;
+        }
+        let (node, msg_idx) = match schedule {
+            Schedule::Random(_) => {
+                let node = nonempty[rng.gen_range(0..nonempty.len())];
+                let idx = rng.gen_range(0..self.buffers[node].len());
+                (node, idx)
+            }
+            Schedule::Fifo => {
+                let node = nonempty[0];
+                (node, 0)
+            }
+            Schedule::Lifo => {
+                let node = nonempty[0];
+                (node, self.buffers[node].len() - 1)
+            }
+            Schedule::RoundRobin => {
+                let node = *nonempty
+                    .iter()
+                    .find(|&&i| i >= *rr_cursor)
+                    .unwrap_or(&nonempty[0]);
+                *rr_cursor = (node + 1) % self.n();
+                (node, 0)
+            }
+        };
+        let (from, fact) = self.buffers[node].remove(msg_idx);
+        self.delivered += 1;
+        let ctx = self.ctx.clone();
+        let out = program.on_fact(&mut self.nodes[node], from, &fact, &ctx);
+        self.broadcast(node, out);
+        true
+    }
+
+    /// One heartbeat per node; returns whether any state or broadcast
+    /// changed.
+    pub fn heartbeat_round<P: TransducerProgram + ?Sized>(&mut self, program: &P) -> bool {
+        let mut changed = false;
+        for i in 0..self.n() {
+            let before = self.nodes[i].output_so_far().len();
+            let ctx = self.ctx.clone();
+            let out = program.heartbeat(&mut self.nodes[i], &ctx);
+            if !out.is_empty() {
+                changed = true;
+            }
+            self.broadcast(i, out);
+            if self.nodes[i].output_so_far().len() != before {
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Run deliveries and heartbeats until quiescence. Panics after an
+    /// absurd number of steps (divergence guard).
+    pub fn run<P: TransducerProgram + ?Sized>(&mut self, program: &P, schedule: Schedule) {
+        let seed = match schedule {
+            Schedule::Random(s) => s,
+            _ => 0,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rr = 0usize;
+        let budget = 10_000_000usize;
+        let mut steps = 0usize;
+        loop {
+            while self.step(program, schedule, &mut rng, &mut rr) {
+                steps += 1;
+                assert!(steps < budget, "transducer run diverged (no quiescence)");
+            }
+            // Buffers drained: heartbeats may trigger more work.
+            let mut hb_changed = false;
+            for _ in 0..self.n() + 1 {
+                if self.heartbeat_round(program) {
+                    hb_changed = true;
+                } else {
+                    break;
+                }
+            }
+            if !hb_changed && self.quiet() {
+                return;
+            }
+        }
+    }
+
+    /// **Failure injection**: run with a lossy network dropping each
+    /// in-flight message independently with probability `drop_prob`.
+    /// The model assumes "messages can never be lost"; this mode exists
+    /// to demonstrate that the assumption is load-bearing — with losses,
+    /// eventual consistency fails (see the tests and the consistency
+    /// checker's negative cases).
+    pub fn run_lossy<P: TransducerProgram + ?Sized>(
+        &mut self,
+        program: &P,
+        drop_prob: f64,
+        seed: u64,
+    ) {
+        assert!((0.0..=1.0).contains(&drop_prob));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rr = 0usize;
+        loop {
+            // Drop a random subset of buffered messages.
+            for buf in &mut self.buffers {
+                buf.retain(|_| !rng.gen_bool(drop_prob));
+            }
+            if !self.step(program, Schedule::Random(seed), &mut rng, &mut rr) {
+                break;
+            }
+        }
+        for _ in 0..self.n() + 1 {
+            if !self.heartbeat_round(program) {
+                break;
+            }
+        }
+    }
+
+    /// The union of all outputs — the result of the run.
+    pub fn outputs(&self) -> Instance {
+        let mut out = Instance::new();
+        for n in &self.nodes {
+            out.extend_from(n.output_so_far());
+        }
+        out
+    }
+}
+
+/// Run a program on the given shards to quiescence under a seeded-random
+/// fair schedule; the context is network-aware iff the program requires
+/// `All`. Returns the union of the outputs.
+pub fn run_to_quiescence<P: TransducerProgram + ?Sized>(
+    program: &P,
+    shards: &[Instance],
+    seed: u64,
+) -> Instance {
+    let ctx = if program.requires_all() {
+        Ctx::aware(shards.len())
+    } else {
+        Ctx::oblivious()
+    };
+    run_with_ctx(program, shards, ctx, Schedule::Random(seed))
+}
+
+/// Run with an explicit context and schedule.
+pub fn run_with_ctx<P: TransducerProgram + ?Sized>(
+    program: &P,
+    shards: &[Instance],
+    ctx: Ctx,
+    schedule: Schedule,
+) -> Instance {
+    let mut run = SimRun::new(program, shards, ctx);
+    run.run(program, schedule);
+    run.outputs()
+}
+
+/// Heartbeat-only execution: messages may be *sent* but are never read —
+/// the mode the coordination-freeness definition quantifies over. Runs
+/// init plus heartbeat rounds until the outputs stabilize.
+pub fn run_heartbeats_only<P: TransducerProgram + ?Sized>(
+    program: &P,
+    shards: &[Instance],
+    ctx: Ctx,
+) -> Instance {
+    let mut run = SimRun::new(program, shards, ctx);
+    for _ in 0..shards.len() + 2 {
+        if !run.heartbeat_round(program) {
+            break;
+        }
+    }
+    run.outputs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Broadcast;
+    use parlog_relal::fact::fact;
+
+    /// A toy program: output every received fact, broadcast local facts.
+    struct Echo;
+
+    impl TransducerProgram for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+
+        fn init(&self, node: &mut NodeState, _ctx: &Ctx) -> Broadcast {
+            let local: Vec<Fact> = node.local.iter().cloned().collect();
+            node.output_all(&node.local.clone());
+            local
+        }
+
+        fn on_fact(
+            &self,
+            node: &mut NodeState,
+            _from: usize,
+            fact: &Fact,
+            _ctx: &Ctx,
+        ) -> Broadcast {
+            node.local.insert(fact.clone());
+            node.output(fact.clone());
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn echo_reaches_everyone() {
+        let shards = vec![
+            Instance::from_facts([fact("R", &[1])]),
+            Instance::from_facts([fact("R", &[2])]),
+            Instance::new(),
+        ];
+        for schedule in [
+            Schedule::Random(1),
+            Schedule::Fifo,
+            Schedule::Lifo,
+            Schedule::RoundRobin,
+        ] {
+            let mut run = SimRun::new(&Echo, &shards, Ctx::oblivious());
+            run.run(&Echo, schedule);
+            assert_eq!(run.outputs().len(), 2, "{schedule:?}");
+            // Every node saw both facts.
+            for n in &run.nodes {
+                assert_eq!(n.local.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_dedup_counts_once() {
+        let shards = vec![
+            Instance::from_facts([fact("R", &[1])]),
+            Instance::from_facts([fact("R", &[1])]),
+        ];
+        let mut run = SimRun::new(&Echo, &shards, Ctx::oblivious());
+        run.run(&Echo, Schedule::Fifo);
+        // Each node broadcast the same fact once: 2 broadcasts total.
+        assert_eq!(run.facts_broadcast, 2);
+    }
+
+    #[test]
+    fn heartbeats_only_reads_no_messages() {
+        let shards = vec![
+            Instance::from_facts([fact("R", &[1])]),
+            Instance::from_facts([fact("R", &[2])]),
+        ];
+        let out = run_heartbeats_only(&Echo, &shards, Ctx::oblivious());
+        // Init outputs local data; messages are never read, so outputs
+        // are exactly the union of the initial shards' outputs.
+        assert_eq!(out.len(), 2);
+        // But the nodes never learned each other's facts — check via a
+        // full run that *does* deliver: deliveries counted.
+        let mut run = SimRun::new(&Echo, &shards, Ctx::oblivious());
+        run.run(&Echo, Schedule::Fifo);
+        assert!(run.delivered > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the All relation")]
+    fn all_requiring_program_needs_aware_ctx() {
+        struct NeedsAll;
+        impl TransducerProgram for NeedsAll {
+            fn name(&self) -> &str {
+                "needs-all"
+            }
+            fn requires_all(&self) -> bool {
+                true
+            }
+            fn init(&self, _n: &mut NodeState, _c: &Ctx) -> Broadcast {
+                Vec::new()
+            }
+            fn on_fact(&self, _n: &mut NodeState, _f: usize, _x: &Fact, _c: &Ctx) -> Broadcast {
+                Vec::new()
+            }
+        }
+        SimRun::new(&NeedsAll, &[Instance::new()], Ctx::oblivious());
+    }
+
+    #[test]
+    fn message_loss_breaks_eventual_consistency() {
+        // The survey's model forbids message loss; injecting it makes the
+        // monotone broadcast incomplete — the assumption is load-bearing.
+        use crate::programs::monotone::MonotoneBroadcast;
+        let q = parlog_relal::parser::parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let db = Instance::from_facts((0..20u64).map(|i| fact("E", &[i, i + 1])));
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = MonotoneBroadcast::new(q);
+        let shards = crate::distribution::hash_distribution(&db, 4, 3);
+        // Lossless: complete.
+        let mut ok = SimRun::new(&p, &shards, Ctx::oblivious());
+        ok.run(&p, Schedule::Random(5));
+        assert_eq!(ok.outputs(), expected);
+        // Heavy loss: strictly incomplete (but still sound — outputs are
+        // never wrong, only missing).
+        let mut lossy = SimRun::new(&p, &shards, Ctx::oblivious());
+        lossy.run_lossy(&p, 0.9, 5);
+        let out = lossy.outputs();
+        assert!(out.is_subset_of(&expected));
+        assert_ne!(out, expected, "90% loss must lose derivations");
+    }
+
+    #[test]
+    fn zero_loss_rate_equals_normal_run() {
+        let shards = vec![
+            Instance::from_facts([fact("R", &[1])]),
+            Instance::from_facts([fact("R", &[2])]),
+        ];
+        let mut a = SimRun::new(&Echo, &shards, Ctx::oblivious());
+        a.run_lossy(&Echo, 0.0, 7);
+        let mut b = SimRun::new(&Echo, &shards, Ctx::oblivious());
+        b.run(&Echo, Schedule::Random(7));
+        assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn single_node_network() {
+        let shards = vec![Instance::from_facts([fact("R", &[5])])];
+        let out = run_to_quiescence(&Echo, &shards, 3);
+        assert_eq!(out.len(), 1);
+    }
+}

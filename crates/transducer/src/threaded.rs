@@ -1,0 +1,161 @@
+//! A true-multithreaded runtime for transducer programs, built on
+//! crossbeam channels — one OS thread per node, unbounded channels as the
+//! message buffers, OS scheduling as the source of asynchrony.
+//!
+//! The simulator in [`crate::scheduler`] samples schedules reproducibly;
+//! this runtime cross-validates it against real concurrency: for programs
+//! computing a query, both must produce the same output (and they do —
+//! see the tests and the `transducer` bench).
+//!
+//! Termination uses a global in-flight counter: a sender increments it
+//! before sending; a receiver decrements after processing. When the
+//! counter is zero and a node's channel is empty, no further message can
+//! ever arrive for it (nodes only send while processing), so it may stop.
+
+use crate::network::NodeState;
+use crate::program::{Ctx, TransducerProgram};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use parlog_relal::fact::Fact;
+use parlog_relal::instance::Instance;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run a program on the given shards with one thread per node; returns
+/// the union of outputs after global quiescence.
+///
+/// **Limitation:** quiescence detection assumes heartbeats do not
+/// broadcast once a node's queue is idle — a node exits when the global
+/// in-flight counter is zero, its channel is empty and its own heartbeat
+/// is silent, so a *message-producing* heartbeat on another node could
+/// still address it afterwards. All programs in this crate have
+/// message-free heartbeats; for heartbeat-broadcasting programs use the
+/// simulator ([`crate::scheduler`]), whose quiescence check is global.
+pub fn run_threaded<P>(program: Arc<P>, shards: &[Instance], ctx: Ctx) -> Instance
+where
+    P: TransducerProgram + 'static + ?Sized,
+{
+    assert!(!shards.is_empty());
+    if program.requires_all() {
+        assert!(ctx.all.is_some(), "program requires the All relation");
+    }
+    let n = shards.len();
+    let mut senders: Vec<Sender<(usize, Fact)>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<(usize, Fact)>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let outputs: Arc<Mutex<Vec<Instance>>> = Arc::new(Mutex::new(vec![Instance::new(); n]));
+
+    let mut handles = Vec::with_capacity(n);
+    for (id, shard) in shards.iter().enumerate() {
+        let program = Arc::clone(&program);
+        let ctx = ctx.clone();
+        let receiver = receivers[id].clone();
+        let senders = senders.clone();
+        let in_flight = Arc::clone(&in_flight);
+        let outputs = Arc::clone(&outputs);
+        let shard = shard.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut node = NodeState::new(id, shard);
+            let mut sent: parlog_relal::fastmap::FxSet<Fact> = parlog_relal::fastmap::fxset();
+            let broadcast = |facts: Vec<Fact>, sent: &mut parlog_relal::fastmap::FxSet<Fact>| {
+                for f in facts {
+                    if !sent.insert(f.clone()) {
+                        continue;
+                    }
+                    for (dest, s) in senders.iter().enumerate() {
+                        if dest != id {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                            s.send((id, f.clone())).expect("receiver alive");
+                        }
+                    }
+                }
+            };
+            let init_out = program.init(&mut node, &ctx);
+            broadcast(init_out, &mut sent);
+            loop {
+                match receiver.recv_timeout(Duration::from_millis(2)) {
+                    Ok((from, fact)) => {
+                        let out = program.on_fact(&mut node, from, &fact, &ctx);
+                        broadcast(out, &mut sent);
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Err(_) => {
+                        // Quiescent? No in-flight messages can appear once
+                        // the counter is zero and all channels are idle.
+                        if in_flight.load(Ordering::SeqCst) == 0 && receiver.is_empty() {
+                            let hb = program.heartbeat(&mut node, &ctx);
+                            if hb.is_empty() {
+                                break;
+                            }
+                            broadcast(hb, &mut sent);
+                        }
+                    }
+                }
+            }
+            outputs.lock()[id] = node.output_so_far().clone();
+        }));
+    }
+    drop(senders);
+    for h in handles {
+        h.join().expect("node thread panicked");
+    }
+    let mut union = Instance::new();
+    for o in outputs.lock().iter() {
+        union.extend_from(o);
+    }
+    union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::hash_distribution;
+    use crate::programs::coordinated::CoordinatedBroadcast;
+    use crate::programs::monotone::MonotoneBroadcast;
+    use crate::scheduler::run_to_quiescence;
+    use parlog_relal::fact::fact;
+    use parlog_relal::parser::parse_query;
+
+    fn db() -> Instance {
+        Instance::from_facts(
+            (0..30u64).flat_map(|i| [fact("E", &[i, (i + 1) % 30]), fact("E", &[(i * 7) % 30, i])]),
+        )
+    }
+
+    #[test]
+    fn threaded_matches_simulator_for_monotone() {
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let expected = parlog_relal::eval::eval_query(&q, &db());
+        let p = Arc::new(MonotoneBroadcast::new(q));
+        let dist = hash_distribution(&db(), 4, 9);
+        let threaded = run_threaded(p.clone(), &dist, Ctx::oblivious());
+        let simulated = run_to_quiescence(p.as_ref(), &dist, 4);
+        assert_eq!(threaded, expected);
+        assert_eq!(simulated, expected);
+    }
+
+    #[test]
+    fn threaded_matches_simulator_for_coordinated() {
+        let q = parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap();
+        let expected = parlog_relal::eval::eval_query(&q, &db());
+        let p = Arc::new(CoordinatedBroadcast::new(q));
+        let dist = hash_distribution(&db(), 3, 2);
+        let threaded = run_threaded(p.clone(), &dist, Ctx::aware(3));
+        assert_eq!(threaded, expected);
+    }
+
+    #[test]
+    fn single_node_threaded() {
+        let q = parse_query("H(x) <- E(x,y)").unwrap();
+        let expected = parlog_relal::eval::eval_query(&q, &db());
+        let p = Arc::new(MonotoneBroadcast::new(q));
+        let out = run_threaded(p, &[db()], Ctx::oblivious());
+        assert_eq!(out, expected);
+    }
+}

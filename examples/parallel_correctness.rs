@@ -1,0 +1,85 @@
+//! Section 4 walkthrough: parallel-correctness and transfer, including
+//! the recomputation of Figure 1.
+//!
+//! ```sh
+//! cargo run --example parallel_correctness
+//! ```
+
+use parlog::prelude::*;
+use parlog::relal::fact::{fact, fact_syms};
+use parlog::relal::policy::ExplicitPolicy;
+
+fn main() {
+    // ── Example 4.1: a correct and an incorrect policy ─────────────────
+    let q = parse_query("H(x1,x3) <- R(x1,x2), R(x2,x3), S(x3,x1)").unwrap();
+    let ie = Instance::from_facts([
+        fact_syms("R", &["a", "b"]),
+        fact_syms("R", &["b", "a"]),
+        fact_syms("R", &["b", "c"]),
+        fact_syms("S", &["a", "a"]),
+        fact_syms("S", &["c", "a"]),
+    ]);
+    println!("Example 4.1 — Qe: {q}");
+    println!("  Ie = {ie}");
+    let mut p1 = ExplicitPolicy::new(2);
+    let mut p2 = ExplicitPolicy::new(2);
+    for f in ie.iter() {
+        if f.rel == parlog::relal::symbols::rel("R") {
+            p1.assign(0, f.clone());
+            p1.assign(1, f.clone());
+            p2.assign(0, f.clone());
+        } else {
+            p1.assign(usize::from(f.args[0] != f.args[1]), f.clone());
+            p2.assign(1, f.clone());
+        }
+    }
+    println!(
+        "  [Qe,P1](Ie) = {}",
+        parlog::pc::parallel_result(&q, &p1, &ie)
+    );
+    println!(
+        "  [Qe,P2](Ie) = {}",
+        parlog::pc::parallel_result(&q, &p2, &ie)
+    );
+    println!("  Qe(Ie)      = {}\n", eval_query(&q, &ie));
+
+    // ── Examples 4.3/4.5: minimal valuations, PC0 vs PC1 ──────────────
+    let q43 = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+    let policy = parlog::pc::example_4_3_policy();
+    let universe = [Val(1), Val(2)];
+    println!("Example 4.3 — {q43}");
+    println!(
+        "  PC0 (strongly saturates): {}",
+        strongly_saturates(&q43, &policy, &universe)
+    );
+    println!(
+        "  PC1 (saturates):          {}",
+        saturates(&q43, &policy, &universe)
+    );
+    println!(
+        "  parallel-correct:         {}",
+        parallel_correct(&q43, &policy, &universe)
+    );
+    let v1 = Valuation::of(&[("x", 1), ("y", 2), ("z", 1)]);
+    let v2 = Valuation::of(&[("x", 1), ("y", 1), ("z", 1)]);
+    println!(
+        "  V1 = {v1} minimal? {}   V2 = {v2} minimal? {}\n",
+        parlog::relal::minimal::is_minimal(&q43, &v1),
+        parlog::relal::minimal::is_minimal(&q43, &v2),
+    );
+
+    // ── CQ¬: soundness vs completeness ────────────────────────────────
+    let qn = parse_query("H(x) <- R(x), not S(x)").unwrap();
+    let mut split = ExplicitPolicy::new(2);
+    split.assign(0, fact("R", &[1]));
+    split.assign(1, fact("S", &[1]));
+    let verdict = parlog::pc::parallel_correct_neg(&qn, &split, &[Val(1)]);
+    println!("CQ¬ — {qn} with R and S on different nodes:");
+    println!(
+        "  sound = {}, complete = {}, counterexample = {:?}\n",
+        verdict.sound, verdict.complete, verdict.counterexample
+    );
+
+    // ── Figure 1, recomputed ───────────────────────────────────────────
+    println!("{}", parlog::figure1::figure1());
+}

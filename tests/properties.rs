@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) for the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use parlog::mpc::prelude::*;
+use parlog::prelude::*;
+use parlog::relal::policy::DistributionPolicy;
+
+/// Strategy: a small random instance over binary relations R, S (and E).
+fn small_instance(max_facts: usize, domain: u64) -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0..3u8, 0..domain, 0..domain), 0..max_facts).prop_map(|triples| {
+        Instance::from_facts(triples.into_iter().map(|(r, a, b)| {
+            let name = match r {
+                0 => "R",
+                1 => "S",
+                _ => "E",
+            };
+            parlog::relal::fact::fact(name, &[a, b])
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The indexed evaluator agrees with the naive all-valuations one.
+    #[test]
+    fn eval_matches_naive(db in small_instance(14, 5)) {
+        for src in [
+            "H(x,z) <- R(x,y), S(y,z)",
+            "H(x) <- R(x,y), E(y,x)",
+            "H(x,y) <- R(x,y), R(y,x), x != y",
+            "H(x) <- R(x,x), not S(x,x)",
+        ] {
+            let q = parse_query(src).unwrap();
+            prop_assert_eq!(
+                eval_query(&q, &db),
+                parlog::relal::eval::eval_query_naive(&q, &db)
+            );
+        }
+    }
+
+    /// [Q,P](I) ⊆ Q(I) for plain CQs under any partitioning policy
+    /// (monotonicity of CQs: local results are always globally valid).
+    #[test]
+    fn distributed_result_is_sound(db in small_instance(14, 5), seed in 0u64..100) {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let policy = parlog::relal::policy::HashPolicy::new(3, seed);
+        let dist = parlog::pc::parallel_result(&q, &policy, &db);
+        prop_assert!(dist.is_subset_of(&eval_query(&q, &db)));
+    }
+
+    /// HyperCube computes every query correctly on random data.
+    #[test]
+    fn hypercube_is_correct(db in small_instance(20, 6), p in 2usize..20) {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        let hc = HypercubeAlgorithm::new(&q, p).unwrap();
+        prop_assert_eq!(hc.run(&db, 0).output, eval_query(&q, &db));
+    }
+
+    /// The grouped join is correct and its load never exceeds what a
+    /// single server would receive (m).
+    #[test]
+    fn grouped_join_correct_and_bounded(db in small_instance(24, 4), p in 4usize..26) {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        let r = GroupedJoin::new(&q, p, 3).run(&db);
+        prop_assert_eq!(r.output, eval_query(&q, &db));
+        prop_assert!(r.stats.max_load <= db.len());
+    }
+
+    /// Semi-naive Datalog equals naive Datalog.
+    #[test]
+    fn semi_naive_equals_naive(db in small_instance(12, 4)) {
+        let p = parlog::datalog::program::parse_program(
+            "TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), E(z,y)\nBoth(x,y) <- TC(x,y), R(x,y)",
+        ).unwrap();
+        prop_assert_eq!(
+            parlog::datalog::eval_program(&p, &db).unwrap(),
+            parlog::datalog::eval_program_naive(&p, &db).unwrap()
+        );
+    }
+
+    /// Components partition the instance and are pairwise domain-disjoint.
+    #[test]
+    fn components_partition(db in small_instance(16, 6)) {
+        let comps = db.components();
+        let mut union = Instance::new();
+        for c in &comps {
+            prop_assert!(!c.is_empty());
+            let rest = db.difference(c);
+            prop_assert!(rest.is_domain_disjoint_extension(c));
+            union.extend_from(c);
+        }
+        prop_assert_eq!(union, db);
+    }
+
+    /// Fractional edge packing and vertex cover have equal value (LP
+    /// duality) on random-ish acyclic and cyclic query shapes.
+    #[test]
+    fn packing_duality(n_atoms in 1usize..5) {
+        // Build a chain query with n_atoms atoms.
+        let body: Vec<String> = (0..n_atoms)
+            .map(|i| format!("R{i}(v{i}, v{})", i + 1))
+            .collect();
+        let head_vars: Vec<String> = (0..=n_atoms).map(|i| format!("v{i}")).collect();
+        let src = format!("H({}) <- {}", head_vars.join(","), body.join(", "));
+        let q = parse_query(&src).unwrap();
+        let p = parlog::relal::packing::fractional_edge_packing(&q).unwrap();
+        let c = parlog::relal::packing::fractional_vertex_cover(&q).unwrap();
+        prop_assert!((p.value - c.value).abs() < 1e-6);
+        // Chain of n atoms: τ* = ⌈n/2⌉ (matching number of a path).
+        prop_assert!((p.value - (n_atoms as f64 / 2.0).ceil()).abs() < 1e-6);
+    }
+
+    /// Monotone broadcast computes a monotone query on random instances,
+    /// networks and schedules — a randomized slice of Theorem 5.3.
+    #[test]
+    fn monotone_broadcast_consistent(
+        db in small_instance(10, 4),
+        n in 1usize..4,
+        seed in 0u64..50,
+    ) {
+        use parlog::transducer::prelude::*;
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let expected = eval_query(&q, &db);
+        let program = MonotoneBroadcast::new(q);
+        let shards = hash_distribution(&db, n, seed);
+        prop_assert_eq!(run_to_quiescence(&program, &shards, seed), expected);
+    }
+
+    /// Minimal valuations derive the same outputs as all valuations:
+    /// Q(I) = {V(head) : V minimal and satisfied on I}.
+    #[test]
+    fn minimal_valuations_suffice(db in small_instance(10, 4)) {
+        let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+        let full = eval_query(&q, &db);
+        let via_minimal = Instance::from_facts(
+            parlog::relal::minimal::minimal_valuations(&q, &db)
+                .iter()
+                .map(|v| v.derived_fact(&q)),
+        );
+        prop_assert_eq!(full, via_minimal);
+    }
+
+    /// Distributed relational algebra equals centralized evaluation on
+    /// random instances and expressions from a small pool.
+    #[test]
+    fn distributed_ra_matches_centralized(db in small_instance(16, 5), p in 2usize..10) {
+        use parlog::relal::algebra::{eval_ra, Condition, RaExpr};
+        let exprs = [
+            RaExpr::rel("R", 2).join(RaExpr::rel("S", 2), vec![(1, 0)]),
+            RaExpr::rel("R", 2).semijoin(RaExpr::rel("S", 2), vec![(1, 0)]),
+            RaExpr::rel("R", 2).antijoin(RaExpr::rel("S", 2), vec![(0, 0)]),
+            RaExpr::rel("R", 2).difference(RaExpr::rel("S", 2)),
+            RaExpr::rel("R", 2)
+                .union(RaExpr::rel("S", 2))
+                .select(vec![Condition::Neq(0, 1)])
+                .project(vec![1, 0]),
+        ];
+        for (i, e) in exprs.iter().enumerate() {
+            let central = eval_ra(e, &db).unwrap();
+            let report = parlog::mpc::ra_distributed::DistributedRa::new(p, 3)
+                .run(e, &db, "Out")
+                .unwrap();
+            let got: std::collections::BTreeSet<Vec<parlog::relal::fact::Val>> = report
+                .output
+                .iter()
+                .map(|f| f.args.clone())
+                .collect();
+            let want: std::collections::BTreeSet<Vec<parlog::relal::fact::Val>> =
+                central.into_iter().collect();
+            prop_assert_eq!(got, want, "expression {}", i);
+        }
+    }
+
+    /// The MapReduce embedding of the repartition join equals both the
+    /// native MPC algorithm and the centralized evaluation.
+    #[test]
+    fn mapreduce_matches_mpc(db in small_instance(16, 5), p in 2usize..8) {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        let expected = eval_query(&q, &db);
+        let mr = parlog::mpc::mapreduce::repartition_join_program().run(&db, p, 1);
+        prop_assert_eq!(&mr.output, &expected);
+        let native = RepartitionJoin::new(&q, p, 1).run(&db);
+        prop_assert_eq!(&native.output, &expected);
+    }
+
+    /// SharesSkew is correct for any threshold (including ones that make
+    /// everything heavy or everything light).
+    #[test]
+    fn shares_skew_correct_for_any_threshold(
+        db in small_instance(20, 4),
+        threshold in 1usize..20,
+    ) {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap();
+        let alg = parlog::mpc::shares_skew::SharesSkewAlgorithm::from_stats(
+            &q, &db, 16, threshold, 3, 5,
+        );
+        prop_assert_eq!(alg.run(&db).output, eval_query(&q, &db));
+    }
+
+    /// Scale independence: when a bounded plan exists, bounded evaluation
+    /// agrees with the full evaluator.
+    #[test]
+    fn bounded_eval_matches_full_eval(db in small_instance(14, 4)) {
+        use parlog::scale::{bounded_plan, eval_bounded, AccessConstraint, AccessSchema};
+        let q = parse_query("H(y, z) <- R(1, y), S(y, z)").unwrap();
+        let schema = AccessSchema::new(vec![
+            AccessConstraint::new("R", vec![0], 20),
+            AccessConstraint::new("S", vec![0], 20),
+        ]);
+        if let Some(plan) = bounded_plan(&q, &schema) {
+            let r = eval_bounded(&q, &db, &plan);
+            prop_assert_eq!(r.output, eval_query(&q, &db));
+        }
+    }
+
+    /// Policies distribute soundly: local instances contain only facts the
+    /// node is responsible for, and a ReplicateAll policy reproduces I.
+    #[test]
+    fn policy_distribution_is_sound(db in small_instance(12, 5), seed in 0u64..20) {
+        let hash = parlog::relal::policy::HashPolicy::new(4, seed);
+        for node in 0..4 {
+            for f in hash.local_instance(node, &db).iter() {
+                prop_assert!(hash.responsible(node, f));
+            }
+        }
+        let all = parlog::relal::policy::ReplicateAll { num_nodes: 2 };
+        prop_assert_eq!(all.local_instance(0, &db), db.clone());
+    }
+}
