@@ -1,0 +1,375 @@
+//! The fault-tolerance matrix: what Figure 2 looks like *under chaos*.
+//!
+//! Section 5's model states that "messages can be arbitrarily delayed but
+//! are never lost" and that nodes never fail. The matrix makes those
+//! assumptions injectable and machine-checks each cell: for every
+//! coordination-free strategy class (F0 / F1 / F2) and the explicitly
+//! coordinating barrier program, and for every [`FaultClass`], it runs the
+//! representative program under seeded fault plans and compares the union
+//! of outputs against the centralized answer `Q(I)`:
+//!
+//! * [`Verdict::Consistent`] — every seeded run produced exactly `Q(I)`:
+//!   the fault is absorbed.
+//! * [`Verdict::SoundOnly`] — no run ever output a fact outside `Q(I)`,
+//!   but at least one run was incomplete: the fault breaks *eventual
+//!   consistency* while soundness survives.
+//! * [`Verdict::Fails`] — some run output a fact not in `Q(I)`: the fault
+//!   breaks the program outright.
+//!
+//! The within-model faults (reorder, duplicate, delay) are exactly the
+//! adversities the asynchronous model already quantifies over, so the
+//! CALM strategies must stay [`Verdict::Consistent`] there — that is the
+//! machine-checked content of coordination-freeness. Loss and crashes
+//! step *outside* the model; the matrix shows they cost the CALM classes
+//! completeness at worst, never soundness. The barrier-based coordinated
+//! program, by contrast, *fails outright* under duplication: a duplicated
+//! message can be the one that brings a sender's count up to its
+//! end-of-data total while a distinct fact is still in flight, so the
+//! barrier opens on incomplete data and the non-monotone query outputs
+//! facts not in `Q(I)`. Counting messages is exactly the kind of
+//! coordination the model's faults can subvert; set-based monotone state
+//! cannot be.
+
+use parlog_faults::{FaultClass, FaultPlan};
+use parlog_relal::eval::eval_query;
+use parlog_relal::fact::fact;
+use parlog_relal::instance::Instance;
+use parlog_relal::parser::parse_query;
+use parlog_relal::policy::{DomainGuidedPolicy, HashPolicy};
+use parlog_transducer::distribution::{hash_distribution, policy_distribution};
+use parlog_transducer::network::QueryFunction;
+use parlog_transducer::prelude::{
+    CoordinatedBroadcast, DisjointComponent, MonotoneBroadcast, PolicyAwareCq,
+};
+use parlog_transducer::program::{Ctx, TransducerProgram};
+use parlog_transducer::scheduler::{run_with_faults, Schedule};
+use std::fmt;
+use std::sync::Arc;
+
+/// The seeds every cell is checked under.
+pub const MATRIX_SEEDS: [u64; 3] = [1, 2, 3];
+
+/// The machine-checked outcome of one (program class, fault class) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum Verdict {
+    /// Every seeded run produced exactly `Q(I)`.
+    Consistent,
+    /// All outputs stayed within `Q(I)`, but some run was incomplete.
+    SoundOnly,
+    /// Some run produced a fact outside `Q(I)`.
+    Fails,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Consistent => "consistent",
+            Verdict::SoundOnly => "sound-only",
+            Verdict::Fails => "FAILS",
+        })
+    }
+}
+
+/// One cell of the matrix.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FaultMatrixRow {
+    /// Program name (the representative strategy of the class).
+    pub program: String,
+    /// Transducer class: "F0", "F1", "F2", or "coord" for the barrier.
+    pub class: &'static str,
+    /// The injected fault class.
+    pub fault: &'static str,
+    /// Whether the fault is within the survey's asynchronous model.
+    pub within_model: bool,
+    /// The verdict over all seeds in [`MATRIX_SEEDS`].
+    pub verdict: Verdict,
+}
+
+/// The full matrix.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FaultMatrix {
+    /// One row per (program, fault class) pair.
+    pub rows: Vec<FaultMatrixRow>,
+}
+
+impl FaultMatrix {
+    /// Look up a cell by class label and fault name.
+    pub fn cell(&self, class: &str, fault: &str) -> Option<&FaultMatrixRow> {
+        self.rows
+            .iter()
+            .find(|r| r.class == class && r.fault == fault)
+    }
+}
+
+impl fmt::Display for FaultMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:<6} {:<14} {:<13} verdict",
+            "program", "class", "fault", "within-model"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<24} {:<6} {:<14} {:<13} {}",
+                r.program,
+                r.class,
+                r.fault,
+                if r.within_model { "yes" } else { "no" },
+                r.verdict
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Run one program under every fault class and aggregate per-seed
+/// outcomes into verdicts.
+fn verdicts_for<P: TransducerProgram + ?Sized>(
+    program: &P,
+    label: &'static str,
+    shards: &[Instance],
+    ctx: &Ctx,
+    expected: &Instance,
+    seeds: &[u64],
+    rows: &mut Vec<FaultMatrixRow>,
+) {
+    for class in FaultClass::ALL {
+        let mut all_exact = true;
+        let mut unsound = false;
+        for &seed in seeds {
+            let plan = FaultPlan::for_class(class, seed);
+            let (out, _) =
+                run_with_faults(program, shards, ctx.clone(), Schedule::Random(seed), &plan);
+            if !out.is_subset_of(expected) {
+                unsound = true;
+            } else if out != *expected {
+                all_exact = false;
+            }
+        }
+        rows.push(FaultMatrixRow {
+            program: program.name().to_string(),
+            class: label,
+            fault: class.name(),
+            within_model: class.within_model(),
+            verdict: if unsound {
+                Verdict::Fails
+            } else if all_exact {
+                Verdict::Consistent
+            } else {
+                Verdict::SoundOnly
+            },
+        });
+    }
+}
+
+/// Recompute the whole matrix over the survey's representative programs
+/// (seeds fixed to [`MATRIX_SEEDS`]).
+pub fn fault_matrix() -> FaultMatrix {
+    fault_matrix_with_seeds(&MATRIX_SEEDS)
+}
+
+/// [`fault_matrix`] under caller-chosen seeds.
+pub fn fault_matrix_with_seeds(seeds: &[u64]) -> FaultMatrix {
+    let mut rows = Vec::new();
+
+    // F0 — monotone broadcast on the path query, hash-distributed.
+    {
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let db = Instance::from_facts(
+            (0..12u64).flat_map(|i| [fact("E", &[i, (i + 1) % 12]), fact("E", &[(i * 5) % 12, i])]),
+        );
+        let expected = eval_query(&q, &db);
+        let shards = hash_distribution(&db, 4, 9);
+        let p = MonotoneBroadcast::new(q);
+        verdicts_for(
+            &p,
+            "F0",
+            &shards,
+            &Ctx::oblivious(),
+            &expected,
+            seeds,
+            &mut rows,
+        );
+    }
+
+    // F1 — policy-aware CQ¬ (open triangles) under a hash policy.
+    {
+        let q = parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap();
+        let db = Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[3, 1]),
+            fact("E", &[2, 4]),
+            fact("E", &[4, 6]),
+        ]);
+        let expected = eval_query(&q, &db);
+        let policy = Arc::new(HashPolicy::new(3, 11));
+        let shards = policy_distribution(&db, policy.as_ref());
+        let ctx = Ctx::oblivious().with_policy(policy);
+        let p = PolicyAwareCq::new(q);
+        verdicts_for(&p, "F1", &shards, &ctx, &expected, seeds, &mut rows);
+    }
+
+    // F2 — domain-guided component algorithm on ¬TC.
+    {
+        let prog = parlog_datalog::program::parse_program(
+            "TC(x,y) <- E(x,y)
+             TC(x,y) <- TC(x,z), TC(z,y)
+             NTC(x,y) <- ADom(x), ADom(y), not TC(x,y)",
+        )
+        .unwrap();
+        let q = crate::figure2::datalog_query(prog, "NTC");
+        let db =
+            Instance::from_facts([fact("E", &[1, 2]), fact("E", &[2, 3]), fact("E", &[10, 11])]);
+        let expected = q.eval(&db);
+        let policy = Arc::new(DomainGuidedPolicy::new(3, 13));
+        let shards = policy_distribution(&db, policy.as_ref());
+        let ctx = Ctx::oblivious().with_policy(policy);
+        let p = DisjointComponent::new(q);
+        verdicts_for(&p, "F2", &shards, &ctx, &expected, seeds, &mut rows);
+    }
+
+    // The explicitly coordinating barrier program (outside F0–F2).
+    {
+        let q = parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap();
+        let db = Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[3, 1]),
+            fact("E", &[2, 4]),
+        ]);
+        let expected = eval_query(&q, &db);
+        let shards = hash_distribution(&db, 3, 2);
+        let p = CoordinatedBroadcast::new(q);
+        verdicts_for(
+            &p,
+            "coord",
+            &shards,
+            &Ctx::aware(3),
+            &expected,
+            seeds,
+            &mut rows,
+        );
+    }
+
+    FaultMatrix { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> FaultMatrix {
+        fault_matrix()
+    }
+
+    #[test]
+    fn f0_is_consistent_under_every_within_model_fault() {
+        // The acceptance claim of coordination-freeness under chaos:
+        // reorder, duplicate and delay are absorbed by F0 on all seeds.
+        let m = matrix();
+        for fault in ["reorder", "duplicate", "delay"] {
+            assert_eq!(
+                m.cell("F0", fault).unwrap().verdict,
+                Verdict::Consistent,
+                "F0 under {fault}"
+            );
+        }
+    }
+
+    #[test]
+    fn oblivious_classes_absorb_within_model_faults() {
+        // F1 and F2 are set-based too: the within-model faults cost them
+        // nothing. (This is where the barrier program differs — see
+        // below.)
+        let m = matrix();
+        for class in ["F1", "F2"] {
+            for fault in ["reorder", "duplicate", "delay"] {
+                assert_eq!(
+                    m.cell(class, fault).unwrap().verdict,
+                    Verdict::Consistent,
+                    "{class} under {fault}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_and_crash_stop_break_completeness_never_soundness() {
+        // Outside the model, runs may stall incomplete — but dropped
+        // messages and dead nodes never make any program invent a fact.
+        let m = matrix();
+        for r in m
+            .rows
+            .iter()
+            .filter(|r| r.fault == "loss" || r.fault == "crash-stop")
+        {
+            assert_ne!(r.verdict, Verdict::Fails, "{} under {}", r.class, r.fault);
+        }
+        for fault in ["loss", "crash-stop"] {
+            assert_eq!(
+                m.cell("F0", fault).unwrap().verdict,
+                Verdict::SoundOnly,
+                "F0 under {fault} must lose completeness"
+            );
+        }
+    }
+
+    #[test]
+    fn calm_classes_never_fail_under_any_fault() {
+        // The CALM-under-chaos claim: across every fault class — including
+        // the ones outside the model — the coordination-free strategies
+        // degrade to sound-but-incomplete at worst.
+        let m = matrix();
+        for r in m.rows.iter().filter(|r| r.class != "coord") {
+            assert_ne!(r.verdict, Verdict::Fails, "{} under {}", r.class, r.fault);
+        }
+    }
+
+    #[test]
+    fn crash_recover_is_absorbed_by_replicating_broadcast() {
+        // A recovering F0 node re-runs init and rebroadcasts its shard;
+        // the surviving nodes re-derive the full answer, so the union is
+        // exact even though the recovered node's own view stays partial.
+        let m = matrix();
+        assert_eq!(
+            m.cell("F0", "crash-recover").unwrap().verdict,
+            Verdict::Consistent
+        );
+    }
+
+    #[test]
+    fn coordination_fails_outright_under_duplication() {
+        // The barrier counts messages: when a duplicate is the delivery
+        // that brings a sender's count to its end-of-data total while a
+        // distinct fact is still in flight, the barrier opens on
+        // incomplete data and the non-monotone query emits facts outside
+        // Q(I). A *within-model* fault — harmless to every CALM class —
+        // makes explicit coordination unsound.
+        let m = matrix();
+        assert_eq!(
+            m.cell("coord", "duplicate").unwrap().verdict,
+            Verdict::Fails
+        );
+        // Pure reordering and delay are still fine: counting is
+        // order-insensitive, and every message eventually arrives once.
+        assert_eq!(
+            m.cell("coord", "reorder").unwrap().verdict,
+            Verdict::Consistent
+        );
+        assert_eq!(
+            m.cell("coord", "delay").unwrap().verdict,
+            Verdict::Consistent
+        );
+    }
+
+    #[test]
+    fn matrix_covers_every_cell_and_serializes() {
+        let m = matrix();
+        assert_eq!(m.rows.len(), 4 * FaultClass::ALL.len());
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"verdict\""));
+        assert!(json.contains("\"within_model\""));
+    }
+}

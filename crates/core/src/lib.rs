@@ -23,6 +23,11 @@
 //!   lattice of Example 4.11 and [`figure2`] recomputes the class-
 //!   correspondence table of Section 5, both machine-checked against the
 //!   paper in the test suite.
+//! * **Faults** — [`fault_matrix`] stress-tests the Section 5 strategies
+//!   under injected faults (reorder/duplicate/delay, loss, crashes) and
+//!   records a machine-checked verdict per cell: within-model faults are
+//!   absorbed by the CALM classes, everything else costs completeness
+//!   but never soundness.
 //!
 //! ```
 //! use parlog::prelude::*;
@@ -36,6 +41,7 @@
 //! ```
 
 pub mod calm;
+pub mod fault_matrix;
 pub mod figure1;
 pub mod figure2;
 pub mod pc;
@@ -44,6 +50,7 @@ pub mod scale;
 pub mod transfer;
 
 pub use parlog_datalog as datalog;
+pub use parlog_faults as faults;
 pub use parlog_mpc as mpc;
 pub use parlog_relal as relal;
 pub use parlog_transducer as transducer;

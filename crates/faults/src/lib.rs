@@ -1,0 +1,538 @@
+//! # `parlog-faults` — deterministic fault injection for both substrates
+//!
+//! The survey's asynchronous model (§5.1) assumes messages "can be
+//! arbitrarily delayed but never lost", and the MPC model (§3) assumes
+//! reliable synchronized rounds. This crate turns those assumptions into
+//! *configuration*: a seeded [`FaultPlan`] describes which faults a run
+//! injects — message **drop**, **duplicate**, **reorder**, **delay**,
+//! node **crash-stop** / **crash-recover**, and **stragglers** — so that
+//! the CALM-style guarantees can be machine-checked per fault class
+//! instead of assumed globally.
+//!
+//! Design rules:
+//!
+//! * **Determinism.** Every probabilistic decision flows from one seeded
+//!   generator ([`FaultInjector`]); the same plan on the same run yields
+//!   the same faults. Experiments are replayable by seed.
+//! * **Substrate-agnostic.** Nodes/servers are plain `usize` ids; the
+//!   transducer scheduler consumes per-message [`MessageFate`]s and crash
+//!   events, the MPC cluster consumes per-round crash/straggler plans
+//!   ([`MpcFaultPlan`]).
+//! * **Faults compose.** A plan may combine classes; the canonical
+//!   single-class plans used by the fault-tolerance matrix come from
+//!   [`FaultPlan::for_class`].
+
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fault classes of the tolerance matrix, ordered from "allowed by
+/// the paper's model" to "explicitly excluded by it".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum FaultClass {
+    /// Arbitrary message reordering — *allowed* by the asynchronous model
+    /// (delivery is nondeterministic); monotone programs must tolerate it
+    /// without coordination.
+    Reorder,
+    /// Message duplication — receivers are sets, so idempotence should
+    /// absorb it; the model's fair schedules already permit re-delivery.
+    Duplicate,
+    /// Finite message delay — allowed ("arbitrarily delayed"); only
+    /// unbounded delay (= loss) is excluded.
+    Delay,
+    /// Message loss — **violates** the model's no-loss assumption.
+    Loss,
+    /// A node crashes and later recovers from its last snapshot, losing
+    /// everything since — violates the model's assumption that nodes are
+    /// always responsive.
+    CrashRecover,
+    /// A node crashes and never returns — the strongest violation.
+    CrashStop,
+}
+
+impl FaultClass {
+    /// All classes, in matrix order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::Reorder,
+        FaultClass::Duplicate,
+        FaultClass::Delay,
+        FaultClass::Loss,
+        FaultClass::CrashRecover,
+        FaultClass::CrashStop,
+    ];
+
+    /// Does the paper's asynchronous model already quantify over this
+    /// fault (true), or does the fault violate a stated assumption
+    /// (false)?
+    pub fn within_model(self) -> bool {
+        matches!(
+            self,
+            FaultClass::Reorder | FaultClass::Duplicate | FaultClass::Delay
+        )
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Reorder => "reorder",
+            FaultClass::Duplicate => "duplicate",
+            FaultClass::Delay => "delay",
+            FaultClass::Loss => "loss",
+            FaultClass::CrashRecover => "crash-recover",
+            FaultClass::CrashStop => "crash-stop",
+        }
+    }
+}
+
+/// What happens to one in-flight message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Delivered normally.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Delivered, and an extra copy is enqueued.
+    Duplicate,
+    /// Held back for the given number of delivery steps.
+    Delay(u32),
+}
+
+/// How a crashed node comes back (or doesn't).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum CrashKind {
+    /// Crash-stop: the node never processes another message.
+    Stop,
+    /// Crash-recover: after `downtime` delivery steps the node resumes
+    /// from its last snapshot; messages addressed to it while down are
+    /// lost.
+    Recover {
+        /// Delivery steps the node stays down.
+        downtime: usize,
+    },
+}
+
+/// A scheduled node crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct CrashEvent {
+    /// The node that crashes.
+    pub node: usize,
+    /// Global delivery step at which the crash fires.
+    pub at_step: usize,
+    /// Stop or recover.
+    pub kind: CrashKind,
+}
+
+/// A deliberately slow server (MPC tail-latency accounting).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Straggler {
+    /// The slow server.
+    pub node: usize,
+    /// Multiplicative slowdown (≥ 1.0): virtual time to absorb one unit
+    /// of load, relative to a healthy server.
+    pub slowdown: f64,
+}
+
+/// Ack/retransmit-with-backoff — the *explicit coordination* that buys
+/// back reliability under loss. Used by the transducer runtime's
+/// reliable mode; every retransmission and ack is counted, making the
+/// coordination overhead measurable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct RetransmitPolicy {
+    /// Retransmission attempts per (message, destination) before giving
+    /// up.
+    pub max_retries: u32,
+    /// Heartbeats to wait before the first retransmission; doubles per
+    /// attempt (exponential backoff).
+    pub backoff_base: u32,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> RetransmitPolicy {
+        RetransmitPolicy {
+            max_retries: 16,
+            backoff_base: 1,
+        }
+    }
+}
+
+/// A complete, seeded description of the faults one run injects.
+///
+/// The all-zero plan (see [`FaultPlan::none`]) injects nothing: a
+/// scheduler driving a run through `FaultPlan::none` must behave exactly
+/// like the fault-free code path (regression-tested in the transducer
+/// crate).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the schedule seed).
+    pub seed: u64,
+    /// Per-message drop probability.
+    pub drop_prob: f64,
+    /// Per-message duplication probability.
+    pub dup_prob: f64,
+    /// Per-message probability of being enqueued at a random position
+    /// instead of the back (reordering beyond what the schedule does).
+    pub reorder_prob: f64,
+    /// Per-message probability of being held back.
+    pub delay_prob: f64,
+    /// Maximum hold-back, in delivery steps.
+    pub max_delay: u32,
+    /// Scheduled node crashes.
+    pub crashes: Vec<CrashEvent>,
+    /// Slow servers (consumed by the MPC cluster's load accounting).
+    pub stragglers: Vec<Straggler>,
+    /// When set, the runtime runs its reliable (ack/retransmit) mode.
+    pub retransmit: Option<RetransmitPolicy>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults at all.
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+            crashes: Vec::new(),
+            stragglers: Vec::new(),
+            retransmit: None,
+        }
+    }
+
+    /// Message loss with probability `p` per message.
+    pub fn lossy(seed: u64, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        FaultPlan {
+            drop_prob: p,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Message duplication with probability `p` per message.
+    pub fn duplicating(seed: u64, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "dup probability out of range");
+        FaultPlan {
+            dup_prob: p,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Random-position enqueue with probability `p` per message.
+    pub fn reordering(seed: u64, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "reorder probability out of range");
+        FaultPlan {
+            reorder_prob: p,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Hold messages back up to `max_delay` steps with probability `p`.
+    pub fn delaying(seed: u64, p: f64, max_delay: u32) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "delay probability out of range");
+        FaultPlan {
+            delay_prob: p,
+            max_delay,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// One crash-stop of `node` at delivery step `at_step`.
+    pub fn crash_stop(seed: u64, node: usize, at_step: usize) -> FaultPlan {
+        FaultPlan {
+            crashes: vec![CrashEvent {
+                node,
+                at_step,
+                kind: CrashKind::Stop,
+            }],
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// One crash-recover of `node` at `at_step`, down for `downtime`
+    /// steps.
+    pub fn crash_recover(seed: u64, node: usize, at_step: usize, downtime: usize) -> FaultPlan {
+        FaultPlan {
+            crashes: vec![CrashEvent {
+                node,
+                at_step,
+                kind: CrashKind::Recover { downtime },
+            }],
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// The canonical single-class plan used by the fault-tolerance
+    /// matrix: moderate intensities chosen so faults actually fire on
+    /// small test instances while runs still terminate.
+    pub fn for_class(class: FaultClass, seed: u64) -> FaultPlan {
+        match class {
+            FaultClass::Reorder => FaultPlan::reordering(seed, 0.5),
+            FaultClass::Duplicate => FaultPlan::duplicating(seed, 0.3),
+            FaultClass::Delay => FaultPlan::delaying(seed, 0.3, 8),
+            FaultClass::Loss => FaultPlan::lossy(seed, 0.35),
+            FaultClass::CrashRecover => {
+                FaultPlan::crash_recover(seed, (seed as usize) % 3, 4 + (seed as usize) % 5, 6)
+            }
+            FaultClass::CrashStop => {
+                FaultPlan::crash_stop(seed, (seed as usize) % 3, 4 + (seed as usize) % 5)
+            }
+        }
+    }
+
+    /// Add ack/retransmit (explicit coordination) to this plan.
+    pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> FaultPlan {
+        self.retransmit = Some(policy);
+        self
+    }
+
+    /// Add a straggler.
+    pub fn with_straggler(mut self, node: usize, slowdown: f64) -> FaultPlan {
+        assert!(slowdown >= 1.0, "a straggler cannot be faster than healthy");
+        self.stragglers.push(Straggler { node, slowdown });
+        self
+    }
+
+    /// Does this plan inject nothing?
+    pub fn is_benign(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.reorder_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.crashes.is_empty()
+    }
+
+    /// Build the stateful injector that rolls this plan's dice.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(self.seed ^ 0xfau64.rotate_left(32)),
+            plan: self.clone(),
+        }
+    }
+
+    /// Slowdown factor for `node` (1.0 when healthy).
+    pub fn slowdown(&self, node: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|s| s.node == node)
+            .map_or(1.0, |s| s.slowdown)
+    }
+}
+
+/// The stateful dice-roller for a [`FaultPlan`]. One injector per run;
+/// decisions are consumed in run order, so a fixed (plan, run) pair is
+/// fully reproducible.
+pub struct FaultInjector {
+    rng: StdRng,
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Decide the fate of the next message send. Rolls are ordered
+    /// drop → duplicate → delay so that class probabilities are
+    /// independent of each other's settings.
+    pub fn fate(&mut self) -> MessageFate {
+        if self.plan.drop_prob > 0.0 && self.rng.gen_bool(self.plan.drop_prob) {
+            return MessageFate::Drop;
+        }
+        if self.plan.dup_prob > 0.0 && self.rng.gen_bool(self.plan.dup_prob) {
+            return MessageFate::Duplicate;
+        }
+        if self.plan.delay_prob > 0.0
+            && self.plan.max_delay > 0
+            && self.rng.gen_bool(self.plan.delay_prob)
+        {
+            return MessageFate::Delay(self.rng.gen_range(1..=self.plan.max_delay));
+        }
+        MessageFate::Deliver
+    }
+
+    /// Position at which to enqueue a message into a buffer of length
+    /// `len`: `None` = back (normal), `Some(i)` = reordered insert.
+    pub fn enqueue_position(&mut self, len: usize) -> Option<usize> {
+        if len == 0 || self.plan.reorder_prob == 0.0 || !self.rng.gen_bool(self.plan.reorder_prob) {
+            return None;
+        }
+        Some(self.rng.gen_range(0..=len))
+    }
+
+    /// The crash event (if any) scheduled for `node` at exactly `step`.
+    pub fn crash_at(&self, node: usize, step: usize) -> Option<CrashEvent> {
+        self.plan
+            .crashes
+            .iter()
+            .copied()
+            .find(|c| c.node == node && c.at_step == step)
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+/// Per-round faults for the synchronous MPC substrate: server crashes by
+/// (round, server) plus stragglers, with a bounded retry budget for
+/// checkpoint/replay recovery.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct MpcFaultPlan {
+    /// `(round, server)` pairs: the server crashes during that
+    /// communication round (0-based round index, counting every attempt
+    /// of every round in execution order — so a retried round can be hit
+    /// again).
+    pub crashes: Vec<(usize, usize)>,
+    /// Slow servers: their received load is scaled by `slowdown` in the
+    /// tail-time accounting.
+    pub stragglers: Vec<Straggler>,
+    /// Replay attempts allowed per round before the run panics (a real
+    /// system would escalate; the simulator treats budget exhaustion as
+    /// a test failure).
+    pub max_retries: u32,
+}
+
+impl MpcFaultPlan {
+    /// No faults.
+    pub fn none() -> MpcFaultPlan {
+        MpcFaultPlan {
+            crashes: Vec::new(),
+            stragglers: Vec::new(),
+            max_retries: 3,
+        }
+    }
+
+    /// Crash `server` during `round` (recovered by checkpoint/replay).
+    pub fn crash(round: usize, server: usize) -> MpcFaultPlan {
+        MpcFaultPlan {
+            crashes: vec![(round, server)],
+            ..MpcFaultPlan::none()
+        }
+    }
+
+    /// Add another crash.
+    pub fn with_crash(mut self, round: usize, server: usize) -> MpcFaultPlan {
+        self.crashes.push((round, server));
+        self
+    }
+
+    /// Add a straggler.
+    pub fn with_straggler(mut self, node: usize, slowdown: f64) -> MpcFaultPlan {
+        assert!(slowdown >= 1.0, "a straggler cannot be faster than healthy");
+        self.stragglers.push(Straggler { node, slowdown });
+        self
+    }
+
+    /// Does `server` crash during (attempt-counted) round `round`?
+    pub fn crashes_in(&self, round: usize, server: usize) -> bool {
+        self.crashes.contains(&(round, server))
+    }
+
+    /// Slowdown factor for `server` (1.0 when healthy).
+    pub fn slowdown(&self, server: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|s| s.node == server)
+            .map_or(1.0, |s| s.slowdown)
+    }
+}
+
+impl Default for MpcFaultPlan {
+    fn default() -> MpcFaultPlan {
+        MpcFaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_plan_injects_nothing() {
+        let plan = FaultPlan::none(7);
+        assert!(plan.is_benign());
+        let mut inj = plan.injector();
+        for _ in 0..1000 {
+            assert_eq!(inj.fate(), MessageFate::Deliver);
+            assert_eq!(inj.enqueue_position(5), None);
+        }
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let plan = FaultPlan::lossy(3, 0.5);
+        let a: Vec<MessageFate> = {
+            let mut i = plan.injector();
+            (0..100).map(|_| i.fate()).collect()
+        };
+        let b: Vec<MessageFate> = {
+            let mut i = plan.injector();
+            (0..100).map(|_| i.fate()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.contains(&MessageFate::Drop));
+        assert!(a.contains(&MessageFate::Deliver));
+    }
+
+    #[test]
+    fn class_plans_match_their_class() {
+        for class in FaultClass::ALL {
+            let plan = FaultPlan::for_class(class, 11);
+            assert!(!plan.is_benign(), "{class:?} plan must inject something");
+            match class {
+                FaultClass::Loss => assert!(plan.drop_prob > 0.0),
+                FaultClass::Duplicate => assert!(plan.dup_prob > 0.0),
+                FaultClass::Reorder => assert!(plan.reorder_prob > 0.0),
+                FaultClass::Delay => assert!(plan.delay_prob > 0.0 && plan.max_delay > 0),
+                FaultClass::CrashStop => {
+                    assert!(matches!(plan.crashes[0].kind, CrashKind::Stop));
+                }
+                FaultClass::CrashRecover => {
+                    assert!(matches!(plan.crashes[0].kind, CrashKind::Recover { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_model_split() {
+        assert!(FaultClass::Reorder.within_model());
+        assert!(FaultClass::Duplicate.within_model());
+        assert!(FaultClass::Delay.within_model());
+        assert!(!FaultClass::Loss.within_model());
+        assert!(!FaultClass::CrashStop.within_model());
+        assert!(!FaultClass::CrashRecover.within_model());
+    }
+
+    #[test]
+    fn delay_fates_bounded() {
+        let plan = FaultPlan::delaying(5, 1.0, 4);
+        let mut inj = plan.injector();
+        for _ in 0..200 {
+            match inj.fate() {
+                MessageFate::Delay(d) => assert!((1..=4).contains(&d)),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mpc_plan_lookup() {
+        let plan = MpcFaultPlan::crash(1, 2).with_straggler(0, 3.0);
+        assert!(plan.crashes_in(1, 2));
+        assert!(!plan.crashes_in(0, 2));
+        assert_eq!(plan.slowdown(0), 3.0);
+        assert_eq!(plan.slowdown(1), 1.0);
+    }
+
+    #[test]
+    fn plans_serialize() {
+        let plan = FaultPlan::for_class(FaultClass::CrashRecover, 2)
+            .with_retransmit(RetransmitPolicy::default());
+        let mut out = String::new();
+        serde::Serialize::json(&plan, &mut out);
+        assert!(out.contains("\"drop_prob\""));
+        assert!(out.contains("Recover"));
+    }
+}

@@ -7,7 +7,25 @@
 //! *load* of a server in a round is the number of facts it receives; the
 //! model's key metrics, maximum load and total communication, are recorded
 //! per round in [`RoundStats`].
+//!
+//! ## Fault tolerance (checkpoint/replay)
+//!
+//! The MPC model's synchronized rounds assume no server fails. With an
+//! [`MpcFaultPlan`] installed ([`Cluster::with_faults`]), servers may
+//! crash during a communication round: the round's results are discarded
+//! and the round **replays from the checkpoint** — the cluster state at
+//! the round's start, which every round implicitly snapshots. Because
+//! routing is deterministic, the replay reproduces the exact no-fault
+//! round: committed [`RoundStats`] and final outputs are *identical* to
+//! a fault-free run, and the price of recovery appears only in
+//! [`RecoveryStats`] (replayed attempts, wasted communication, retry
+//! budget consumed).
+//!
+//! Stragglers don't change what is computed, only how long the barrier
+//! waits: each round's `tail_time` is the received load of the slowest
+//! server scaled by its slowdown factor — `max_load` when nobody lags.
 
+use parlog_faults::MpcFaultPlan;
 use parlog_relal::fact::Fact;
 use parlog_relal::instance::Instance;
 
@@ -36,16 +54,40 @@ pub struct RoundStats {
     pub max_load: usize,
     /// `Σ received` — the survey's "total load"/"communication cost".
     pub total_comm: usize,
+    /// Barrier time of the round in load units: the received load of the
+    /// slowest server scaled by its straggler factor. Equals `max_load`
+    /// when every server is healthy.
+    pub tail_time: f64,
+}
+
+/// What fault recovery cost over a cluster run. All zeros when no fault
+/// plan is installed or no crash fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct RecoveryStats {
+    /// Communication-round attempts executed, including failed ones.
+    pub attempts: usize,
+    /// Failed attempts that were replayed from the round checkpoint.
+    pub replays: usize,
+    /// Communication performed by failed attempts (thrown away).
+    pub wasted_comm: usize,
+    /// Most replays any single round needed.
+    pub max_replays_in_round: u32,
 }
 
 impl RoundStats {
-    fn from_received(received: Vec<usize>) -> RoundStats {
+    fn from_received(received: Vec<usize>, plan: &MpcFaultPlan) -> RoundStats {
         let max_load = received.iter().copied().max().unwrap_or(0);
         let total_comm = received.iter().sum();
+        let tail_time = received
+            .iter()
+            .enumerate()
+            .map(|(s, &r)| r as f64 * plan.slowdown(s))
+            .fold(0.0f64, f64::max);
         RoundStats {
             received,
             max_load,
             total_comm,
+            tail_time,
         }
     }
 
@@ -70,6 +112,8 @@ impl RoundStats {
 pub struct Cluster {
     local: Vec<Instance>,
     rounds: Vec<RoundStats>,
+    faults: MpcFaultPlan,
+    recovery: RecoveryStats,
 }
 
 impl Cluster {
@@ -82,6 +126,76 @@ impl Cluster {
         Cluster {
             local: vec![Instance::new(); p],
             rounds: Vec::new(),
+            faults: MpcFaultPlan::none(),
+            recovery: RecoveryStats::default(),
+        }
+    }
+
+    /// Install a fault plan: per-attempt server crashes (recovered by
+    /// checkpoint/replay) and straggler slowdowns (reflected in
+    /// `tail_time`). Plan crashes are indexed by *attempt number* —
+    /// every communication-round attempt, failed or not, increments it —
+    /// so a replayed attempt can itself be crashed by listing the next
+    /// index.
+    pub fn with_faults(mut self, plan: MpcFaultPlan) -> Cluster {
+        self.faults = plan;
+        self
+    }
+
+    /// The installed fault plan (the empty plan by default).
+    pub fn fault_plan(&self) -> &MpcFaultPlan {
+        &self.faults
+    }
+
+    /// What recovery cost so far.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Barrier time summed over committed rounds: each round costs the
+    /// scaled load of its slowest server. Equals the sum of per-round
+    /// `max_load` when no straggler is configured.
+    pub fn tail_time(&self) -> f64 {
+        self.rounds.iter().map(|r| r.tail_time).sum()
+    }
+
+    /// Commit one communication round with checkpoint/replay: `attempt`
+    /// maps the checkpoint (the current local state, left untouched on
+    /// failure) to the next state and per-server received counts. If the
+    /// fault plan crashes a server during the attempt, the results are
+    /// discarded and the attempt replays — deterministically, so the
+    /// committed stats and state are exactly those of a fault-free run.
+    ///
+    /// # Panics
+    /// Panics when a round exhausts the plan's retry budget.
+    fn commit_round<G>(&mut self, mut attempt: G) -> &RoundStats
+    where
+        G: FnMut(&[Instance]) -> (Vec<Instance>, Vec<usize>),
+    {
+        let mut replays_this_round = 0u32;
+        loop {
+            let attempt_idx = self.recovery.attempts;
+            self.recovery.attempts += 1;
+            let (next, received) = attempt(&self.local);
+            let crashed = (0..self.p()).any(|s| self.faults.crashes_in(attempt_idx, s));
+            if !crashed {
+                self.local = next;
+                self.rounds
+                    .push(RoundStats::from_received(received, &self.faults));
+                return self.rounds.last().expect("just pushed");
+            }
+            // A server died mid-round: throw the attempt away (the
+            // checkpoint — self.local — is untouched) and replay.
+            self.recovery.replays += 1;
+            self.recovery.wasted_comm += received.iter().sum::<usize>();
+            replays_this_round += 1;
+            self.recovery.max_replays_in_round =
+                self.recovery.max_replays_in_round.max(replays_this_round);
+            assert!(
+                replays_this_round <= self.faults.max_retries,
+                "round retry budget ({}) exhausted",
+                self.faults.max_retries
+            );
         }
     }
 
@@ -146,24 +260,24 @@ impl Cluster {
         F: FnMut(&Fact) -> Vec<ServerId>,
     {
         let p = self.p();
-        let mut next: Vec<Instance> = vec![Instance::new(); p];
-        let mut received = vec![0usize; p];
-        // Collect the distinct facts across servers to route each once.
-        let mut all = Instance::new();
-        for inst in &self.local {
-            all.extend_from(inst);
-        }
-        for f in all.iter() {
-            for &dest in route(f).iter() {
-                assert!(dest < p, "destination {dest} out of range for p={p}");
-                if next[dest].insert(f.clone()) {
-                    received[dest] += 1;
+        self.commit_round(move |local| {
+            let mut next: Vec<Instance> = vec![Instance::new(); p];
+            let mut received = vec![0usize; p];
+            // Collect the distinct facts across servers to route each once.
+            let mut all = Instance::new();
+            for inst in local {
+                all.extend_from(inst);
+            }
+            for f in all.iter() {
+                for &dest in route(f).iter() {
+                    assert!(dest < p, "destination {dest} out of range for p={p}");
+                    if next[dest].insert(f.clone()) {
+                        received[dest] += 1;
+                    }
                 }
             }
-        }
-        self.local = next;
-        self.rounds.push(RoundStats::from_received(received));
-        self.rounds.last().expect("just pushed")
+            (next, received)
+        })
     }
 
     /// Like [`Cluster::communicate`], but destinations may depend on which
@@ -176,21 +290,21 @@ impl Cluster {
         F: FnMut(ServerId, &Fact) -> Vec<ServerId>,
     {
         let p = self.p();
-        let mut next: Vec<Instance> = vec![Instance::new(); p];
-        let mut received = vec![0usize; p];
-        for src in 0..p {
-            for f in self.local[src].clone().iter() {
-                for &dest in route(src, f).iter() {
-                    assert!(dest < p, "destination {dest} out of range for p={p}");
-                    if next[dest].insert(f.clone()) {
-                        received[dest] += 1;
+        self.commit_round(move |local| {
+            let mut next: Vec<Instance> = vec![Instance::new(); p];
+            let mut received = vec![0usize; p];
+            for (src, inst) in local.iter().enumerate() {
+                for f in inst.iter() {
+                    for &dest in route(src, f).iter() {
+                        assert!(dest < p, "destination {dest} out of range for p={p}");
+                        if next[dest].insert(f.clone()) {
+                            received[dest] += 1;
+                        }
                     }
                 }
             }
-        }
-        self.local = next;
-        self.rounds.push(RoundStats::from_received(received));
-        self.rounds.last().expect("just pushed")
+            (next, received)
+        })
     }
 
     /// Communication phase with per-fact keep/send/drop decisions — the
@@ -210,29 +324,29 @@ impl Cluster {
         F: FnMut(ServerId, &Fact) -> Routing,
     {
         let p = self.p();
-        let mut next: Vec<Instance> = vec![Instance::new(); p];
-        let mut received = vec![0usize; p];
-        for src in 0..p {
-            for f in std::mem::take(&mut self.local[src]).iter() {
-                match route(src, f) {
-                    Routing::Keep => {
-                        next[src].insert(f.clone());
-                    }
-                    Routing::Send(dests) => {
-                        for &dest in &dests {
-                            assert!(dest < p, "destination {dest} out of range for p={p}");
-                            if next[dest].insert(f.clone()) {
-                                received[dest] += 1;
+        self.commit_round(move |local| {
+            let mut next: Vec<Instance> = vec![Instance::new(); p];
+            let mut received = vec![0usize; p];
+            for (src, inst) in local.iter().enumerate() {
+                for f in inst.iter() {
+                    match route(src, f) {
+                        Routing::Keep => {
+                            next[src].insert(f.clone());
+                        }
+                        Routing::Send(dests) => {
+                            for &dest in &dests {
+                                assert!(dest < p, "destination {dest} out of range for p={p}");
+                                if next[dest].insert(f.clone()) {
+                                    received[dest] += 1;
+                                }
                             }
                         }
+                        Routing::Drop => {}
                     }
-                    Routing::Drop => {}
                 }
             }
-        }
-        self.local = next;
-        self.rounds.push(RoundStats::from_received(received));
-        self.rounds.last().expect("just pushed")
+            (next, received)
+        })
     }
 
     /// Computation phase applied per server with access to the server id.
@@ -261,23 +375,23 @@ impl Cluster {
     {
         assert_eq!(storage.len(), self.p(), "one storage shard per server");
         let p = self.p();
-        let mut next: Vec<Instance> = vec![Instance::new(); p];
-        let mut received = vec![0usize; p];
-        let mut all = Instance::new();
-        for inst in self.local.iter().chain(storage.iter()) {
-            all.extend_from(inst);
-        }
-        for f in all.iter() {
-            for &dest in route(f).iter() {
-                assert!(dest < p, "destination {dest} out of range for p={p}");
-                if next[dest].insert(f.clone()) {
-                    received[dest] += 1;
+        self.commit_round(move |local| {
+            let mut next: Vec<Instance> = vec![Instance::new(); p];
+            let mut received = vec![0usize; p];
+            let mut all = Instance::new();
+            for inst in local.iter().chain(storage.iter()) {
+                all.extend_from(inst);
+            }
+            for f in all.iter() {
+                for &dest in route(f).iter() {
+                    assert!(dest < p, "destination {dest} out of range for p={p}");
+                    if next[dest].insert(f.clone()) {
+                        received[dest] += 1;
+                    }
                 }
             }
-        }
-        self.local = next;
-        self.rounds.push(RoundStats::from_received(received));
-        self.rounds.last().expect("just pushed")
+            (next, received)
+        })
     }
 
     /// **Computation phase**: replace every server's local instance with
@@ -376,12 +490,83 @@ mod tests {
 
     #[test]
     fn load_exponent_sanity() {
-        let r = RoundStats::from_received(vec![25, 25, 25, 25]);
+        let plan = MpcFaultPlan::none();
+        let r = RoundStats::from_received(vec![25, 25, 25, 25], &plan);
         // m = 100, p = 4, load 25 = m/p → exponent 1.
         assert!((r.load_exponent(100, 4) - 1.0).abs() < 1e-9);
-        let r2 = RoundStats::from_received(vec![100, 0, 0, 0]);
+        let r2 = RoundStats::from_received(vec![100, 0, 0, 0], &plan);
         // load = m → exponent 0.
         assert!(r2.load_exponent(100, 4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_replay_reproduces_fault_free_run_exactly() {
+        // The acceptance test for checkpoint/replay: a run with two
+        // mid-round crashes commits byte-identical stats, loads and
+        // outputs to the fault-free run; only RecoveryStats differ.
+        let facts: Vec<Fact> = (0..12u64).map(|i| fact("R", &[i, i + 1])).collect();
+        let run = |plan: MpcFaultPlan| {
+            let mut c = seeded(3, &facts).with_faults(plan);
+            c.communicate(|f| vec![(f.args[0].0 % 3) as usize]);
+            c.compute_extend(|inst| {
+                let mut out = Instance::new();
+                for f in inst.iter() {
+                    out.insert(fact("S", &[f.args[1].0]));
+                }
+                out
+            });
+            c.communicate(|f| vec![(f.args[0].0 % 2) as usize]);
+            c
+        };
+        let clean = run(MpcFaultPlan::none());
+        // Crash server 1 during attempt 0 and server 2 during attempt 2
+        // (= the second logical round's first attempt, after one replay).
+        let faulty = run(MpcFaultPlan::crash(0, 1).with_crash(2, 2));
+        assert_eq!(clean.union_all(), faulty.union_all());
+        assert_eq!(clean.round_count(), faulty.round_count());
+        for (a, b) in clean.rounds().iter().zip(faulty.rounds().iter()) {
+            assert_eq!(a.received, b.received);
+            assert_eq!(a.max_load, b.max_load);
+            assert_eq!(a.total_comm, b.total_comm);
+        }
+        assert_eq!(clean.recovery().replays, 0);
+        assert_eq!(faulty.recovery().replays, 2);
+        assert_eq!(faulty.recovery().attempts, clean.recovery().attempts + 2);
+        assert!(faulty.recovery().wasted_comm > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry budget")]
+    fn repeated_crashes_exhaust_retry_budget() {
+        // Crash every attempt of round 0: the budget (2) runs out.
+        let plan = MpcFaultPlan {
+            crashes: vec![(0, 0), (1, 0), (2, 0), (3, 0)],
+            stragglers: Vec::new(),
+            max_retries: 2,
+        };
+        let mut c = seeded(2, &[fact("R", &[1, 2])]).with_faults(plan);
+        c.communicate(|_| vec![0]);
+    }
+
+    #[test]
+    fn straggler_inflates_tail_time_not_load() {
+        let facts: Vec<Fact> = (0..8u64).map(|i| fact("R", &[i, i])).collect();
+        let clean = {
+            let mut c = seeded(2, &facts);
+            c.communicate(|f| vec![(f.args[0].0 % 2) as usize]);
+            c
+        };
+        let slow = {
+            let mut c = seeded(2, &facts).with_faults(MpcFaultPlan::none().with_straggler(1, 4.0));
+            c.communicate(|f| vec![(f.args[0].0 % 2) as usize]);
+            c
+        };
+        // Same loads, same outputs — stragglers are a latency fault.
+        assert_eq!(clean.max_load(), slow.max_load());
+        assert_eq!(clean.union_all(), slow.union_all());
+        assert!((clean.tail_time() - clean.max_load() as f64).abs() < 1e-9);
+        assert_eq!(slow.tail_time(), 4.0 * 4.0); // 4 facts on the 4× server
+        assert!(slow.tail_time() > clean.tail_time());
     }
 
     #[test]

@@ -22,6 +22,20 @@ pub struct RunStats {
     /// The exponent `e` with `max_load = m / p^e` (0 = all data on one
     /// server, 1 = perfectly balanced).
     pub load_exponent: f64,
+    /// Barrier time summed over rounds: each round costs the straggler-
+    /// scaled load of its slowest server (`Σ max_load` when healthy).
+    pub tail_time: f64,
+    /// `tail_time / Σ per-round max_load` — 1.0 for a straggler-free
+    /// run; the multiplicative latency cost of the slowest servers.
+    pub straggler_penalty: f64,
+    /// Round attempts replayed after mid-round crashes (0 = no faults).
+    pub replays: usize,
+    /// Communication performed by crashed attempts and thrown away.
+    pub wasted_comm: usize,
+    /// Replay attempts allowed per round by the fault plan.
+    pub retry_budget: u32,
+    /// Most replays any single round actually consumed.
+    pub max_replays_in_round: u32,
 }
 
 /// The result of running an algorithm: its output and its stats.
@@ -46,6 +60,9 @@ impl RunReport {
         } else {
             (m as f64 / max_load as f64).ln() / (p as f64).ln()
         };
+        let tail_time = cluster.tail_time();
+        let barrier_load: usize = cluster.rounds().iter().map(|r| r.max_load).sum();
+        let recovery = cluster.recovery();
         RunReport {
             algorithm,
             output: cluster.union_all(),
@@ -61,6 +78,16 @@ impl RunReport {
                     total_comm as f64 / m as f64
                 },
                 load_exponent,
+                tail_time,
+                straggler_penalty: if barrier_load == 0 {
+                    1.0
+                } else {
+                    tail_time / barrier_load as f64
+                },
+                replays: recovery.replays,
+                wasted_comm: recovery.wasted_comm,
+                retry_budget: cluster.fault_plan().max_retries,
+                max_replays_in_round: recovery.max_replays_in_round,
             },
         }
     }
@@ -94,5 +121,23 @@ mod tests {
         let r = RunReport::from_cluster("t", &c, 0);
         let json = serde_json::to_string(&r.stats);
         assert!(json.is_ok());
+        assert!(json.unwrap().contains("\"retry_budget\""));
+    }
+
+    #[test]
+    fn report_accounts_recovery_and_stragglers() {
+        use parlog_faults::MpcFaultPlan;
+        let mut c = Cluster::new(2).with_faults(MpcFaultPlan::crash(0, 1).with_straggler(0, 3.0));
+        for i in 0..6u64 {
+            c.local_mut((i % 2) as usize).insert(fact("R", &[i, i]));
+        }
+        c.communicate(|f| vec![(f.args[0].0 % 2) as usize]);
+        let r = RunReport::from_cluster("t", &c, 6);
+        assert_eq!(r.stats.replays, 1);
+        assert!(r.stats.wasted_comm > 0);
+        assert_eq!(r.stats.retry_budget, 3);
+        assert_eq!(r.stats.max_replays_in_round, 1);
+        assert!(r.stats.straggler_penalty > 1.0);
+        assert!(r.stats.tail_time > r.stats.max_load as f64);
     }
 }

@@ -206,6 +206,227 @@ pub fn explore_all_schedules<P: TransducerProgram + ?Sized>(
     report
 }
 
+/// Outcome of exhaustive fault-schedule exploration.
+#[derive(Debug, Clone)]
+pub struct FaultExplorationReport {
+    /// Distinct (state, fault-budget) configurations visited.
+    pub states: usize,
+    /// Quiescent states reached on fault-free paths.
+    pub quiescent_clean: usize,
+    /// Quiescent states reached on paths where at least one message was
+    /// dropped.
+    pub quiescent_lossy: usize,
+    /// Violations found (empty = verified).
+    pub violations: Vec<String>,
+}
+
+impl FaultExplorationReport {
+    /// Did every explored run satisfy its obligation — exact output on
+    /// fault-free paths, soundness everywhere?
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Enumerate every small **fault schedule** on top of every delivery
+/// order: at each state the adversary may, besides delivering any
+/// buffered message, *duplicate* one (up to `max_dups` times) or *drop*
+/// one (up to `max_drops` times). Delay needs no extra actions — it is
+/// already subsumed by delivery-order nondeterminism.
+///
+/// Obligations checked on every path:
+///
+/// * **soundness** along every prefix: outputs ⊆ `expected`;
+/// * **exactness** in quiescent states of paths with no drops —
+///   duplication and reordering are within the survey's model, so the
+///   output must still be exactly `expected`;
+/// * lossy paths (≥ 1 drop) only owe soundness; their quiescent states
+///   are tallied separately in `quiescent_lossy`.
+///
+/// This machine-checks, on small instances, that duplication-tolerance
+/// is a *theorem* of the program (all schedules), not an artifact of the
+/// sampled ones — and that no fault schedule whatsoever can make it
+/// output a wrong fact.
+pub fn explore_fault_schedules<P: TransducerProgram + ?Sized>(
+    program: &P,
+    shards: &[Instance],
+    ctx: Ctx,
+    expected: &Instance,
+    max_states: usize,
+    max_drops: usize,
+    max_dups: usize,
+) -> FaultExplorationReport {
+    let n = shards.len();
+    let mut nodes: Vec<NodeState> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| NodeState::new(i, s.clone()))
+        .collect();
+    let mut buffers: Vec<Vec<(usize, Fact)>> = vec![Vec::new(); n];
+    let mut sent: Vec<FxSet<Fact>> = vec![fxset(); n];
+    for i in 0..n {
+        let out = program.init(&mut nodes[i], &ctx);
+        for f in out {
+            if sent[i].insert(f.clone()) {
+                for (dest, buf) in buffers.iter_mut().enumerate() {
+                    if dest != i {
+                        buf.push((i, f.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut report = FaultExplorationReport {
+        states: 0,
+        quiescent_clean: 0,
+        quiescent_lossy: 0,
+        violations: Vec::new(),
+    };
+    let mut seen: FxSet<String> = fxset();
+
+    struct Search<'a, P: ?Sized> {
+        program: &'a P,
+        ctx: Ctx,
+        expected: &'a Instance,
+        seen: &'a mut FxSet<String>,
+        report: &'a mut FaultExplorationReport,
+        max_states: usize,
+    }
+
+    /// One adversary move on a buffered message.
+    #[derive(Clone, Copy)]
+    enum Move {
+        Deliver(usize, usize),
+        Drop(usize, usize),
+        Duplicate(usize, usize),
+    }
+
+    fn dfs<P: TransducerProgram + ?Sized>(
+        s: &mut Search<'_, P>,
+        nodes: &[NodeState],
+        buffers: &[Vec<(usize, Fact)>],
+        sent: &[FxSet<Fact>],
+        drops_left: usize,
+        dups_left: usize,
+        lossy: bool,
+    ) {
+        if s.report.states >= s.max_states {
+            if !s
+                .report
+                .violations
+                .last()
+                .is_some_and(|v| v.starts_with("state budget"))
+            {
+                s.report
+                    .violations
+                    .push(format!("state budget {} exhausted", s.max_states));
+            }
+            return;
+        }
+        let key = format!(
+            "{}#d{drops_left}u{dups_left}l{}",
+            encode_state(nodes, buffers),
+            lossy as u8
+        );
+        if !s.seen.insert(key) {
+            return;
+        }
+        s.report.states += 1;
+
+        let mut outputs = Instance::new();
+        for node in nodes {
+            outputs.extend_from(node.output_so_far());
+        }
+        if !outputs.is_subset_of(s.expected) {
+            s.report.violations.push(format!(
+                "unsound prefix output under faults {:?}",
+                outputs.difference(s.expected).sorted_facts()
+            ));
+            return;
+        }
+
+        let mut moves: Vec<Move> = Vec::new();
+        for (i, buf) in buffers.iter().enumerate() {
+            for j in 0..buf.len() {
+                moves.push(Move::Deliver(i, j));
+                if dups_left > 0 {
+                    moves.push(Move::Duplicate(i, j));
+                }
+                if drops_left > 0 {
+                    moves.push(Move::Drop(i, j));
+                }
+            }
+        }
+        if moves.is_empty() {
+            if lossy {
+                s.report.quiescent_lossy += 1; // soundness already checked
+            } else {
+                s.report.quiescent_clean += 1;
+                if outputs != *s.expected {
+                    s.report.violations.push(format!(
+                        "quiescent mismatch on drop-free fault schedule: \
+                         got {} facts, expected {}",
+                        outputs.len(),
+                        s.expected.len()
+                    ));
+                }
+            }
+            return;
+        }
+        for mv in moves {
+            let mut nodes2 = nodes.to_vec();
+            let mut buffers2 = buffers.to_vec();
+            let mut sent2 = sent.to_vec();
+            let (drops2, dups2, lossy2) = match mv {
+                Move::Deliver(i, j) => {
+                    let (from, fact) = buffers2[i].remove(j);
+                    let out = s.program.on_fact(&mut nodes2[i], from, &fact, &s.ctx);
+                    for f in out {
+                        if sent2[i].insert(f.clone()) {
+                            for (dest, buf) in buffers2.iter_mut().enumerate() {
+                                if dest != i {
+                                    buf.push((i, f.clone()));
+                                }
+                            }
+                        }
+                    }
+                    (drops_left, dups_left, lossy)
+                }
+                Move::Drop(i, j) => {
+                    buffers2[i].remove(j);
+                    (drops_left - 1, dups_left, true)
+                }
+                Move::Duplicate(i, j) => {
+                    let copy = buffers2[i][j].clone();
+                    buffers2[i].push(copy);
+                    (drops_left, dups_left - 1, lossy)
+                }
+            };
+            dfs(s, &nodes2, &buffers2, &sent2, drops2, dups2, lossy2);
+        }
+    }
+
+    let mut search = Search {
+        program,
+        ctx,
+        expected,
+        seen: &mut seen,
+        report: &mut report,
+        max_states,
+    };
+    dfs(
+        &mut search,
+        &nodes,
+        &buffers,
+        &sent,
+        max_drops,
+        max_dups,
+        false,
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +478,89 @@ mod tests {
         let shards = hash_distribution(&db, 2, 2);
         let report = explore_all_schedules(&p, &shards, Ctx::oblivious(), &expected, 200_000);
         assert!(!report.verified());
+    }
+
+    #[test]
+    fn fault_schedules_monotone_duplication_is_harmless() {
+        // Every schedule with up to 2 adversarial duplications still ends
+        // in exactly the expected output: duplication-tolerance of the
+        // monotone broadcast as a machine-checked theorem (small scope).
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let db = Instance::from_facts([fact("E", &[1, 2]), fact("E", &[2, 3])]);
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = MonotoneBroadcast::new(q);
+        let shards = hash_distribution(&db, 2, 1);
+        let report =
+            explore_fault_schedules(&p, &shards, Ctx::oblivious(), &expected, 400_000, 0, 2);
+        assert!(report.verified(), "{:?}", report.violations);
+        assert!(report.quiescent_clean >= 1);
+        assert_eq!(report.quiescent_lossy, 0, "no drops were allowed");
+    }
+
+    #[test]
+    fn fault_schedules_drops_stay_sound() {
+        // With 1 adversarial drop allowed, lossy quiescent states exist
+        // (completeness can break) but soundness never does.
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let db = Instance::from_facts([fact("E", &[1, 2]), fact("E", &[2, 3])]);
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = MonotoneBroadcast::new(q);
+        let shards = hash_distribution(&db, 2, 1);
+        let report =
+            explore_fault_schedules(&p, &shards, Ctx::oblivious(), &expected, 400_000, 1, 0);
+        assert!(report.verified(), "{:?}", report.violations);
+        assert!(
+            report.quiescent_lossy >= 1,
+            "some path must actually use the drop budget"
+        );
+        assert!(report.quiescent_clean >= 1);
+    }
+
+    #[test]
+    fn fault_schedules_catch_unsound_program_under_duplication() {
+        // A counting-based program that outputs a fact the second time it
+        // sees it is *wrong* under duplication; the explorer must find
+        // the schedule that exposes it.
+        use crate::program::Broadcast;
+        struct CountTwice;
+        impl TransducerProgram for CountTwice {
+            fn name(&self) -> &str {
+                "count-twice"
+            }
+            fn init(&self, node: &mut NodeState, _ctx: &Ctx) -> Broadcast {
+                node.local.iter().cloned().collect()
+            }
+            fn on_fact(
+                &self,
+                node: &mut NodeState,
+                _from: usize,
+                f: &Fact,
+                _ctx: &Ctx,
+            ) -> Broadcast {
+                // Non-idempotent: a duplicate delivery looks like a second
+                // distinct derivation.
+                if !node.aux.insert(f.clone()) {
+                    node.output(fact("Twice", &[1]));
+                }
+                Vec::new()
+            }
+        }
+        let db = Instance::from_facts([fact("E", &[1])]);
+        let expected = Instance::new(); // nothing arrives twice legitimately
+        let shards = vec![db, Instance::new()];
+        let report = explore_fault_schedules(
+            &CountTwice,
+            &shards,
+            Ctx::oblivious(),
+            &expected,
+            100_000,
+            0,
+            1,
+        );
+        assert!(
+            !report.verified(),
+            "duplication must expose the non-idempotent output"
+        );
     }
 
     #[test]

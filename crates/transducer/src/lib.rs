@@ -32,7 +32,11 @@
 //! * [`economical`] — the Ketsman–Neven economical broadcasting strategy
 //!   for full CQs without self-joins (Section 6);
 //! * [`threaded`] — a crossbeam-based true-multithreaded runtime for the
-//!   same programs, cross-validated against the simulator.
+//!   same programs, cross-validated against the simulator;
+//! * [`faulty`] — fault injection (drop/duplicate/reorder/delay,
+//!   crash-stop, crash-recover, ack/retransmit) driven by seeded
+//!   [`parlog_faults::FaultPlan`]s: the model's no-loss and no-failure
+//!   assumptions, made injectable and machine-checkable.
 //!
 //! ```
 //! use parlog_transducer::prelude::*;
@@ -56,15 +60,17 @@ pub mod consistency;
 pub mod distribution;
 pub mod economical;
 pub mod exhaustive;
+pub mod faulty;
 pub mod network;
 pub mod program;
 pub mod programs;
 pub mod scheduler;
 pub mod threaded;
 
+pub use faulty::{FaultStats, Health};
 pub use network::{NodeState, QueryFunction};
 pub use program::{Ctx, TransducerProgram};
-pub use scheduler::{run_to_quiescence, Schedule, SimRun};
+pub use scheduler::{run_to_quiescence, run_with_faults, Schedule, SimRun};
 
 /// Commonly used items.
 pub mod prelude {
@@ -73,7 +79,8 @@ pub mod prelude {
         hash_distribution, ideal_distribution, random_distribution, single_node_distribution,
     };
     pub use crate::economical::EconomicalBroadcast;
-    pub use crate::exhaustive::explore_all_schedules;
+    pub use crate::exhaustive::{explore_all_schedules, explore_fault_schedules};
+    pub use crate::faulty::{FaultStats, Health};
     pub use crate::network::{NodeState, QueryFunction};
     pub use crate::program::{Ctx, TransducerProgram};
     pub use crate::programs::coordinated::CoordinatedBroadcast;
@@ -81,5 +88,8 @@ pub mod prelude {
     pub use crate::programs::distinct::PolicyAwareCq;
     pub use crate::programs::distinct_sets::DistinctCompleteSets;
     pub use crate::programs::monotone::MonotoneBroadcast;
-    pub use crate::scheduler::{run_heartbeats_only, run_to_quiescence, Schedule, SimRun};
+    pub use crate::programs::reliable::ReliableBroadcast;
+    pub use crate::scheduler::{
+        run_heartbeats_only, run_to_quiescence, run_with_faults, Schedule, SimRun,
+    };
 }

@@ -7,9 +7,11 @@
 //! | [`coordinated::CoordinatedBroadcast`] | not coordination-free | Ex. 5.1(2) | any generic query |
 //! | [`distinct::PolicyAwareCq`] | F1 = A1 ⊇ (CQ¬ ∩ Mdistinct) | Ex. 5.4 | domain-distinct-monotone CQ¬ |
 //! | [`disjoint::DisjointComponent`] | F2 = A2 = Mdisjoint | §5.2.2 | domain-disjoint-monotone |
+//! | [`reliable::ReliableBroadcast`] | explicit coordination | failure model (ours) | any wrapped program, under loss |
 
 pub mod coordinated;
 pub mod disjoint;
 pub mod distinct;
 pub mod distinct_sets;
 pub mod monotone;
+pub mod reliable;

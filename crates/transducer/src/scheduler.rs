@@ -13,8 +13,10 @@
 //! (receivers are idempotent — their states are sets), which keeps runs
 //! finite without changing any program's semantics.
 
+use crate::faulty::{FaultState, FaultStats, Health};
 use crate::network::NodeState;
 use crate::program::{Ctx, TransducerProgram};
+use parlog_faults::{FaultPlan, MessageFate};
 use parlog_relal::fact::Fact;
 use parlog_relal::fastmap::{fxset, FxSet};
 use parlog_relal::instance::Instance;
@@ -44,6 +46,12 @@ pub struct SimRun {
     buffers: Vec<Vec<(usize, Fact)>>,
     /// Per-node set of facts already broadcast (runtime-level dedup).
     sent: Vec<FxSet<Fact>>,
+    /// Durable snapshots: the initial shard of every node, from which a
+    /// crash-recover node restarts.
+    shards: Vec<Instance>,
+    /// Fault-injection state; inert (a pure pass-through) unless a
+    /// [`FaultPlan`] is installed.
+    faults: FaultState<Fact>,
     ctx: Ctx,
     /// Total messages delivered so far.
     pub delivered: usize,
@@ -76,6 +84,8 @@ impl SimRun {
                 .collect(),
             buffers: vec![Vec::new(); n],
             sent: vec![fxset(); n],
+            shards: shards.to_vec(),
+            faults: FaultState::inert(n),
             ctx,
             delivered: 0,
             facts_broadcast: 0,
@@ -92,16 +102,140 @@ impl SimRun {
         self.nodes.len()
     }
 
+    /// What the injector did so far (all zeros for fault-free runs).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats
+    }
+
+    /// Liveness of node `i`.
+    pub fn health(&self, i: usize) -> Health {
+        self.faults.health[i]
+    }
+
+    /// Install a fault plan mid-setup: all *future* routing goes through
+    /// the injector, and the already-buffered init broadcasts are
+    /// re-routed through it too, so init messages are as faulty as any
+    /// others. With a benign plan this is the identity.
+    pub fn install_plan(&mut self, plan: &FaultPlan) {
+        self.faults.install(plan);
+        for dest in 0..self.n() {
+            let copies = std::mem::take(&mut self.buffers[dest]);
+            for (from, fact) in copies {
+                self.send_copy(from, dest, fact, 0);
+            }
+        }
+    }
+
     fn broadcast(&mut self, from: usize, facts: Vec<Fact>) {
         for f in facts {
             if !self.sent[from].insert(f.clone()) {
                 continue; // runtime-level dedup per sender
             }
             self.facts_broadcast += 1;
-            for (dest, buf) in self.buffers.iter_mut().enumerate() {
+            for dest in 0..self.buffers.len() {
                 if dest != from {
-                    buf.push((from, f.clone()));
+                    self.send_copy(from, dest, f.clone(), 0);
                 }
+            }
+        }
+    }
+
+    /// The single routing function: every copy of every message — normal,
+    /// lossy, duplicated, delayed, retransmitted — passes through here.
+    /// `attempts` is 0 for first sends and counts retransmissions.
+    fn send_copy(&mut self, from: usize, dest: usize, fact: Fact, attempts: u32) {
+        if !self.faults.health[dest].is_up() {
+            // The destination is down; the copy is lost in transit. In
+            // reliable mode the sender's ack timeout will fire and it
+            // retries — which is exactly how a crash-recover node gets
+            // its mail back.
+            self.faults.stats.lost_in_crash += 1;
+            self.faults.schedule_retrans(from, dest, fact, attempts);
+            return;
+        }
+        match self.faults.fate() {
+            MessageFate::Deliver => self.enqueue(dest, from, fact),
+            MessageFate::Drop => {
+                self.faults.stats.dropped += 1;
+                self.faults.schedule_retrans(from, dest, fact, attempts);
+            }
+            MessageFate::Duplicate => {
+                self.faults.stats.duplicated += 1;
+                self.enqueue(dest, from, fact.clone());
+                self.enqueue(dest, from, fact);
+            }
+            MessageFate::Delay(d) => {
+                self.faults.stats.delayed += 1;
+                let release = self.faults.clock + d as usize;
+                self.faults.delayed.push(crate::faulty::ParkedMsg {
+                    release,
+                    dest,
+                    from,
+                    msg: fact,
+                    attempts,
+                });
+            }
+        }
+    }
+
+    /// Place one copy in a destination buffer, possibly at a reordered
+    /// position.
+    fn enqueue(&mut self, dest: usize, from: usize, fact: Fact) {
+        let len = self.buffers[dest].len();
+        match self.faults.enqueue_position(len) {
+            None => self.buffers[dest].push((from, fact)),
+            Some(pos) => {
+                self.faults.stats.reordered += 1;
+                self.buffers[dest].insert(pos, (from, fact));
+            }
+        }
+    }
+
+    /// Fire due crash events, restart due recoveries, release due parked
+    /// copies. Called before every delivery choice and at drain
+    /// boundaries.
+    fn pump<P: TransducerProgram + ?Sized>(&mut self, program: &P) {
+        for (idx, event) in self.faults.due_crashes() {
+            self.faults.apply_crash(idx, event);
+            // In-flight copies touching the crashed node are lost: its
+            // incoming buffer, and its own undelivered broadcasts.
+            let node = event.node;
+            let mut lost = std::mem::take(&mut self.buffers[node]).len();
+            for buf in &mut self.buffers {
+                let before = buf.len();
+                buf.retain(|(from, _)| *from != node);
+                lost += before - buf.len();
+            }
+            self.faults.stats.lost_in_crash += lost;
+        }
+        let recoveries = self.faults.due_recoveries();
+        for node in recoveries {
+            // Restart from the durable snapshot: volatile state (received
+            // facts, aux, output, send-dedup) is gone; init re-runs and
+            // rebroadcasts the node's own data.
+            self.faults.health[node] = Health::Up;
+            self.faults.stats.recoveries += 1;
+            self.nodes[node] = NodeState::new(node, self.shards[node].clone());
+            self.sent[node].clear();
+            let ctx = self.ctx.clone();
+            let out = program.init(&mut self.nodes[node], &ctx);
+            self.broadcast(node, out);
+        }
+        for parked in self.faults.take_due() {
+            self.send_copy(parked.from, parked.dest, parked.msg, parked.attempts);
+        }
+    }
+
+    /// At a drain boundary (nothing deliverable now), jump the clock to
+    /// the next fault event — a parked release, a recovery, an unfired
+    /// crash — and process it. Returns whether anything was ahead.
+    fn advance_clock<P: TransducerProgram + ?Sized>(&mut self, program: &P) -> bool {
+        match self.faults.next_event() {
+            None => false,
+            Some(t) => {
+                self.faults.clock = t.max(self.faults.clock);
+                self.pump(program);
+                true
             }
         }
     }
@@ -120,8 +254,9 @@ impl SimRun {
         rng: &mut StdRng,
         rr_cursor: &mut usize,
     ) -> bool {
+        self.pump(program);
         let nonempty: Vec<usize> = (0..self.n())
-            .filter(|&i| !self.buffers[i].is_empty())
+            .filter(|&i| self.faults.health[i].is_up() && !self.buffers[i].is_empty())
             .collect();
         if nonempty.is_empty() {
             return false;
@@ -151,6 +286,10 @@ impl SimRun {
         };
         let (from, fact) = self.buffers[node].remove(msg_idx);
         self.delivered += 1;
+        self.faults.clock += 1;
+        if self.faults.reliable().is_some() {
+            self.faults.stats.acks += 1; // receiver acknowledges
+        }
         let ctx = self.ctx.clone();
         let out = program.on_fact(&mut self.nodes[node], from, &fact, &ctx);
         self.broadcast(node, out);
@@ -162,6 +301,9 @@ impl SimRun {
     pub fn heartbeat_round<P: TransducerProgram + ?Sized>(&mut self, program: &P) -> bool {
         let mut changed = false;
         for i in 0..self.n() {
+            if !self.faults.health[i].is_up() {
+                continue; // crashed nodes take no transitions
+            }
             let before = self.nodes[i].output_so_far().len();
             let ctx = self.ctx.clone();
             let out = program.heartbeat(&mut self.nodes[i], &ctx);
@@ -177,8 +319,31 @@ impl SimRun {
     }
 
     /// Run deliveries and heartbeats until quiescence. Panics after an
-    /// absurd number of steps (divergence guard).
+    /// absurd number of steps (divergence guard). Equivalent to
+    /// [`SimRun::run_faulty`] with no plan — both drive the same loop.
     pub fn run<P: TransducerProgram + ?Sized>(&mut self, program: &P, schedule: Schedule) {
+        self.run_faulty(program, schedule, None);
+    }
+
+    /// **Failure injection**: run under a [`FaultPlan`] — or, with
+    /// `plan = None`, the plain fault-free run: the fault-free case is
+    /// this exact code path with an inert injector, not a separate
+    /// implementation (regression-tested by
+    /// `zero_loss_rate_equals_normal_run`).
+    ///
+    /// Faults outside the survey's model (loss, crashes) break eventual
+    /// consistency — the no-loss assumption is load-bearing — but never
+    /// soundness; see the tests and the fault-tolerance matrix in
+    /// `parlog`.
+    pub fn run_faulty<P: TransducerProgram + ?Sized>(
+        &mut self,
+        program: &P,
+        schedule: Schedule,
+        plan: Option<&FaultPlan>,
+    ) {
+        if let Some(plan) = plan {
+            self.install_plan(plan);
+        }
         let seed = match schedule {
             Schedule::Random(s) => s,
             _ => 0,
@@ -192,6 +357,11 @@ impl SimRun {
                 steps += 1;
                 assert!(steps < budget, "transducer run diverged (no quiescence)");
             }
+            // Nothing deliverable now; fast-forward to parked releases,
+            // pending recoveries or unfired crashes before concluding.
+            if self.advance_clock(program) {
+                continue;
+            }
             // Buffers drained: heartbeats may trigger more work.
             let mut hb_changed = false;
             for _ in 0..self.n() + 1 {
@@ -201,41 +371,26 @@ impl SimRun {
                     break;
                 }
             }
-            if !hb_changed && self.quiet() {
+            if !hb_changed && self.quiet() && self.faults.idle() {
                 return;
             }
         }
     }
 
-    /// **Failure injection**: run with a lossy network dropping each
-    /// in-flight message independently with probability `drop_prob`.
-    /// The model assumes "messages can never be lost"; this mode exists
-    /// to demonstrate that the assumption is load-bearing — with losses,
-    /// eventual consistency fails (see the tests and the consistency
-    /// checker's negative cases).
+    /// Lossy network: drop each message copy independently with
+    /// probability `drop_prob`. A thin wrapper over [`SimRun::run_faulty`]
+    /// with [`FaultPlan::lossy`].
     pub fn run_lossy<P: TransducerProgram + ?Sized>(
         &mut self,
         program: &P,
         drop_prob: f64,
         seed: u64,
     ) {
-        assert!((0.0..=1.0).contains(&drop_prob));
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut rr = 0usize;
-        loop {
-            // Drop a random subset of buffered messages.
-            for buf in &mut self.buffers {
-                buf.retain(|_| !rng.gen_bool(drop_prob));
-            }
-            if !self.step(program, Schedule::Random(seed), &mut rng, &mut rr) {
-                break;
-            }
-        }
-        for _ in 0..self.n() + 1 {
-            if !self.heartbeat_round(program) {
-                break;
-            }
-        }
+        self.run_faulty(
+            program,
+            Schedule::Random(seed),
+            Some(&FaultPlan::lossy(seed, drop_prob)),
+        );
     }
 
     /// The union of all outputs — the result of the run.
@@ -274,6 +429,21 @@ pub fn run_with_ctx<P: TransducerProgram + ?Sized>(
     let mut run = SimRun::new(program, shards, ctx);
     run.run(program, schedule);
     run.outputs()
+}
+
+/// Run under a fault plan to quiescence; returns the union of outputs
+/// and what the injector did. The one-call entry point for fault
+/// experiments (the fault-tolerance matrix, the proptests, E18).
+pub fn run_with_faults<P: TransducerProgram + ?Sized>(
+    program: &P,
+    shards: &[Instance],
+    ctx: Ctx,
+    schedule: Schedule,
+    plan: &FaultPlan,
+) -> (Instance, FaultStats) {
+    let mut run = SimRun::new(program, shards, ctx);
+    run.run_faulty(program, schedule, Some(plan));
+    (run.outputs(), run.fault_stats())
 }
 
 /// Heartbeat-only execution: messages may be *sent* but are never read —

@@ -36,10 +36,37 @@ pub fn run_threaded<P>(program: Arc<P>, shards: &[Instance], ctx: Ctx) -> Instan
 where
     P: TransducerProgram + 'static + ?Sized,
 {
+    run_threaded_faulty(program, shards, ctx, None).0
+}
+
+/// [`run_threaded`] with message-level fault injection: each copy rolls
+/// its fate (drop / duplicate / deliver) on a shared seeded injector at
+/// send time. Reordering and delay need no injector here — OS scheduling
+/// already supplies both — and node crashes are a simulator-only feature
+/// (the simulator owns a global clock to time them against; real threads
+/// do not). Returns the union of outputs plus the injector's tally.
+pub fn run_threaded_faulty<P>(
+    program: Arc<P>,
+    shards: &[Instance],
+    ctx: Ctx,
+    plan: Option<&parlog_faults::FaultPlan>,
+) -> (Instance, crate::faulty::FaultStats)
+where
+    P: TransducerProgram + 'static + ?Sized,
+{
     assert!(!shards.is_empty());
     if program.requires_all() {
         assert!(ctx.all.is_some(), "program requires the All relation");
     }
+    if let Some(p) = plan {
+        assert!(
+            p.crashes.is_empty() && p.retransmit.is_none(),
+            "the threaded runtime injects message faults only; \
+             crash and retransmit plans need the simulator"
+        );
+    }
+    let injector = Arc::new(Mutex::new(plan.map(|p| p.injector())));
+    let stats = Arc::new(Mutex::new(crate::faulty::FaultStats::default()));
     let n = shards.len();
     let mut senders: Vec<Sender<(usize, Fact)>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<(usize, Fact)>> = Vec::with_capacity(n);
@@ -60,6 +87,8 @@ where
         let in_flight = Arc::clone(&in_flight);
         let outputs = Arc::clone(&outputs);
         let shard = shard.clone();
+        let injector = Arc::clone(&injector);
+        let stats = Arc::clone(&stats);
         handles.push(std::thread::spawn(move || {
             let mut node = NodeState::new(id, shard);
             let mut sent: parlog_relal::fastmap::FxSet<Fact> = parlog_relal::fastmap::fxset();
@@ -70,8 +99,32 @@ where
                     }
                     for (dest, s) in senders.iter().enumerate() {
                         if dest != id {
-                            in_flight.fetch_add(1, Ordering::SeqCst);
-                            s.send((id, f.clone())).expect("receiver alive");
+                            // Per-copy fate roll on the shared injector
+                            // (1 copy normally; 0 on drop, 2 on dup; a
+                            // "delayed" copy is just sent — the OS already
+                            // delays arbitrarily).
+                            let copies = match injector.lock().as_mut() {
+                                None => 1,
+                                Some(inj) => match inj.fate() {
+                                    parlog_faults::MessageFate::Deliver => 1,
+                                    parlog_faults::MessageFate::Drop => {
+                                        stats.lock().dropped += 1;
+                                        0
+                                    }
+                                    parlog_faults::MessageFate::Duplicate => {
+                                        stats.lock().duplicated += 1;
+                                        2
+                                    }
+                                    parlog_faults::MessageFate::Delay(_) => {
+                                        stats.lock().delayed += 1;
+                                        1
+                                    }
+                                },
+                            };
+                            for _ in 0..copies {
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                s.send((id, f.clone())).expect("receiver alive");
+                            }
                         }
                     }
                 }
@@ -109,7 +162,8 @@ where
     for o in outputs.lock().iter() {
         union.extend_from(o);
     }
-    union
+    let tally = *stats.lock();
+    (union, tally)
 }
 
 #[cfg(test)]
@@ -148,6 +202,45 @@ mod tests {
         let dist = hash_distribution(&db(), 3, 2);
         let threaded = run_threaded(p.clone(), &dist, Ctx::aware(3));
         assert_eq!(threaded, expected);
+    }
+
+    #[test]
+    fn threaded_duplication_is_absorbed() {
+        // Duplicate copies under real concurrency: receivers are sets, so
+        // the monotone program's output is unchanged — the within-model
+        // faults are harmless even off the simulator.
+        use parlog_faults::FaultPlan;
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let expected = parlog_relal::eval::eval_query(&q, &db());
+        let p = Arc::new(MonotoneBroadcast::new(q));
+        let dist = hash_distribution(&db(), 4, 9);
+        let plan = FaultPlan::duplicating(13, 0.5);
+        let (out, stats) = run_threaded_faulty(p, &dist, Ctx::oblivious(), Some(&plan));
+        assert_eq!(out, expected);
+        assert!(stats.duplicated > 0, "the plan must actually duplicate");
+    }
+
+    #[test]
+    fn threaded_loss_stays_sound() {
+        use parlog_faults::FaultPlan;
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let expected = parlog_relal::eval::eval_query(&q, &db());
+        let p = Arc::new(MonotoneBroadcast::new(q));
+        let dist = hash_distribution(&db(), 4, 9);
+        let plan = FaultPlan::lossy(13, 0.6);
+        let (out, stats) = run_threaded_faulty(p, &dist, Ctx::oblivious(), Some(&plan));
+        assert!(out.is_subset_of(&expected), "loss must never create facts");
+        assert!(stats.dropped > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "message faults only")]
+    fn threaded_rejects_crash_plans() {
+        use parlog_faults::FaultPlan;
+        let q = parse_query("H(x) <- E(x,y)").unwrap();
+        let p = Arc::new(MonotoneBroadcast::new(q));
+        let plan = FaultPlan::crash_stop(1, 0, 3);
+        run_threaded_faulty(p, &[db()], Ctx::oblivious(), Some(&plan));
     }
 
     #[test]

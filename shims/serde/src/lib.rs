@@ -1,0 +1,293 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot fetch crates, so this shim replaces the
+//! real serde with the minimum the workspace uses: a [`Serialize`] trait
+//! that renders JSON into a `String`, a marker [`Deserialize`] trait
+//! (derived but never invoked here), and `#[derive(Serialize,
+//! Deserialize)]` macros re-exported from the sibling `serde_derive`
+//! shim. `serde_json::to_string` (also shimmed) drives [`Serialize`].
+//!
+//! The data model is deliberately JSON-only — no `Serializer` abstraction
+//! — because every serialization in this workspace targets one-line JSON
+//! records for the experiment harness.
+
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::BuildHasher;
+
+/// Render `self` as JSON, appending to `out`.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn json(&self, out: &mut String);
+}
+
+/// Marker for deserializable types. The workspace derives it for
+/// round-trip symmetry but never deserializes, so no methods exist.
+pub trait Deserialize<'de>: Sized {}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 24], *self as i128));
+            }
+        }
+    )*};
+}
+
+/// Integer formatting without allocation (hot path of bench JSON dumps).
+fn itoa_buf(buf: &mut [u8; 24], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+impl_display_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for bool {
+    fn json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Debug gives the shortest round-trip decimal, valid JSON.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null"); // serde_json's behavior for NaN/inf
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn json(&self, out: &mut String) {
+        (*self as f64).json(out);
+    }
+}
+
+impl Serialize for str {
+    fn json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for char {
+    fn json(&self, out: &mut String) {
+        write_json_str(out, &self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json(&self, out: &mut String) {
+        (**self).json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json(&self, out: &mut String) {
+        (**self).json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(out: &mut String, items: impl Iterator<Item = &'a T>) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+/// JSON object keys must be strings: a key that serializes to a JSON
+/// string is used verbatim, any other encoding is wrapped in quotes.
+fn write_map_entry<K: Serialize, V: Serialize>(out: &mut String, k: &K, v: &V) {
+    let mut key = String::new();
+    k.json(&mut key);
+    if key.starts_with('"') {
+        out.push_str(&key);
+    } else {
+        write_json_str(out, &key);
+    }
+    out.push(':');
+    v.json(out);
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_map_entry(out, k, v);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_map_entry(out, k, v);
+        }
+        out.push('}');
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for () {
+    fn json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_json(&3usize), "3");
+        assert_eq!(to_json(&-7i64), "-7");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&0.5f64), "0.5");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&[[true, false]; 1]), "[[true,false]]");
+        assert_eq!(to_json(&Some(1u8)), "1");
+        assert_eq!(to_json(&None::<u8>), "null");
+        assert_eq!(to_json(&(1u8, "x".to_string())), "[1,\"x\"]");
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(2u32, "b");
+        assert_eq!(to_json(&m), "{\"2\":\"b\"}");
+    }
+}

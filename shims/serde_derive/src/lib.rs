@@ -1,0 +1,291 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable (no registry access), so the derive
+//! parses the item's `TokenStream` by hand. Supported shapes — everything
+//! this workspace derives on:
+//!
+//! * named-field structs            → JSON objects
+//! * newtype / tuple structs        → the inner value / a JSON array
+//! * unit structs                   → `null`
+//! * enums of unit/newtype/tuple/struct variants → `"Name"` / `{"Name": …}`
+//!
+//! Generic types and `#[serde(...)]` attributes are rejected with a
+//! compile error naming this file, so a future use of an unsupported
+//! shape fails loudly instead of serializing garbage.
+
+#![deny(warnings)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the shim's JSON-writing trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` (a marker trait in the shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(x) => x,
+        Err(e) => return error(&e),
+    };
+    let body = match mode {
+        Mode::Deserialize => {
+            return format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+                .parse()
+                .expect("derive output");
+        }
+        Mode::Serialize => match shape {
+            Shape::Named(fields) => {
+                let mut b = String::from("out.push('{');\n");
+                for (i, f) in fields.iter().enumerate() {
+                    if i > 0 {
+                        b.push_str("out.push(',');\n");
+                    }
+                    b.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+                    b.push_str(&format!("::serde::Serialize::json(&self.{f}, out);\n"));
+                }
+                b.push_str("out.push('}');");
+                b
+            }
+            Shape::Tuple(1) => "::serde::Serialize::json(&self.0, out);".to_string(),
+            Shape::Tuple(n) => {
+                let mut b = String::from("out.push('[');\n");
+                for i in 0..n {
+                    if i > 0 {
+                        b.push_str("out.push(',');\n");
+                    }
+                    b.push_str(&format!("::serde::Serialize::json(&self.{i}, out);\n"));
+                }
+                b.push_str("out.push(']');");
+                b
+            }
+            Shape::Unit => "out.push_str(\"null\");".to_string(),
+            Shape::Enum(variants) => {
+                let mut b = String::from("match self {\n");
+                for (v, vshape) in &variants {
+                    match vshape {
+                        VariantShape::Unit => {
+                            b.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                        }
+                        VariantShape::Tuple(1) => b.push_str(&format!(
+                            "{name}::{v}(__f0) => {{ \
+                             out.push_str(\"{{\\\"{v}\\\":\"); \
+                             ::serde::Serialize::json(__f0, out); \
+                             out.push('}}'); }}\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let mut arm = format!(
+                                "{name}::{v}({}) => {{ out.push_str(\"{{\\\"{v}\\\":[\");\n",
+                                binders.join(", ")
+                            );
+                            for (i, bn) in binders.iter().enumerate() {
+                                if i > 0 {
+                                    arm.push_str("out.push(',');\n");
+                                }
+                                arm.push_str(&format!("::serde::Serialize::json({bn}, out);\n"));
+                            }
+                            arm.push_str("out.push_str(\"]}}\"); }\n");
+                            b.push_str(&arm);
+                        }
+                        VariantShape::Struct(fields) => {
+                            let mut arm = format!(
+                                "{name}::{v} {{ {} }} => {{ \
+                                 out.push_str(\"{{\\\"{v}\\\":{{\");\n",
+                                fields.join(", ")
+                            );
+                            for (i, f) in fields.iter().enumerate() {
+                                if i > 0 {
+                                    arm.push_str("out.push(',');\n");
+                                }
+                                arm.push_str(&format!(
+                                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                                     ::serde::Serialize::json({f}, out);\n"
+                                ));
+                            }
+                            arm.push_str("out.push_str(\"}}}}\"); }\n");
+                            b.push_str(&arm);
+                        }
+                    }
+                }
+                b.push('}');
+                b
+            }
+        },
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn json(&self, out: &mut String) {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("derive output")
+}
+
+/// Parse `(name, shape)` out of a struct/enum item.
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("serde shim derive: unsupported item kind `{kind}`"));
+    }
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported (see shims/serde_derive)"
+        ));
+    }
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err(format!(
+            "serde shim derive: where-clause on `{name}` is not supported"
+        ));
+    }
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_fields(&g.stream().into_iter().collect::<Vec<_>>())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_top_level(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            None => Shape::Unit,
+            _ => return Err(format!("serde shim derive: cannot parse struct `{name}`")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum(
+                enum_variants(&g.stream().into_iter().collect::<Vec<_>>(), &name)?,
+            ),
+            _ => return Err(format!("serde shim derive: cannot parse enum `{name}`")),
+        }
+    };
+    Ok((name, shape))
+}
+
+/// Skip `#[...]` attributes and a `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [group]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split `tokens` at commas that sit outside `<...>` nesting; groups keep
+/// their contents, so only angle brackets need explicit depth tracking.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("nonempty").push(t.clone());
+    }
+    if chunks.last().map(Vec::is_empty).unwrap_or(false) {
+        chunks.pop(); // trailing comma
+    }
+    chunks
+}
+
+fn count_top_level(tokens: &[TokenTree]) -> usize {
+    split_top_commas(tokens).len()
+}
+
+fn named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for chunk in split_top_commas(tokens) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        match (chunk.get(i), chunk.get(i + 1)) {
+            (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                out.push(id.to_string());
+            }
+            _ => return Err("serde shim derive: cannot parse a named field".into()),
+        }
+    }
+    Ok(out)
+}
+
+fn enum_variants(tokens: &[TokenTree], name: &str) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut out = Vec::new();
+    for chunk in split_top_commas(tokens) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        let vname = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err(format!("serde shim derive: bad variant in `{name}`")),
+        };
+        match chunk.get(i + 1) {
+            None => out.push((vname, VariantShape::Unit)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level(&g.stream().into_iter().collect::<Vec<_>>());
+                out.push((vname, VariantShape::Tuple(arity)));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(&g.stream().into_iter().collect::<Vec<_>>())?;
+                out.push((vname, VariantShape::Struct(fields)));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                out.push((vname, VariantShape::Unit)); // explicit discriminant: ignore it
+            }
+            _ => return Err(format!("serde shim derive: bad variant in `{name}`")),
+        }
+    }
+    Ok(out)
+}

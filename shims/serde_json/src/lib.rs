@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde_json`: `to_string` over the shimmed
+//! [`serde::Serialize`] trait. Serialization in this workspace is
+//! infallible (no non-string map keys reach JSON, non-finite floats
+//! become `null`), so `Error` is uninhabited in practice but kept in the
+//! signature for source compatibility.
+
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+
+use std::fmt;
+
+/// Serialization error (never produced by this shim).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_vec() {
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+    }
+}

@@ -229,3 +229,67 @@ proptest! {
         prop_assert_eq!(all.local_instance(0, &db), db.clone());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CALM under chaos: an F0 (monotone-broadcast) program is immune to
+    /// every fault the asynchronous model quantifies over. Random
+    /// reorder/duplicate/delay plans across several seeds always yield
+    /// exactly the centralized answer.
+    #[test]
+    fn f0_output_invariant_under_within_model_faults(
+        db in small_instance(12, 5),
+        reorder in 0.0f64..0.9,
+        dup in 0.0f64..0.6,
+        delay in 0.0f64..0.6,
+        plan_seed in 0u64..50,
+    ) {
+        use parlog::faults::FaultPlan;
+        use parlog::transducer::prelude::*;
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let expected = eval_query(&q, &db);
+        let p = MonotoneBroadcast::new(q);
+        let shards = hash_distribution(&db, 3, 7);
+        for seed in [plan_seed, plan_seed + 1, plan_seed + 2] {
+            let mut plan = FaultPlan::reordering(seed, reorder);
+            plan.dup_prob = dup;
+            plan.delay_prob = delay;
+            plan.max_delay = 6;
+            let (out, _) = run_with_faults(
+                &p, &shards, Ctx::oblivious(), Schedule::Random(seed), &plan,
+            );
+            prop_assert_eq!(&out, &expected, "seed {}", seed);
+        }
+    }
+
+    /// Lossy runs are always sound: dropped messages can only shrink the
+    /// output, never let the monotone program invent a fact outside Q(I).
+    #[test]
+    fn lossy_runs_are_sound(
+        db in small_instance(12, 5),
+        drop_prob in 0.05f64..0.95,
+        seed in 0u64..50,
+    ) {
+        use parlog::faults::FaultPlan;
+        use parlog::transducer::prelude::*;
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let expected = eval_query(&q, &db);
+        let p = MonotoneBroadcast::new(q);
+        let shards = hash_distribution(&db, 3, 7);
+        let plan = FaultPlan::lossy(seed, drop_prob);
+        let (out, stats) = run_with_faults(
+            &p, &shards, Ctx::oblivious(), Schedule::Random(seed), &plan,
+        );
+        prop_assert!(out.is_subset_of(&expected));
+        // And reliability restores completeness whenever anything dropped.
+        if stats.dropped > 0 {
+            let reliable = ReliableBroadcast::new(p);
+            let (rel_out, rel_stats) = reliable.run(
+                &shards, Ctx::oblivious(), Schedule::Random(seed), &plan,
+            );
+            prop_assert_eq!(&rel_out, &expected);
+            prop_assert!(rel_stats.coordination_messages() > 0);
+        }
+    }
+}
