@@ -29,6 +29,12 @@
 //! facts not in `Q(I)`. Counting messages is exactly the kind of
 //! coordination the model's faults can subvert; set-based monotone state
 //! cannot be.
+//!
+//! The matrix also carries the *repaired* barrier ("coord-seq"):
+//! sequence-numbered idempotent delivery dedups redelivered facts at the
+//! receiver before they reach the count, flipping the duplicate cell back
+//! to [`Verdict::Consistent`]. The unfixed program stays in the matrix as
+//! the regression witness.
 
 use parlog_faults::{FaultClass, FaultPlan};
 use parlog_relal::eval::eval_query;
@@ -75,7 +81,8 @@ impl fmt::Display for Verdict {
 pub struct FaultMatrixRow {
     /// Program name (the representative strategy of the class).
     pub program: String,
-    /// Transducer class: "F0", "F1", "F2", or "coord" for the barrier.
+    /// Transducer class: "F0", "F1", "F2", "coord" for the counting
+    /// barrier, or "coord-seq" for the sequence-numbered fixed barrier.
     pub class: &'static str,
     /// The injected fault class.
     pub fault: &'static str,
@@ -241,10 +248,26 @@ pub fn fault_matrix_with_seeds(seeds: &[u64]) -> FaultMatrix {
         ]);
         let expected = eval_query(&q, &db);
         let shards = hash_distribution(&db, 3, 2);
-        let p = CoordinatedBroadcast::new(q);
+        let p = CoordinatedBroadcast::new(q.clone());
         verdicts_for(
             &p,
             "coord",
+            &shards,
+            &Ctx::aware(3),
+            &expected,
+            seeds,
+            &mut rows,
+        );
+
+        // The *fixed* barrier (PR 2): sequence-numbered idempotent
+        // delivery dedups redelivered facts before they reach the
+        // counting barrier, so duplication can no longer open the
+        // barrier early. Same query, same shards — only the delivery
+        // ledger differs, and the duplicate cell flips to consistent.
+        let p = CoordinatedBroadcast::idempotent(q);
+        verdicts_for(
+            &p,
+            "coord-seq",
             &shards,
             &Ctx::aware(3),
             &expected,
@@ -365,9 +388,37 @@ mod tests {
     }
 
     #[test]
+    fn sequence_numbered_barrier_is_sound_under_duplication() {
+        // The PR 2 fix: with sequence-numbered idempotent delivery a
+        // redelivered fact is discarded at the receiver before it can
+        // inflate the barrier count, so the duplicate cell flips from
+        // Fails to Consistent. The unfixed program's cell stays Fails
+        // above — kept deliberately as the regression witness.
+        let m = matrix();
+        assert_eq!(
+            m.cell("coord-seq", "duplicate").unwrap().verdict,
+            Verdict::Consistent,
+            "idempotent delivery must absorb duplication"
+        );
+        assert_eq!(
+            m.cell("coord", "duplicate").unwrap().verdict,
+            Verdict::Fails,
+            "the unfixed barrier stays as the regression witness"
+        );
+        // The fix costs nothing under the other within-model faults.
+        for fault in ["reorder", "delay"] {
+            assert_eq!(
+                m.cell("coord-seq", fault).unwrap().verdict,
+                Verdict::Consistent,
+                "coord-seq under {fault}"
+            );
+        }
+    }
+
+    #[test]
     fn matrix_covers_every_cell_and_serializes() {
         let m = matrix();
-        assert_eq!(m.rows.len(), 4 * FaultClass::ALL.len());
+        assert_eq!(m.rows.len(), 5 * FaultClass::ALL.len());
         let json = serde_json::to_string(&m).unwrap();
         assert!(json.contains("\"verdict\""));
         assert!(json.contains("\"within_model\""));

@@ -28,6 +28,11 @@
 //!   records a machine-checked verdict per cell: within-model faults are
 //!   absorbed by the CALM classes, everything else costs completeness
 //!   but never soundness.
+//! * **Supervision** — [`supervisor`] (re-exported from
+//!   `parlog-supervisor`) is the control plane above both substrates:
+//!   φ-accrual failure detection, deadline-bounded retry, shard
+//!   re-replication heals, speculative re-execution of stragglers, and
+//!   certified graceful degradation for monotone queries.
 //!
 //! ```
 //! use parlog::prelude::*;
@@ -53,6 +58,7 @@ pub use parlog_datalog as datalog;
 pub use parlog_faults as faults;
 pub use parlog_mpc as mpc;
 pub use parlog_relal as relal;
+pub use parlog_supervisor as supervisor;
 pub use parlog_transducer as transducer;
 
 /// Commonly used items from the whole workspace.

@@ -135,10 +135,27 @@ pub struct Straggler {
     pub slowdown: f64,
 }
 
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer used to
+/// derive *deterministic* jitter and per-entity hash streams without any
+/// shared RNG state. Same input, same output — always.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Ack/retransmit-with-backoff — the *explicit coordination* that buys
 /// back reliability under loss. Used by the transducer runtime's
 /// reliable mode; every retransmission and ack is counted, making the
 /// coordination overhead measurable.
+///
+/// Backoff is exponential with a **cap** and **deterministic seeded
+/// jitter**: the wait before attempt `k+1` is drawn from
+/// `[(1−j)·b, b]` where `b = min(backoff_base · 2^k, backoff_cap)` and
+/// `j = jitter_pct/100`, keyed by `(seed, from, dest, k)` through
+/// [`mix64`] — so retransmissions desynchronize (no thundering herd at
+/// the same clock tick) while staying fully reproducible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct RetransmitPolicy {
     /// Retransmission attempts per (message, destination) before giving
@@ -147,6 +164,11 @@ pub struct RetransmitPolicy {
     /// Heartbeats to wait before the first retransmission; doubles per
     /// attempt (exponential backoff).
     pub backoff_base: u32,
+    /// Ceiling on the exponential backoff, in delivery steps.
+    pub backoff_cap: u32,
+    /// Percentage of the capped backoff randomized away (0 = fixed
+    /// intervals; 50 = wait drawn from the upper half of the interval).
+    pub jitter_pct: u8,
 }
 
 impl Default for RetransmitPolicy {
@@ -154,6 +176,84 @@ impl Default for RetransmitPolicy {
         RetransmitPolicy {
             max_retries: 16,
             backoff_base: 1,
+            backoff_cap: 64,
+            jitter_pct: 50,
+        }
+    }
+}
+
+impl RetransmitPolicy {
+    /// A policy with fixed (jitter-free, uncapped-by-default-cap)
+    /// exponential backoff — the pre-jitter behavior, kept for tests
+    /// that assert exact release times.
+    pub fn fixed(max_retries: u32, backoff_base: u32) -> RetransmitPolicy {
+        RetransmitPolicy {
+            max_retries,
+            backoff_base,
+            backoff_cap: u32::MAX,
+            jitter_pct: 0,
+        }
+    }
+
+    /// Delivery steps to wait after the `attempts`-th failed send of a
+    /// `(from, dest)` copy: capped exponential backoff with
+    /// deterministic jitter keyed by `(seed, from, dest, attempts)`.
+    /// Always ≥ 1.
+    pub fn backoff(&self, seed: u64, from: usize, dest: usize, attempts: u32) -> usize {
+        let exp = (self.backoff_base as u64).saturating_shl(attempts.min(32));
+        let capped = exp.min(self.backoff_cap as u64).max(1);
+        let span = capped * u64::from(self.jitter_pct.min(100)) / 100;
+        if span == 0 {
+            return capped as usize;
+        }
+        let key = mix64(
+            seed ^ mix64((from as u64) << 32 | dest as u64).wrapping_add(u64::from(attempts)),
+        );
+        (capped - span + key % (span + 1)).max(1) as usize
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping — backoff
+/// exponents can exceed 63 once retries pile up.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if self == 0 {
+            return 0;
+        }
+        if rhs >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << rhs
+        }
+    }
+}
+
+/// MapReduce-style speculative re-execution of straggler tasks: when a
+/// server's straggler-scaled finish time exceeds `threshold ×` the
+/// round's median finish time, a backup copy of its task is launched on
+/// a healthy server; whichever copy finishes first wins and commits
+/// (commits are idempotent — both copies compute the same deterministic
+/// result), the loser's work is discarded and tallied as speculative
+/// waste. Purely a latency optimization: outputs, communication and
+/// per-round loads are untouched by construction.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SpeculationPolicy {
+    /// Launch a backup when `scaled_time > threshold × median_time`.
+    pub threshold: f64,
+    /// Never speculate tasks below this load (backing up trivial tasks
+    /// wastes more than it saves).
+    pub min_load: usize,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> SpeculationPolicy {
+        SpeculationPolicy {
+            threshold: 1.5,
+            min_load: 2,
         }
     }
 }
@@ -524,6 +624,57 @@ mod tests {
         assert!(!plan.crashes_in(0, 2));
         assert_eq!(plan.slowdown(0), 3.0);
         assert_eq!(plan.slowdown(1), 1.0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetransmitPolicy {
+            max_retries: 8,
+            backoff_base: 2,
+            backoff_cap: 32,
+            jitter_pct: 50,
+        };
+        for attempts in 0..10u32 {
+            let a = policy.backoff(7, 0, 1, attempts);
+            let b = policy.backoff(7, 0, 1, attempts);
+            assert_eq!(a, b, "jitter must be deterministic");
+            let exp = (2u64 << attempts.min(32)).clamp(1, 32) as usize;
+            assert!(
+                a >= 1 && a <= exp,
+                "attempt {attempts}: {a} not in [1, {exp}]"
+            );
+            assert!(
+                a >= exp - exp / 2,
+                "attempt {attempts}: {a} below jitter floor"
+            );
+        }
+        // Different (from, dest) pairs desynchronize under jitter.
+        let spread: std::collections::HashSet<usize> =
+            (0..32).map(|d| policy.backoff(7, 0, d, 4)).collect();
+        assert!(spread.len() > 1, "jitter must actually spread releases");
+    }
+
+    #[test]
+    fn fixed_policy_reproduces_plain_exponential_backoff() {
+        let policy = RetransmitPolicy::fixed(4, 2);
+        assert_eq!(policy.backoff(1, 0, 1, 0), 2);
+        assert_eq!(policy.backoff(1, 0, 1, 2), 8);
+        assert_eq!(
+            policy.backoff(9, 5, 3, 2),
+            8,
+            "seed-independent when jitter-free"
+        );
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping() {
+        let policy = RetransmitPolicy {
+            max_retries: 64,
+            backoff_base: u32::MAX,
+            backoff_cap: 100,
+            jitter_pct: 0,
+        };
+        assert_eq!(policy.backoff(0, 0, 1, 60), 100, "huge shifts hit the cap");
     }
 
     #[test]

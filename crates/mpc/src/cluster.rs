@@ -24,8 +24,19 @@
 //! Stragglers don't change what is computed, only how long the barrier
 //! waits: each round's `tail_time` is the received load of the slowest
 //! server scaled by its slowdown factor — `max_load` when nobody lags.
+//!
+//! ## Speculative re-execution (backup tasks)
+//!
+//! With a [`SpeculationPolicy`] installed ([`Cluster::with_speculation`]),
+//! straggler tasks are handled MapReduce-style: a task whose scaled
+//! finish time exceeds the policy cutoff gets a healthy-speed backup,
+//! the round barrier waits only for each task's *first* finisher, and
+//! the loser is discarded on idempotent commit. Outputs and loads are
+//! untouched by construction (both copies compute the same deterministic
+//! result); the effect is confined to `tail_time` and the
+//! [`SpeculationStats`] waste accounting.
 
-use parlog_faults::MpcFaultPlan;
+use parlog_faults::{MpcFaultPlan, SpeculationPolicy};
 use parlog_relal::fact::Fact;
 use parlog_relal::instance::Instance;
 
@@ -74,6 +85,67 @@ pub struct RecoveryStats {
     pub max_replays_in_round: u32,
 }
 
+/// What speculative re-execution did over a cluster run. All zeros when
+/// no [`SpeculationPolicy`] is installed or no task was slow enough.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct SpeculationStats {
+    /// Backup tasks launched (one per flagged straggler task).
+    pub backups: usize,
+    /// Backups that finished before the original (first-finisher-wins).
+    pub wins: usize,
+    /// Work units of the losing copies, discarded on idempotent commit —
+    /// the price of speculation.
+    pub wasted_work: usize,
+    /// Barrier time saved across all rounds (load units) versus running
+    /// the same rounds without backups.
+    pub tail_saved: f64,
+}
+
+impl RoundStats {
+    /// Re-time this round with speculative backups: any task whose
+    /// straggler-scaled finish time exceeds `threshold × median` gets a
+    /// healthy-speed backup launched at the detection cutoff; the round's
+    /// barrier waits only for each task's *first* finisher. Loads and
+    /// state are untouched — speculation is pure latency recovery, paid
+    /// for in discarded duplicate work.
+    fn apply_speculation(
+        &mut self,
+        plan: &MpcFaultPlan,
+        policy: &SpeculationPolicy,
+        tally: &mut SpeculationStats,
+    ) {
+        let times: Vec<f64> = self
+            .received
+            .iter()
+            .enumerate()
+            .map(|(s, &r)| r as f64 * plan.slowdown(s))
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let cutoff = policy.threshold * median;
+        let old_tail = self.tail_time;
+        let mut effective = times;
+        for (s, t) in effective.iter_mut().enumerate() {
+            let load = self.received[s];
+            if plan.slowdown(s) <= 1.0 || load < policy.min_load || *t <= cutoff {
+                continue;
+            }
+            // Detection at the cutoff, then a healthy-speed re-run of the
+            // task's full load; first finisher wins, loser is discarded.
+            let backup_finish = cutoff + load as f64;
+            tally.backups += 1;
+            tally.wasted_work += load;
+            if backup_finish < *t {
+                tally.wins += 1;
+                *t = backup_finish;
+            }
+        }
+        self.tail_time = effective.iter().fold(0.0f64, |a, &b| a.max(b));
+        tally.tail_saved += old_tail - self.tail_time;
+    }
+}
+
 impl RoundStats {
     fn from_received(received: Vec<usize>, plan: &MpcFaultPlan) -> RoundStats {
         let max_load = received.iter().copied().max().unwrap_or(0);
@@ -114,6 +186,8 @@ pub struct Cluster {
     rounds: Vec<RoundStats>,
     faults: MpcFaultPlan,
     recovery: RecoveryStats,
+    speculation: Option<SpeculationPolicy>,
+    spec_stats: SpeculationStats,
 }
 
 impl Cluster {
@@ -128,6 +202,8 @@ impl Cluster {
             rounds: Vec::new(),
             faults: MpcFaultPlan::none(),
             recovery: RecoveryStats::default(),
+            speculation: None,
+            spec_stats: SpeculationStats::default(),
         }
     }
 
@@ -147,9 +223,26 @@ impl Cluster {
         &self.faults
     }
 
+    /// Enable MapReduce-style speculative re-execution: straggler tasks
+    /// flagged by `policy` get healthy-speed backups, the barrier waits
+    /// for each task's first finisher, and the loser's work is tallied
+    /// as [`SpeculationStats::wasted_work`]. Outputs and loads are
+    /// unchanged by construction — only `tail_time` and the waste
+    /// accounting move.
+    pub fn with_speculation(mut self, policy: SpeculationPolicy) -> Cluster {
+        assert!(policy.threshold >= 1.0, "cutoff below the median is absurd");
+        self.speculation = Some(policy);
+        self
+    }
+
     /// What recovery cost so far.
     pub fn recovery(&self) -> RecoveryStats {
         self.recovery
+    }
+
+    /// What speculative re-execution did so far.
+    pub fn speculation(&self) -> SpeculationStats {
+        self.spec_stats
     }
 
     /// Barrier time summed over committed rounds: each round costs the
@@ -180,8 +273,11 @@ impl Cluster {
             let crashed = (0..self.p()).any(|s| self.faults.crashes_in(attempt_idx, s));
             if !crashed {
                 self.local = next;
-                self.rounds
-                    .push(RoundStats::from_received(received, &self.faults));
+                let mut stats = RoundStats::from_received(received, &self.faults);
+                if let Some(policy) = &self.speculation {
+                    stats.apply_speculation(&self.faults, policy, &mut self.spec_stats);
+                }
+                self.rounds.push(stats);
                 return self.rounds.last().expect("just pushed");
             }
             // A server died mid-round: throw the attempt away (the
@@ -567,6 +663,62 @@ mod tests {
         assert!((clean.tail_time() - clean.max_load() as f64).abs() < 1e-9);
         assert_eq!(slow.tail_time(), 4.0 * 4.0); // 4 facts on the 4× server
         assert!(slow.tail_time() > clean.tail_time());
+    }
+
+    #[test]
+    fn speculation_cuts_tail_time_without_touching_outputs() {
+        let facts: Vec<Fact> = (0..16u64).map(|i| fact("R", &[i, i])).collect();
+        let run = |spec: Option<SpeculationPolicy>| {
+            let mut c = seeded(4, &facts).with_faults(MpcFaultPlan::none().with_straggler(1, 8.0));
+            if let Some(s) = spec {
+                c = c.with_speculation(s);
+            }
+            c.communicate(|f| vec![(f.args[0].0 % 4) as usize]);
+            c
+        };
+        let plain = run(None);
+        let spec = run(Some(SpeculationPolicy::default()));
+        // First-finisher-wins with idempotent commit: identical answers,
+        // identical loads — only the barrier time and the waste move.
+        assert_eq!(plain.union_all(), spec.union_all());
+        assert_eq!(plain.rounds()[0].received, spec.rounds()[0].received);
+        assert_eq!(plain.max_load(), spec.max_load());
+        assert!(spec.tail_time() < plain.tail_time());
+        let tally = spec.speculation();
+        assert_eq!(tally.backups, 1);
+        assert_eq!(tally.wins, 1);
+        assert!(tally.wasted_work > 0, "the losing copy's work is the price");
+        assert!((tally.tail_saved - (plain.tail_time() - spec.tail_time())).abs() < 1e-9);
+        assert_eq!(plain.speculation(), SpeculationStats::default());
+    }
+
+    #[test]
+    fn speculation_is_a_noop_on_a_healthy_cluster() {
+        let facts: Vec<Fact> = (0..16u64).map(|i| fact("R", &[i, i])).collect();
+        let mut c = seeded(4, &facts).with_speculation(SpeculationPolicy::default());
+        c.communicate(|f| vec![(f.args[0].0 % 4) as usize]);
+        assert_eq!(c.speculation(), SpeculationStats::default());
+        assert!((c.tail_time() - c.max_load() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speculation_skips_tiny_tasks() {
+        // One fact on an 8× server: slow enough to flag, but below
+        // min_load — no backup launched.
+        let facts: Vec<Fact> = [0u64, 1, 5, 2, 6, 3, 7]
+            .iter()
+            .map(|&i| fact("R", &[i, i]))
+            .collect();
+        let mut c = seeded(4, &facts)
+            .with_faults(MpcFaultPlan::none().with_straggler(0, 8.0))
+            .with_speculation(SpeculationPolicy {
+                threshold: 1.5,
+                min_load: 2,
+            });
+        c.communicate(|f| vec![(f.args[0].0 % 4) as usize]);
+        assert_eq!(c.rounds()[0].received[0], 1);
+        assert!(c.rounds()[0].tail_time > 3.0, "the tiny task still lags");
+        assert_eq!(c.speculation().backups, 0);
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub struct RunStats {
     pub retry_budget: u32,
     /// Most replays any single round actually consumed.
     pub max_replays_in_round: u32,
+    /// Speculative backup tasks launched for straggler tasks.
+    pub speculative_backups: usize,
+    /// Backups that beat the original (first-finisher-wins).
+    pub speculative_wins: usize,
+    /// Work of losing copies, discarded on idempotent commit.
+    pub speculative_waste: usize,
+    /// Barrier time the backups shaved off, in load units.
+    pub tail_saved: f64,
 }
 
 /// The result of running an algorithm: its output and its stats.
@@ -63,6 +71,7 @@ impl RunReport {
         let tail_time = cluster.tail_time();
         let barrier_load: usize = cluster.rounds().iter().map(|r| r.max_load).sum();
         let recovery = cluster.recovery();
+        let speculation = cluster.speculation();
         RunReport {
             algorithm,
             output: cluster.union_all(),
@@ -88,6 +97,10 @@ impl RunReport {
                 wasted_comm: recovery.wasted_comm,
                 retry_budget: cluster.fault_plan().max_retries,
                 max_replays_in_round: recovery.max_replays_in_round,
+                speculative_backups: speculation.backups,
+                speculative_wins: speculation.wins,
+                speculative_waste: speculation.wasted_work,
+                tail_saved: speculation.tail_saved,
             },
         }
     }
@@ -139,5 +152,24 @@ mod tests {
         assert_eq!(r.stats.max_replays_in_round, 1);
         assert!(r.stats.straggler_penalty > 1.0);
         assert!(r.stats.tail_time > r.stats.max_load as f64);
+    }
+
+    #[test]
+    fn report_accounts_speculation() {
+        use parlog_faults::{MpcFaultPlan, SpeculationPolicy};
+        let mut c = Cluster::new(4)
+            .with_faults(MpcFaultPlan::none().with_straggler(1, 8.0))
+            .with_speculation(SpeculationPolicy::default());
+        for i in 0..16u64 {
+            c.local_mut((i % 4) as usize).insert(fact("R", &[i, i]));
+        }
+        c.communicate(|f| vec![(f.args[0].0 % 4) as usize]);
+        let r = RunReport::from_cluster("t", &c, 16);
+        assert_eq!(r.stats.speculative_backups, 1);
+        assert_eq!(r.stats.speculative_wins, 1);
+        assert!(r.stats.speculative_waste > 0);
+        assert!(r.stats.tail_saved > 0.0);
+        let json = serde_json::to_string(&r.stats).unwrap();
+        assert!(json.contains("\"speculative_waste\""));
     }
 }

@@ -1,0 +1,186 @@
+//! Graceful degradation: certified partial answers, or a principled
+//! refusal.
+//!
+//! When recovery is impossible within budget — no live survivor to adopt
+//! a dead node's shard, or the heal allowance is spent — the supervisor
+//! does not pretend. What it can still promise depends on the CALM
+//! split:
+//!
+//! * **Monotone (F0) queries** are closed under shrinking input: every
+//!   fact derived from the surviving shards is in the true answer, so
+//!   the run's output is a *sound partial answer*. The supervisor
+//!   returns it together with a [`Certificate`] naming the missing
+//!   shards and the input coverage — a subset guarantee, machine-checked
+//!   by the property tests.
+//! * **Non-monotone queries** enjoy no such closure: an answer computed
+//!   from a subset of the input can contain facts that the full input
+//!   *retracts* (the open-triangle query closes triangles it cannot
+//!   see). Returning anything would be unsound, so the supervisor
+//!   [refuses][Degraded::Refused], reporting exactly why.
+//!
+//! This is the CALM theorem operationalized as a failure-mode contract:
+//! monotonicity is not just coordination-freeness, it is *degradability*.
+
+use parlog_relal::instance::Instance;
+use parlog_relal::query::ConjunctiveQuery;
+
+/// Whether a query's answers survive input shrinkage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum QueryMode {
+    /// Monotone: every answer over a subset of the input is an answer
+    /// over the full input — degradation to a certified subset is sound.
+    Monotone,
+    /// Non-monotone: subset answers may be wrong — degradation must
+    /// refuse.
+    NonMonotone,
+}
+
+impl QueryMode {
+    /// Classify a conjunctive query syntactically: CQs without negation
+    /// are monotone; a negated atom breaks monotonicity.
+    pub fn of(q: &ConjunctiveQuery) -> QueryMode {
+        if q.negated.is_empty() {
+            QueryMode::Monotone
+        } else {
+            QueryMode::NonMonotone
+        }
+    }
+
+    /// Is degradation to a partial answer sound for this mode?
+    pub fn degradable(self) -> bool {
+        matches!(self, QueryMode::Monotone)
+    }
+}
+
+/// The staleness/coverage certificate attached to a degraded answer (or
+/// to a refusal): which shards are missing and how much input the
+/// answer is computed from.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Certificate {
+    /// Nodes whose shards are unrepresented: crashed, unhealed.
+    pub missing_nodes: Vec<usize>,
+    /// Facts lost with those shards.
+    pub missing_facts: usize,
+    /// Fraction of the input the answer covers, in `[0, 1]`:
+    /// `1 − missing_facts / total_facts`.
+    pub coverage: f64,
+    /// Virtual-clock time the certificate was issued — the answer is
+    /// complete w.r.t. everything delivered up to here.
+    pub as_of_clock: usize,
+}
+
+impl Certificate {
+    /// A full-coverage certificate (nothing missing) at `clock`.
+    pub fn complete(clock: usize) -> Certificate {
+        Certificate {
+            missing_nodes: Vec::new(),
+            missing_facts: 0,
+            coverage: 1.0,
+            as_of_clock: clock,
+        }
+    }
+
+    /// Does this certificate claim full input coverage?
+    pub fn is_complete(&self) -> bool {
+        self.missing_nodes.is_empty()
+    }
+}
+
+/// The supervisor's verdict on a run's answer.
+#[derive(Debug, Clone)]
+pub enum Degraded {
+    /// Every shard is represented (directly or via a heal): the answer
+    /// is the run's full output.
+    Exact(Instance),
+    /// Shards are missing but the query is monotone: a sound partial
+    /// answer — a subset of the true answer — with its certificate.
+    Partial {
+        /// The (sound, possibly incomplete) answer.
+        answer: Instance,
+        /// What is missing and how much is covered.
+        certificate: Certificate,
+    },
+    /// Shards are missing and the query is non-monotone: no sound answer
+    /// exists, so none is given.
+    Refused {
+        /// Why the answer is withheld.
+        reason: String,
+        /// What was missing when the refusal was issued.
+        certificate: Certificate,
+    },
+}
+
+impl Degraded {
+    /// The answer, if one was (soundly) produced.
+    pub fn answer(&self) -> Option<&Instance> {
+        match self {
+            Degraded::Exact(a) => Some(a),
+            Degraded::Partial { answer, .. } => Some(answer),
+            Degraded::Refused { .. } => None,
+        }
+    }
+
+    /// Was the run healed to full coverage?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Degraded::Exact(_))
+    }
+
+    /// The certificate, when the run degraded (partial or refused).
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            Degraded::Exact(_) => None,
+            Degraded::Partial { certificate, .. } | Degraded::Refused { certificate, .. } => {
+                Some(certificate)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::parser::parse_query;
+
+    #[test]
+    fn syntactic_monotonicity_split() {
+        let cq = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        assert_eq!(QueryMode::of(&cq), QueryMode::Monotone);
+        assert!(QueryMode::of(&cq).degradable());
+        let neg = parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap();
+        assert_eq!(QueryMode::of(&neg), QueryMode::NonMonotone);
+        assert!(!QueryMode::of(&neg).degradable());
+    }
+
+    #[test]
+    fn certificate_coverage_roundtrip() {
+        let c = Certificate {
+            missing_nodes: vec![2],
+            missing_facts: 5,
+            coverage: 0.75,
+            as_of_clock: 90,
+        };
+        assert!(!c.is_complete());
+        assert!(Certificate::complete(3).is_complete());
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"coverage\":0.75"));
+    }
+
+    #[test]
+    fn degraded_accessors() {
+        let inst = Instance::new();
+        assert!(Degraded::Exact(inst.clone()).answer().is_some());
+        assert!(Degraded::Exact(inst.clone()).certificate().is_none());
+        let refused = Degraded::Refused {
+            reason: "shard 1 lost".into(),
+            certificate: Certificate::complete(0),
+        };
+        assert!(refused.answer().is_none());
+        assert!(refused.certificate().is_some());
+        let partial = Degraded::Partial {
+            answer: inst,
+            certificate: Certificate::complete(0),
+        };
+        assert!(!partial.is_exact());
+        assert!(partial.answer().is_some());
+    }
+}

@@ -1,0 +1,200 @@
+//! φ-accrual failure detection over the virtual clock.
+//!
+//! Classic timeout detectors emit a binary verdict; the accrual detector
+//! (Hayashibara et al.) instead outputs a *suspicion level* φ that grows
+//! continuously the longer a node stays silent, leaving the
+//! action threshold to the supervisor. We use the exponential
+//! inter-arrival model: if heartbeats from a node arrive with mean
+//! spacing `μ`, the probability that a live node is silent for `t` ticks
+//! is `exp(−t/μ)`, so
+//!
+//! ```text
+//! φ(t) = −log₁₀ P(silent ≥ t) = (t / μ) · log₁₀ e
+//! ```
+//!
+//! A node is *suspected* once `φ ≥ threshold`: threshold 1 tolerates
+//! ~2.3 mean intervals of silence, 3 tolerates ~6.9, each unit buying a
+//! 10× lower false-positive probability under the model. All time is the
+//! simulator's virtual clock — the detector is deterministic and
+//! replayable like everything else in the workspace.
+
+/// `log₁₀ e`, the slope of φ per mean-interval of silence.
+const LOG10_E: f64 = std::f64::consts::LOG10_E;
+
+/// Accrual failure detector for `n` nodes.
+#[derive(Debug, Clone)]
+pub struct PhiDetector {
+    threshold: f64,
+    /// Clock of the last heartbeat arrival per node.
+    last: Vec<Option<usize>>,
+    /// Smoothed mean inter-arrival time per node (EWMA).
+    mean: Vec<f64>,
+    /// Inter-arrival samples seen per node.
+    samples: Vec<usize>,
+    /// Nodes confirmed dead — monitoring stops, φ pinned to ∞.
+    dead: Vec<bool>,
+}
+
+impl PhiDetector {
+    /// A detector for `n` nodes that suspects at `φ ≥ threshold`, with
+    /// the inter-arrival mean seeded at `expected_interval` (refined by
+    /// observation as heartbeats arrive).
+    pub fn new(n: usize, threshold: f64, expected_interval: usize) -> PhiDetector {
+        assert!(
+            threshold > 0.0,
+            "a non-positive threshold suspects everyone"
+        );
+        assert!(expected_interval > 0, "heartbeats need a positive period");
+        PhiDetector {
+            threshold,
+            last: vec![None; n],
+            mean: vec![expected_interval as f64; n],
+            samples: vec![0; n],
+            dead: vec![false; n],
+        }
+    }
+
+    /// Number of monitored nodes.
+    pub fn n(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Record a heartbeat from `node` at clock `now`. Clears any current
+    /// suspicion of the node (its φ drops back to 0).
+    pub fn arrival(&mut self, node: usize, now: usize) {
+        if self.dead[node] {
+            return;
+        }
+        if let Some(prev) = self.last[node] {
+            let dt = now.saturating_sub(prev).max(1) as f64;
+            // EWMA with a 1/4 gain: adapts to drift without letting one
+            // delayed heartbeat inflate the window.
+            self.mean[node] = if self.samples[node] == 0 {
+                dt
+            } else {
+                0.75 * self.mean[node] + 0.25 * dt
+            };
+            self.samples[node] += 1;
+        }
+        self.last[node] = Some(now);
+    }
+
+    /// The suspicion level of `node` at clock `now`: 0 right after a
+    /// heartbeat, +`log₁₀e` per mean interval of silence, ∞ once the node
+    /// is marked dead.
+    pub fn phi(&self, node: usize, now: usize) -> f64 {
+        if self.dead[node] {
+            return f64::INFINITY;
+        }
+        match self.last[node] {
+            None => 0.0, // nothing observed yet: no basis for suspicion
+            Some(t) => {
+                let elapsed = now.saturating_sub(t) as f64;
+                elapsed / self.mean[node] * LOG10_E
+            }
+        }
+    }
+
+    /// Nodes whose suspicion level crosses the threshold at `now`,
+    /// excluding those already confirmed dead.
+    pub fn suspects(&self, now: usize) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&i| !self.dead[i] && self.phi(i, now) >= self.threshold)
+            .collect()
+    }
+
+    /// A suspicion turned out false (the node answered a confirm probe):
+    /// treat the answer as an arrival, dropping φ back to 0.
+    pub fn clear(&mut self, node: usize, now: usize) {
+        self.arrival(node, now);
+    }
+
+    /// Confirm `node` dead: stop monitoring it (φ pinned to ∞, never
+    /// listed as a new suspect again).
+    pub fn mark_dead(&mut self, node: usize) {
+        self.dead[node] = true;
+    }
+
+    /// Has `node` been confirmed dead?
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.dead[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_detector_suspects_nobody() {
+        let det = PhiDetector::new(4, 3.0, 8);
+        assert!(det.suspects(1000).is_empty());
+        assert_eq!(det.phi(0, 1000), 0.0);
+    }
+
+    #[test]
+    fn regular_heartbeats_keep_phi_low() {
+        let mut det = PhiDetector::new(2, 3.0, 8);
+        for k in 0..50 {
+            det.arrival(0, k * 8);
+            det.arrival(1, k * 8);
+            assert!(det.suspects(k * 8 + 8).is_empty(), "tick {k}");
+        }
+        // One period of silence: φ ≈ log10(e) ≈ 0.43, far below 3.
+        assert!(det.phi(0, 50 * 8) < 1.0);
+    }
+
+    #[test]
+    fn silence_accrues_past_the_threshold() {
+        let mut det = PhiDetector::new(2, 3.0, 8);
+        for k in 0..10 {
+            det.arrival(0, k * 8);
+            det.arrival(1, k * 8);
+        }
+        let crash = 9 * 8;
+        // Node 0 goes silent; node 1 keeps beating.
+        let mut detected_at = None;
+        for k in 10..40 {
+            let now = k * 8;
+            det.arrival(1, now);
+            if det.suspects(now) == vec![0] {
+                detected_at = Some(now);
+                break;
+            }
+        }
+        let t = detected_at.expect("silence must eventually cross φ = 3");
+        // φ = 3 at elapsed = 3·ln10·μ ≈ 6.9 intervals ≈ 56 ticks.
+        let latency = t - crash;
+        assert!((48..=72).contains(&latency), "latency {latency}");
+        assert!(det.suspects(t).contains(&0));
+        assert!(!det.suspects(t).contains(&1), "live node never suspected");
+    }
+
+    #[test]
+    fn clear_resets_suspicion_and_mark_dead_pins_it() {
+        let mut det = PhiDetector::new(2, 1.0, 4);
+        det.arrival(0, 0);
+        assert!(det.phi(0, 100) > 1.0);
+        det.clear(0, 100);
+        assert_eq!(det.phi(0, 100), 0.0);
+        det.mark_dead(1);
+        assert!(det.phi(1, 0).is_infinite());
+        assert!(det.suspects(10_000).is_empty() || det.suspects(10_000) == vec![0]);
+        assert!(!det.suspects(10_000).contains(&1));
+    }
+
+    #[test]
+    fn mean_adapts_to_observed_cadence() {
+        // Seeded at 100 but heartbeats actually arrive every 4 ticks: the
+        // EWMA converges and detection tightens accordingly.
+        let mut det = PhiDetector::new(1, 3.0, 100);
+        for k in 0..60 {
+            det.arrival(0, k * 4);
+        }
+        let last = 59 * 4;
+        assert!(
+            det.phi(0, last + 40) > 3.0,
+            "40 ticks ≈ 10 observed periods"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! # `parlog-supervisor` — the control plane above both substrates
+//!
+//! The fault-injection layer (`parlog-faults`, PR 1) established *what*
+//! each fault class costs the CALM strategies: within-model faults are
+//! absorbed, loss and crashes cost completeness but never soundness.
+//! This crate adds the layer a real deployment would run on top — the
+//! part of the system that *notices* faults and *does something*:
+//!
+//! * [`detector`] — a φ-accrual failure detector over the virtual
+//!   clock: heartbeat probes accrue a continuous suspicion level
+//!   instead of a binary timeout, deterministic and replayable by seed.
+//! * [`retry`] — per-message retry budgets: the capped-backoff-with-
+//!   jitter retransmit policy bounded by a *deadline*, converting a
+//!   clock budget into an attempt budget.
+//! * [`mod@supervise`] — the supervision loop for transducer networks:
+//!   probe, suspect, confirm, then **heal** a dead node by
+//!   re-replicating its durable shard to a survivor
+//!   (`SimRun::adopt_shard`), all interleaved with the ordinary
+//!   scheduler.
+//! * [`heal`] — the MPC-side heal: a crashed HyperCube server's grid
+//!   cell is re-replicated to the least-loaded survivor, and the extra
+//!   load is checked against the theory's own `O(m/p^{1/τ*})`
+//!   per-server bound — recovery costs one server-load, not a
+//!   recomputation.
+//! * [`degrade`] — what happens when recovery is impossible within
+//!   budget: monotone queries return a *certified sound partial answer*
+//!   (a subset of the truth, with a coverage certificate naming the
+//!   missing shards); non-monotone queries refuse, because a subset
+//!   answer could contain retracted facts. The CALM split, restated as
+//!   a failure-mode contract: monotone ⇒ degradable.
+//!
+//! Speculative re-execution of straggler tasks (MapReduce backup tasks,
+//! first-finisher-wins) lives with the round barrier it optimizes:
+//! `parlog_mpc::cluster::Cluster::with_speculation`, policy in
+//! `parlog_faults::SpeculationPolicy`. Experiment E19 exercises the
+//! whole stack end to end.
+
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+#![deny(missing_docs)]
+
+pub mod degrade;
+pub mod detector;
+pub mod heal;
+pub mod retry;
+pub mod supervise;
+
+pub use degrade::{Certificate, Degraded, QueryMode};
+pub use detector::PhiDetector;
+pub use heal::{heal_hypercube_crash, MpcHealReport};
+pub use retry::DeadlineRetry;
+pub use supervise::{supervise, Detection, SupervisedRun, SupervisorConfig, SupervisorReport};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::degrade::{Certificate, Degraded, QueryMode};
+    pub use crate::detector::PhiDetector;
+    pub use crate::heal::{heal_hypercube_crash, MpcHealReport};
+    pub use crate::retry::DeadlineRetry;
+    pub use crate::supervise::{
+        supervise, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,
+    };
+}

@@ -1,0 +1,135 @@
+//! Per-message retry under a deadline budget.
+//!
+//! The transducer runtime's reliable mode already retransmits with
+//! capped exponential backoff and deterministic jitter
+//! ([`RetransmitPolicy`]); what it lacks is a notion of *giving up on
+//! time* rather than on attempts. A supervisor cares about the deadline:
+//! "retry this message for at most `D` ticks, then escalate" — because
+//! past `D` it will have failed the node over and healed around it, and
+//! late retransmissions are pure waste.
+//!
+//! [`DeadlineRetry`] converts a clock budget into an attempt budget by
+//! walking the *worst-case* (jitter-free upper bound) backoff schedule:
+//! attempt `k` waits at most `min(base·2ᵏ, cap)`, so the cumulative
+//! worst-case wait is a deterministic function of the policy, and the
+//! largest `k` whose cumulative wait fits the deadline is the effective
+//! retry count. The clamped policy is then installed in the fault plan as
+//! usual — the runtime needs no new mechanism.
+
+use parlog_faults::RetransmitPolicy;
+
+/// A retransmit policy bounded by a total clock budget per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct DeadlineRetry {
+    /// The underlying backoff/jitter policy.
+    pub policy: RetransmitPolicy,
+    /// Total virtual-clock budget a single message's retries may consume.
+    pub deadline: usize,
+}
+
+impl DeadlineRetry {
+    /// Bound `policy` by `deadline` ticks per message.
+    pub fn new(policy: RetransmitPolicy, deadline: usize) -> DeadlineRetry {
+        DeadlineRetry { policy, deadline }
+    }
+
+    /// The worst-case wait before retry attempt `k` (jitter can only
+    /// shorten a wait, never lengthen it past the capped exponential).
+    pub fn worst_case_wait(&self, attempt: u32) -> usize {
+        let exp = (self.policy.backoff_base as u64)
+            .checked_shl(attempt.min(32))
+            .unwrap_or(u64::MAX);
+        exp.min(self.policy.backoff_cap as u64).max(1) as usize
+    }
+
+    /// The largest number of retries whose worst-case cumulative wait
+    /// fits inside the deadline (never more than the policy's own
+    /// `max_retries`).
+    pub fn retries_within_deadline(&self) -> u32 {
+        let mut elapsed = 0usize;
+        let mut k = 0u32;
+        while k < self.policy.max_retries {
+            let wait = self.worst_case_wait(k);
+            match elapsed.checked_add(wait) {
+                Some(e) if e <= self.deadline => elapsed = e,
+                _ => break,
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// The policy with `max_retries` clamped so that no message's retry
+    /// schedule can outlive the deadline. Backoff base, cap and jitter
+    /// are untouched.
+    pub fn effective_policy(&self) -> RetransmitPolicy {
+        RetransmitPolicy {
+            max_retries: self.retries_within_deadline(),
+            ..self.policy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetransmitPolicy {
+        RetransmitPolicy {
+            max_retries: 16,
+            backoff_base: 1,
+            backoff_cap: 64,
+            jitter_pct: 50,
+        }
+    }
+
+    #[test]
+    fn deadline_clamps_the_attempt_budget() {
+        // Worst-case waits 1,2,4,8,16,… — cumulative 1,3,7,15,31.
+        let r = DeadlineRetry::new(policy(), 15);
+        assert_eq!(r.retries_within_deadline(), 4);
+        assert_eq!(r.effective_policy().max_retries, 4);
+        // One tick short of the next cumulative sum changes nothing…
+        assert_eq!(
+            DeadlineRetry::new(policy(), 30).retries_within_deadline(),
+            4
+        );
+        // …and reaching it buys exactly one more attempt.
+        assert_eq!(
+            DeadlineRetry::new(policy(), 31).retries_within_deadline(),
+            5
+        );
+    }
+
+    #[test]
+    fn budget_is_monotone_in_the_deadline() {
+        let mut prev = 0;
+        for d in 0..600 {
+            let k = DeadlineRetry::new(policy(), d).retries_within_deadline();
+            assert!(k >= prev, "deadline {d}");
+            prev = k;
+        }
+        assert!(prev > 0);
+    }
+
+    #[test]
+    fn never_exceeds_the_policy_cap() {
+        let r = DeadlineRetry::new(RetransmitPolicy::fixed(3, 1), usize::MAX);
+        assert_eq!(r.retries_within_deadline(), 3);
+    }
+
+    #[test]
+    fn zero_deadline_means_no_retries() {
+        let r = DeadlineRetry::new(policy(), 0);
+        assert_eq!(r.retries_within_deadline(), 0);
+        assert_eq!(r.effective_policy().max_retries, 0);
+    }
+
+    #[test]
+    fn waits_saturate_at_the_cap() {
+        let r = DeadlineRetry::new(policy(), 1_000);
+        assert_eq!(r.worst_case_wait(0), 1);
+        assert_eq!(r.worst_case_wait(6), 64);
+        assert_eq!(r.worst_case_wait(60), 64, "cap holds past shift overflow");
+    }
+}

@@ -1,0 +1,537 @@
+//! The supervision loop over the transducer substrate.
+//!
+//! [`supervise`] drives a [`SimRun`] exactly like
+//! `SimRun::run_faulty` — same scheduler, same quiescence condition, the
+//! fault-free case is the same code path — but interleaves a control
+//! plane:
+//!
+//! 1. **Probing.** Every `probe_every` virtual-clock ticks the
+//!    supervisor pings every node; a live node's response is a heartbeat
+//!    arrival for the [φ-accrual detector](crate::detector::PhiDetector)
+//!    (responses are lost with the fault plan's drop probability, by a
+//!    deterministic seeded roll — probes are as faulty as data traffic).
+//! 2. **Suspicion → confirmation.** A node whose φ crosses the
+//!    threshold is suspected. A confirm probe distinguishes slow from
+//!    dead: a live node's answer clears the suspicion (counted as a
+//!    *false suspicion*); silence from a down node converts it into a
+//!    detection, with latency measured from the plan's crash step.
+//! 3. **Heal.** A detected-dead node's durable shard is re-replicated to
+//!    the live survivor with the smallest shard
+//!    ([`SimRun::adopt_shard`]), within the configured heal allowance.
+//!    Healing replays facts through set-semantics transition functions —
+//!    it is idempotent and safe for the CALM (F0–F2) programs; counting
+//!    barriers should not be healed this way (they refuse downstream
+//!    instead).
+//! 4. **Degrade.** If a dead node stays unhealed, the supervisor closes
+//!    the run with a [`Degraded`] verdict: monotone queries get the
+//!    sound partial answer plus a coverage [`Certificate`]; non-monotone
+//!    queries are refused.
+//!
+//! When the network quiesces while a crash is still undetected, the
+//! supervisor keeps probing on its own clock (`quiescent_probe_budget`
+//! extra rounds) — failure detection must not depend on data traffic.
+
+use crate::degrade::{Certificate, Degraded, QueryMode};
+use crate::detector::PhiDetector;
+use parlog_faults::{mix64, FaultPlan};
+use parlog_relal::instance::Instance;
+use parlog_transducer::faulty::FaultStats;
+use parlog_transducer::program::{Ctx, TransducerProgram};
+use parlog_transducer::scheduler::{Schedule, SimRun};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tunables of the supervision loop.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SupervisorConfig {
+    /// Suspect a node once its φ crosses this level.
+    pub phi_threshold: f64,
+    /// Probe cadence in virtual-clock ticks.
+    pub probe_every: usize,
+    /// Extra probe rounds after quiescence while undetected-down nodes
+    /// remain — the detector's own clock keeps running when the data
+    /// plane goes silent.
+    pub quiescent_probe_budget: usize,
+    /// Heals allowed per run (0 disables healing: every crash degrades).
+    pub max_heals: usize,
+    /// Abandon a heal when detection came later than this many ticks
+    /// after the crash — the answer would be too stale to certify fresh.
+    pub heal_deadline: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            phi_threshold: 2.0,
+            probe_every: 8,
+            quiescent_probe_budget: 64,
+            max_heals: usize::MAX,
+            heal_deadline: usize::MAX,
+        }
+    }
+}
+
+/// One confirmed failure detection.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Detection {
+    /// The dead node.
+    pub node: usize,
+    /// Clock of the plan's crash event.
+    pub crashed_at: usize,
+    /// Monitor clock at which φ crossed the threshold.
+    pub detected_at: usize,
+    /// `detected_at − crashed_at`.
+    pub latency: usize,
+    /// Whether the node's shard was re-replicated.
+    pub healed: bool,
+    /// The adopting survivor, when healed.
+    pub healed_to: Option<usize>,
+    /// Facts the survivor adopted (the heal's extra load).
+    pub heal_load: usize,
+}
+
+/// What the supervisor observed and did during one run.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct SupervisorReport {
+    /// Probe rounds issued.
+    pub probes: usize,
+    /// Heartbeat responses received.
+    pub heartbeats_observed: usize,
+    /// Responses lost to the fault plan's message loss.
+    pub heartbeats_lost: usize,
+    /// Times any node's φ crossed the threshold.
+    pub suspicions: usize,
+    /// Suspicions cleared by a confirm probe (the node was alive).
+    pub false_suspicions: usize,
+    /// Confirmed failures, in detection order.
+    pub detections: Vec<Detection>,
+    /// Shards re-replicated.
+    pub heals: usize,
+    /// Total facts adopted across heals.
+    pub heal_load: usize,
+    /// Dead nodes left unhealed (these drive degradation).
+    pub unhealed: Vec<usize>,
+    /// Monitor clock when the run closed.
+    pub final_clock: usize,
+}
+
+impl SupervisorReport {
+    /// Mean detection latency over confirmed detections.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        if self.detections.is_empty() {
+            return None;
+        }
+        let sum: usize = self.detections.iter().map(|d| d.latency).sum();
+        Some(sum as f64 / self.detections.len() as f64)
+    }
+
+    /// False suspicions per probe round (0.0 for a quiet run).
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.false_suspicions as f64 / self.probes as f64
+        }
+    }
+}
+
+/// The outcome of a supervised run.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun {
+    /// The answer, exact / certified-partial / refused.
+    pub verdict: Degraded,
+    /// The control plane's log.
+    pub report: SupervisorReport,
+    /// The data plane's fault tally.
+    pub fault_stats: FaultStats,
+}
+
+/// Deterministic per-probe loss roll: a probe response from `node` on
+/// round `probe_idx` is lost with the plan's drop probability, keyed so
+/// replays reproduce the exact probe history.
+fn probe_lost(plan: &FaultPlan, node: usize, probe_idx: usize) -> bool {
+    if plan.drop_prob <= 0.0 {
+        return false;
+    }
+    let key = mix64(plan.seed ^ mix64(0x9ea7_bea7 ^ ((node as u64) << 24) ^ probe_idx as u64));
+    (key as f64 / u64::MAX as f64) < plan.drop_prob
+}
+
+struct Monitor<'a> {
+    det: PhiDetector,
+    config: &'a SupervisorConfig,
+    plan: &'a FaultPlan,
+    report: SupervisorReport,
+    healed: Vec<bool>,
+    probe_idx: usize,
+    now: usize,
+}
+
+impl Monitor<'_> {
+    /// One probe round at monitor clock `self.now`: record responses,
+    /// then evaluate and act on suspicions. Returns whether a heal
+    /// produced new in-flight work.
+    fn probe_and_act<P: TransducerProgram + ?Sized>(
+        &mut self,
+        program: &P,
+        run: &mut SimRun,
+    ) -> bool {
+        self.report.probes += 1;
+        for node in 0..run.n() {
+            if !run.health(node).is_up() {
+                continue; // a down node cannot answer
+            }
+            if probe_lost(self.plan, node, self.probe_idx) {
+                self.report.heartbeats_lost += 1;
+            } else {
+                self.report.heartbeats_observed += 1;
+                self.det.arrival(node, self.now);
+            }
+        }
+        self.probe_idx += 1;
+        let mut did_heal = false;
+        for s in self.det.suspects(self.now) {
+            self.report.suspicions += 1;
+            if run.health(s).is_up() {
+                // Confirm probe answered: slow, not dead.
+                self.report.false_suspicions += 1;
+                self.det.clear(s, self.now);
+                continue;
+            }
+            self.det.mark_dead(s);
+            let crashed_at = self
+                .plan
+                .crashes
+                .iter()
+                .filter(|c| c.node == s)
+                .map(|c| c.at_step)
+                .min()
+                .unwrap_or(self.now);
+            let latency = self.now.saturating_sub(crashed_at);
+            let mut detection = Detection {
+                node: s,
+                crashed_at,
+                detected_at: self.now,
+                latency,
+                healed: false,
+                healed_to: None,
+                heal_load: 0,
+            };
+            if self.report.heals < self.config.max_heals && latency <= self.config.heal_deadline {
+                let survivor = run
+                    .live_nodes()
+                    .into_iter()
+                    .filter(|&i| i != s)
+                    .min_by_key(|&i| run.shard(i).len());
+                if let Some(to) = survivor {
+                    let load = run.adopt_shard(program, s, to);
+                    self.report.heals += 1;
+                    self.report.heal_load += load;
+                    self.healed[s] = true;
+                    detection.healed = true;
+                    detection.healed_to = Some(to);
+                    detection.heal_load = load;
+                    did_heal = true;
+                }
+            }
+            self.report.detections.push(detection);
+        }
+        did_heal
+    }
+}
+
+/// Run `program` to quiescence under `plan` with the full supervisor
+/// stack active; see the module docs for the loop's four duties.
+///
+/// `mode` states whether the query the program computes is monotone —
+/// it decides the degradation contract when a crash cannot be healed.
+pub fn supervise<P: TransducerProgram + ?Sized>(
+    program: &P,
+    shards: &[Instance],
+    ctx: Ctx,
+    schedule: Schedule,
+    plan: &FaultPlan,
+    mode: QueryMode,
+    config: &SupervisorConfig,
+) -> SupervisedRun {
+    let mut run = SimRun::new(program, shards, ctx);
+    run.install_plan(plan);
+    let seed = match schedule {
+        Schedule::Random(s) => s,
+        _ => 0,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rr = 0usize;
+    let n = run.n();
+    let mut mon = Monitor {
+        det: PhiDetector::new(n, config.phi_threshold, config.probe_every),
+        config,
+        plan,
+        report: SupervisorReport::default(),
+        healed: vec![false; n],
+        probe_idx: 0,
+        now: 0,
+    };
+    let mut next_probe = 0usize;
+    let budget = 10_000_000usize;
+    let mut steps = 0usize;
+    loop {
+        loop {
+            if run.clock() >= next_probe {
+                mon.now = mon.now.max(run.clock());
+                mon.probe_and_act(program, &mut run);
+                next_probe = run.clock() + config.probe_every;
+            }
+            if !run.step(program, schedule, &mut rng, &mut rr) {
+                break;
+            }
+            steps += 1;
+            assert!(steps < budget, "supervised run diverged (no quiescence)");
+        }
+        if run.advance_clock(program) {
+            continue;
+        }
+        let mut hb_changed = false;
+        for _ in 0..n + 1 {
+            if run.heartbeat_round(program) {
+                hb_changed = true;
+            } else {
+                break;
+            }
+        }
+        if hb_changed || !run.quiet() || run.fault_work_pending() {
+            continue;
+        }
+        // Data plane quiescent. Keep the detector's clock running while
+        // down nodes remain undetected — a crash that silences the
+        // network must still be noticed.
+        let mut healed_something = false;
+        for _ in 0..config.quiescent_probe_budget {
+            let undetected = (0..n).any(|i| !run.health(i).is_up() && !mon.det.is_dead(i));
+            if !undetected {
+                break;
+            }
+            mon.now += config.probe_every;
+            if mon.probe_and_act(program, &mut run) {
+                healed_something = true;
+                break;
+            }
+        }
+        if healed_something {
+            next_probe = run.clock() + config.probe_every;
+            continue;
+        }
+        break;
+    }
+    mon.report.final_clock = mon.now.max(run.clock());
+    mon.report.unhealed = (0..n)
+        .filter(|&i| !run.health(i).is_up() && !mon.healed[i])
+        .collect();
+    let verdict = close_out(&run, shards, mode, &mon.report);
+    SupervisedRun {
+        verdict,
+        report: mon.report,
+        fault_stats: run.fault_stats(),
+    }
+}
+
+/// Issue the final verdict from the run's outputs and the unhealed set.
+fn close_out(
+    run: &SimRun,
+    shards: &[Instance],
+    mode: QueryMode,
+    report: &SupervisorReport,
+) -> Degraded {
+    if report.unhealed.is_empty() {
+        return Degraded::Exact(run.outputs());
+    }
+    let total: usize = shards.iter().map(Instance::len).sum();
+    let missing_facts: usize = report.unhealed.iter().map(|&i| shards[i].len()).sum();
+    let certificate = Certificate {
+        missing_nodes: report.unhealed.clone(),
+        missing_facts,
+        coverage: if total == 0 {
+            1.0
+        } else {
+            1.0 - missing_facts as f64 / total as f64
+        },
+        as_of_clock: report.final_clock,
+    };
+    if mode.degradable() {
+        Degraded::Partial {
+            answer: run.outputs(),
+            certificate,
+        }
+    } else {
+        Degraded::Refused {
+            reason: format!(
+                "non-monotone query: shards of node(s) {:?} are lost and unhealed, \
+                 so any answer computed from the surviving {:.0}% of the input \
+                 could contain retracted facts",
+                certificate.missing_nodes,
+                certificate.coverage * 100.0
+            ),
+            certificate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::eval::eval_query;
+    use parlog_relal::fact::fact;
+    use parlog_relal::parser::parse_query;
+    use parlog_transducer::distribution::hash_distribution;
+    use parlog_transducer::prelude::{CoordinatedBroadcast, MonotoneBroadcast};
+
+    fn setup() -> (MonotoneBroadcast, Vec<Instance>, Instance) {
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let db = Instance::from_facts((0..20u64).map(|i| fact("E", &[i, i + 1])));
+        let expected = eval_query(&q, &db);
+        let shards = hash_distribution(&db, 4, 3);
+        (MonotoneBroadcast::new(q), shards, expected)
+    }
+
+    #[test]
+    fn fault_free_supervised_run_is_exact_and_unsuspicious() {
+        let (p, shards, expected) = setup();
+        let out = supervise(
+            &p,
+            &shards,
+            Ctx::oblivious(),
+            Schedule::Random(7),
+            &FaultPlan::none(7),
+            QueryMode::Monotone,
+            &SupervisorConfig::default(),
+        );
+        assert!(out.verdict.is_exact());
+        assert_eq!(out.verdict.answer().unwrap(), &expected);
+        assert_eq!(out.report.suspicions, 0, "no fault, no suspicion");
+        assert_eq!(out.report.false_suspicions, 0);
+        assert!(out.report.probes > 0, "the control plane did run");
+        assert!(out.report.detections.is_empty());
+    }
+
+    #[test]
+    fn crash_stop_is_detected_and_healed_to_the_exact_answer() {
+        let (p, shards, expected) = setup();
+        let plan = FaultPlan::crash_stop(2, 0, 6);
+        let out = supervise(
+            &p,
+            &shards,
+            Ctx::oblivious(),
+            Schedule::Random(2),
+            &plan,
+            QueryMode::Monotone,
+            &SupervisorConfig::default(),
+        );
+        assert!(out.verdict.is_exact(), "heal must restore full coverage");
+        assert_eq!(out.verdict.answer().unwrap(), &expected);
+        assert_eq!(out.report.heals, 1);
+        assert_eq!(out.report.detections.len(), 1);
+        let d = &out.report.detections[0];
+        assert_eq!(d.node, 0);
+        assert_eq!(d.crashed_at, 6);
+        assert!(d.healed && d.healed_to.is_some() && d.healed_to != Some(0));
+        assert_eq!(d.heal_load, shards[0].len());
+        assert!(
+            d.latency > 0 && d.latency < 40 * 8,
+            "latency {} out of range",
+            d.latency
+        );
+        assert!(out.report.unhealed.is_empty());
+    }
+
+    #[test]
+    fn unhealable_monotone_crash_degrades_to_a_certified_subset() {
+        let (p, shards, expected) = setup();
+        let plan = FaultPlan::crash_stop(2, 0, 6);
+        let config = SupervisorConfig {
+            max_heals: 0, // heal budget spent: recovery impossible
+            ..SupervisorConfig::default()
+        };
+        let out = supervise(
+            &p,
+            &shards,
+            Ctx::oblivious(),
+            Schedule::Random(2),
+            &plan,
+            QueryMode::Monotone,
+            &config,
+        );
+        let Degraded::Partial {
+            answer,
+            certificate,
+        } = &out.verdict
+        else {
+            panic!("expected a certified partial answer, got {:?}", out.verdict);
+        };
+        assert!(answer.is_subset_of(&expected), "partial answers stay sound");
+        assert_ne!(answer, &expected, "the lost shard must cost derivations");
+        assert_eq!(certificate.missing_nodes, vec![0]);
+        assert_eq!(certificate.missing_facts, shards[0].len());
+        assert!(certificate.coverage < 1.0 && certificate.coverage > 0.0);
+        assert_eq!(out.report.unhealed, vec![0]);
+    }
+
+    #[test]
+    fn unhealable_nonmonotone_crash_refuses_with_a_reason() {
+        let q = parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap();
+        let db = Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[3, 1]),
+            fact("E", &[2, 4]),
+        ]);
+        let shards = hash_distribution(&db, 3, 2);
+        let p = CoordinatedBroadcast::idempotent(q.clone());
+        let plan = FaultPlan::crash_stop(1, 1, 4);
+        let config = SupervisorConfig {
+            max_heals: 0,
+            ..SupervisorConfig::default()
+        };
+        let out = supervise(
+            &p,
+            &shards,
+            Ctx::aware(3),
+            Schedule::Random(1),
+            &plan,
+            QueryMode::of(&q),
+            &config,
+        );
+        let Degraded::Refused {
+            reason,
+            certificate,
+        } = &out.verdict
+        else {
+            panic!("non-monotone + unhealed must refuse, got {:?}", out.verdict);
+        };
+        assert!(reason.contains("non-monotone"));
+        assert_eq!(certificate.missing_nodes, vec![1]);
+        assert!(out.verdict.answer().is_none(), "no answer is surfaced");
+    }
+
+    #[test]
+    fn supervision_is_deterministic() {
+        let (p, shards, _) = setup();
+        let run_once = || {
+            let out = supervise(
+                &p,
+                &shards,
+                Ctx::oblivious(),
+                Schedule::Random(3),
+                &FaultPlan::lossy(3, 0.3).with_retransmit(Default::default()),
+                QueryMode::Monotone,
+                &SupervisorConfig::default(),
+            );
+            (
+                out.verdict.answer().cloned(),
+                out.report.probes,
+                out.report.suspicions,
+                out.fault_stats,
+            )
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -4,7 +4,7 @@
 //! The survey's asynchronous model permits arbitrary *reordering* and
 //! *delay* but assumes messages are never lost and nodes never fail.
 //! This module makes each assumption injectable via a seeded
-//! [`FaultPlan`](parlog_faults::FaultPlan), so the CALM-style guarantees
+//! [`parlog_faults::FaultPlan`], so the CALM-style guarantees
 //! can be tested per fault class:
 //!
 //! * **reorder / duplicate / delay** — within the model; monotone (F0)
@@ -69,6 +69,10 @@ pub struct FaultStats {
     pub retransmissions: usize,
     /// Acknowledgements sent (one per delivery in reliable mode).
     pub acks: usize,
+    /// Messages processed by a deliberately slowed (straggler) node —
+    /// each one stalled its node's progress (threaded runtime only;
+    /// the simulator accounts stragglers in MPC tail time instead).
+    pub straggler_stalls: usize,
 }
 
 impl FaultStats {
@@ -152,13 +156,17 @@ impl<M: Clone> FaultState<M> {
     }
 
     /// Park a retransmission of a copy whose previous attempt was lost,
-    /// with exponential backoff. Gives up past the retry budget.
+    /// with capped exponential backoff and deterministic seeded jitter
+    /// (keyed by the plan seed and the `(from, dest, attempts)` triple —
+    /// see [`RetransmitPolicy::backoff`](parlog_faults::RetransmitPolicy::backoff)).
+    /// Gives up past the retry budget.
     pub fn schedule_retrans(&mut self, from: usize, dest: usize, msg: M, attempts: u32) {
+        let seed = self.plan().map_or(0, |p| p.seed);
         if let Some(policy) = self.reliable() {
             if attempts < policy.max_retries {
-                let backoff = (policy.backoff_base as usize) << attempts.min(16);
+                let backoff = policy.backoff(seed, from, dest, attempts);
                 self.retrans.push(ParkedMsg {
-                    release: self.clock + backoff.max(1),
+                    release: self.clock + backoff,
                     dest,
                     from,
                     msg,
@@ -295,12 +303,10 @@ mod tests {
 
     #[test]
     fn retransmit_backs_off_exponentially() {
+        // A jitter-free policy reproduces the plain exponential schedule.
         let mut fs: FaultState<u32> = FaultState::inert(2);
         fs.install(
-            &FaultPlan::lossy(1, 0.5).with_retransmit(parlog_faults::RetransmitPolicy {
-                max_retries: 3,
-                backoff_base: 2,
-            }),
+            &FaultPlan::lossy(1, 0.5).with_retransmit(parlog_faults::RetransmitPolicy::fixed(3, 2)),
         );
         fs.clock = 10;
         fs.schedule_retrans(0, 1, 7, 0);
@@ -309,6 +315,38 @@ mod tests {
         assert_eq!(fs.retrans[1].release, 18); // 10 + 2<<2
         fs.schedule_retrans(0, 1, 7, 3); // budget exhausted
         assert_eq!(fs.retrans.len(), 2);
+    }
+
+    #[test]
+    fn retransmit_jitter_is_capped_and_reproducible() {
+        let policy = parlog_faults::RetransmitPolicy {
+            max_retries: 6,
+            backoff_base: 4,
+            backoff_cap: 16,
+            jitter_pct: 50,
+        };
+        let releases = |seed: u64| -> Vec<usize> {
+            let mut fs: FaultState<u32> = FaultState::inert(4);
+            fs.install(&FaultPlan::lossy(seed, 0.5).with_retransmit(policy));
+            fs.clock = 100;
+            for dest in 1..4 {
+                for attempts in 0..5 {
+                    fs.schedule_retrans(0, dest, 7, attempts);
+                }
+            }
+            fs.retrans.iter().map(|m| m.release).collect()
+        };
+        let a = releases(3);
+        assert_eq!(a, releases(3), "same seed, same jittered schedule");
+        assert_ne!(a, releases(4), "jitter must depend on the plan seed");
+        for (i, r) in a.iter().enumerate() {
+            let attempts = (i % 5) as u32;
+            let exp = (4usize << attempts).min(16);
+            assert!(
+                (100 + exp - exp / 2..=100 + exp).contains(r),
+                "release {r} (attempt {attempts}) outside jitter window"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,25 @@
 //! This "requires that every node knows all other nodes participating in
 //! the network" — the program needs the `All` relation, so it lives
 //! outside the oblivious classes `A0/A1/A2`.
+//!
+//! ## The duplication bug, and its fix
+//!
+//! The fault matrix (PR 1) found the plain counting barrier **unsound
+//! under message duplication**: a duplicated delivery can be the one that
+//! brings a sender's count up to its end-of-data total while a distinct
+//! fact is still in flight, so the barrier opens on incomplete data.
+//! [`CoordinatedBroadcast::idempotent`] fixes it with *sequence-numbered
+//! idempotent delivery*: each sender broadcasts every fact at most once
+//! (the runtime's per-sender dedup makes fact identity a per-sender
+//! sequence number), and the receiver keeps a ledger of `(sender, fact)`
+//! pairs already counted — a duplicate hits the ledger and is absorbed
+//! instead of advancing the count. The unfixed variant
+//! ([`CoordinatedBroadcast::new`]) is kept as the regression witness the
+//! matrix checks.
 
 use crate::network::{NodeState, QueryFunction};
 use crate::program::{Broadcast, Ctx, TransducerProgram};
+use parlog_faults::mix64;
 use parlog_relal::fact::{Fact, Val};
 use parlog_relal::symbols::{rel, RelId};
 use std::sync::Arc;
@@ -26,19 +42,56 @@ fn cnt_rel() -> RelId {
     rel("‡CNT")
 }
 
+/// Receiver-side delivery ledger `‡SEEN(sender, tag)`: which `(sender,
+/// message)` pairs have already been counted. The tag is a 64-bit mix of
+/// the fact's relation and arguments — per sender it identifies the
+/// message, because each sender broadcasts each distinct fact once.
+fn seen_rel() -> RelId {
+    rel("‡SEEN")
+}
+
+/// The per-sender sequence tag of a data fact.
+fn fact_tag(f: &Fact) -> u64 {
+    let mut h = mix64(0xc0_0bd1 ^ u64::from(f.rel.0));
+    for v in &f.args {
+        h = mix64(h ^ v.0);
+    }
+    h
+}
+
 /// Barrier-style evaluation of an arbitrary (possibly non-monotone) query.
 #[derive(Clone)]
 pub struct CoordinatedBroadcast {
     query: Arc<dyn QueryFunction>,
     name: String,
+    /// Count each `(sender, message)` pair at most once. `false` is the
+    /// historically unsound-under-duplication behavior, kept as a
+    /// regression witness.
+    idempotent: bool,
 }
 
 impl CoordinatedBroadcast {
-    /// Wrap any query function.
+    /// Wrap any query function — the plain counting barrier, **unsound
+    /// under message duplication** (the fault matrix's regression
+    /// witness). Use [`CoordinatedBroadcast::idempotent`] for the fixed
+    /// protocol.
     pub fn new<Q: QueryFunction + 'static>(query: Q) -> CoordinatedBroadcast {
         CoordinatedBroadcast {
             query: Arc::new(query),
             name: "coordinated-broadcast".into(),
+            idempotent: false,
+        }
+    }
+
+    /// The fixed barrier: sequence-numbered idempotent delivery — a
+    /// duplicated message never advances a receiver's count, so the
+    /// barrier opens exactly when every sender's distinct messages have
+    /// all arrived.
+    pub fn idempotent<Q: QueryFunction + 'static>(query: Q) -> CoordinatedBroadcast {
+        CoordinatedBroadcast {
+            query: Arc::new(query),
+            name: "coordinated-broadcast-seq".into(),
+            idempotent: true,
         }
     }
 
@@ -104,7 +157,14 @@ impl TransducerProgram for CoordinatedBroadcast {
         if fact.rel == eod_rel() {
             node.aux.insert(fact.clone());
         } else {
-            Self::bump_count(node, from);
+            let fresh = !self.idempotent
+                || node.aux.insert(Fact::new(
+                    seen_rel(),
+                    vec![Val(from as u64), Val(fact_tag(fact))],
+                ));
+            if fresh {
+                Self::bump_count(node, from);
+            }
             node.local.insert(fact.clone());
         }
         self.try_output(node, ctx);
@@ -184,6 +244,55 @@ mod tests {
         let p = CoordinatedBroadcast::new(q);
         let out = run_heartbeats_only(&p, &ideal_distribution(&db, 1), Ctx::aware(1));
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn idempotent_barrier_absorbs_duplication() {
+        // The fix for the duplication unsoundness found by the fault
+        // matrix: with sequence-numbered idempotent delivery the barrier
+        // is exact under the very fault that breaks the plain counter.
+        use crate::scheduler::run_with_faults;
+        use parlog_faults::{FaultClass, FaultPlan};
+        let db = graph();
+        let q = open_triangle_query();
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let dist = hash_distribution(&db, 3, 2);
+        let mut witness_deviated = false;
+        for seed in 1..=3u64 {
+            let plan = FaultPlan::for_class(FaultClass::Duplicate, seed);
+            let fixed = CoordinatedBroadcast::idempotent(q.clone());
+            let (out, stats) =
+                run_with_faults(&fixed, &dist, Ctx::aware(3), Schedule::Random(seed), &plan);
+            assert!(stats.duplicated > 0, "the plan must actually duplicate");
+            assert_eq!(out, expected, "idempotent barrier, seed {seed}");
+            let plain = CoordinatedBroadcast::new(q.clone());
+            let (out, _) =
+                run_with_faults(&plain, &dist, Ctx::aware(3), Schedule::Random(seed), &plan);
+            if out != expected {
+                witness_deviated = true;
+            }
+        }
+        assert!(
+            witness_deviated,
+            "the unfixed barrier must remain a regression witness under duplication"
+        );
+    }
+
+    #[test]
+    fn idempotent_barrier_unchanged_on_benign_runs() {
+        let db = graph();
+        let q = open_triangle_query();
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = CoordinatedBroadcast::idempotent(q);
+        for dist in [
+            ideal_distribution(&db, 3),
+            single_node_distribution(&db, 3),
+            hash_distribution(&db, 3, 7),
+        ] {
+            for seed in 0..3 {
+                assert_eq!(run_to_quiescence(&p, &dist, seed), expected);
+            }
+        }
     }
 
     #[test]

@@ -157,14 +157,49 @@ mod tests {
     }
 
     #[test]
+    fn jittered_backoff_keeps_coordination_cost_measured() {
+        // Satellite check: switching retransmission from fixed-interval
+        // to capped-exponential-with-jitter must not lose any accounting
+        // — every retransmission and ack is still counted, completeness
+        // is still restored, and the whole schedule stays deterministic.
+        let (_, shards, expected) = setup();
+        let policy = RetransmitPolicy {
+            max_retries: 10,
+            backoff_base: 1,
+            backoff_cap: 8,
+            jitter_pct: 50,
+        };
+        let run_once = |seed: u64| {
+            let reliable = ReliableBroadcast::with_policy(
+                MonotoneBroadcast::new(parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap()),
+                policy,
+            );
+            reliable.run(
+                &shards,
+                Ctx::oblivious(),
+                Schedule::Random(seed),
+                &FaultPlan::lossy(seed, 0.4),
+            )
+        };
+        let (out_a, stats_a) = run_once(2);
+        let (out_b, stats_b) = run_once(2);
+        assert_eq!(out_a, expected, "jittered retransmit restores completeness");
+        assert_eq!(out_a, out_b, "jitter is seeded: identical outputs");
+        assert_eq!(stats_a, stats_b, "jitter is seeded: identical reruns");
+        assert!(stats_a.retransmissions > 0);
+        assert_eq!(
+            stats_a.coordination_messages(),
+            stats_a.acks + stats_a.retransmissions,
+            "coordination cost is exactly acks + retransmissions"
+        );
+    }
+
+    #[test]
     fn backoff_respects_retry_budget() {
         // A crash-stopped destination can never ack: the sender must give
         // up after max_retries, so retransmissions stay bounded.
         let (p, shards, _expected) = setup();
-        let policy = RetransmitPolicy {
-            max_retries: 3,
-            backoff_base: 1,
-        };
+        let policy = RetransmitPolicy::fixed(3, 1);
         let reliable = ReliableBroadcast::with_policy(p, policy);
         let plan = FaultPlan::crash_stop(4, 1, 2);
         let (_, stats) = reliable.run(&shards, Ctx::oblivious(), Schedule::Random(4), &plan);

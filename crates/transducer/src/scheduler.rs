@@ -112,6 +112,65 @@ impl SimRun {
         self.faults.health[i]
     }
 
+    /// The run's virtual clock: delivered messages plus fast-forward
+    /// jumps at drain boundaries. Supervisors time failure detection and
+    /// recovery against this clock.
+    pub fn clock(&self) -> usize {
+        self.faults.clock
+    }
+
+    /// Node ids currently able to take transitions.
+    pub fn live_nodes(&self) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&i| self.faults.health[i].is_up())
+            .collect()
+    }
+
+    /// The durable snapshot (initial shard) of node `i` — what survives
+    /// a crash, and what a supervisor re-replicates when the node won't.
+    pub fn shard(&self, i: usize) -> &Instance {
+        &self.shards[i]
+    }
+
+    /// Undelivered copies currently buffered at node `i`.
+    pub fn buffered(&self, i: usize) -> usize {
+        self.buffers[i].len()
+    }
+
+    /// **Shard re-replication** — the supervisor's heal action for a
+    /// crash-stopped node: survivor `to` adopts the durable shard of
+    /// `dead`, replays it through its own transition function (as a
+    /// self-delivery) and rebroadcasts it, so the network re-derives
+    /// everything the dead node's data contributed. The shard is also
+    /// merged into `to`'s durable snapshot, making the adoption itself
+    /// crash-proof. Returns the number of facts adopted (the extra load
+    /// the heal places on `to` before fan-out).
+    ///
+    /// # Panics
+    /// Panics if `to` is not up.
+    pub fn adopt_shard<P: TransducerProgram + ?Sized>(
+        &mut self,
+        program: &P,
+        dead: usize,
+        to: usize,
+    ) -> usize {
+        assert!(
+            self.faults.health[to].is_up(),
+            "cannot re-replicate onto a down node"
+        );
+        let shard = self.shards[dead].clone();
+        let ctx = self.ctx.clone();
+        let mut adopted = Vec::with_capacity(shard.len());
+        for f in shard.iter() {
+            let out = program.on_fact(&mut self.nodes[to], to, f, &ctx);
+            self.broadcast(to, out);
+            adopted.push(f.clone());
+        }
+        self.broadcast(to, adopted);
+        self.shards[to].extend_from(&shard);
+        shard.len()
+    }
+
     /// Install a fault plan mid-setup: all *future* routing goes through
     /// the injector, and the already-buffered init broadcasts are
     /// re-routed through it too, so init messages are as faulty as any
@@ -226,10 +285,18 @@ impl SimRun {
         }
     }
 
+    /// Is any fault-side work (parked releases, retransmissions) still
+    /// pending? Part of the quiescence condition for external drivers.
+    pub fn fault_work_pending(&self) -> bool {
+        !self.faults.idle()
+    }
+
     /// At a drain boundary (nothing deliverable now), jump the clock to
     /// the next fault event — a parked release, a recovery, an unfired
     /// crash — and process it. Returns whether anything was ahead.
-    fn advance_clock<P: TransducerProgram + ?Sized>(&mut self, program: &P) -> bool {
+    /// Public so external drivers (the supervisor) can reproduce the
+    /// [`SimRun::run_faulty`] loop with their own logic interleaved.
+    pub fn advance_clock<P: TransducerProgram + ?Sized>(&mut self, program: &P) -> bool {
         match self.faults.next_event() {
             None => false,
             Some(t) => {
@@ -610,5 +677,32 @@ mod tests {
         let shards = vec![Instance::from_facts([fact("R", &[5])])];
         let out = run_to_quiescence(&Echo, &shards, 3);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn adopt_shard_heals_a_crash_stop() {
+        // Node 0 crash-stops before delivering anything; a survivor
+        // adopting its durable shard restores the fault-free answer.
+        use crate::programs::monotone::MonotoneBroadcast;
+        let q = parlog_relal::parser::parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let db = Instance::from_facts((0..16u64).map(|i| fact("E", &[i, i + 1])));
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = MonotoneBroadcast::new(q);
+        let shards = crate::distribution::hash_distribution(&db, 4, 3);
+        let plan = FaultPlan::crash_stop(2, 0, 0);
+        // Unhealed: the dead node's shard is missing from the answer.
+        let mut broken = SimRun::new(&p, &shards, Ctx::oblivious());
+        broken.run_faulty(&p, Schedule::Random(2), Some(&plan));
+        let partial = broken.outputs();
+        assert!(partial.is_subset_of(&expected));
+        assert_ne!(partial, expected, "losing node 0 must lose derivations");
+        // Healed: survivor 1 adopts shard 0 and the run converges.
+        let mut healed = SimRun::new(&p, &shards, Ctx::oblivious());
+        healed.run_faulty(&p, Schedule::Random(2), Some(&plan));
+        let adopted = healed.adopt_shard(&p, 0, 1);
+        assert_eq!(adopted, shards[0].len());
+        healed.run(&p, Schedule::Random(2));
+        assert_eq!(healed.outputs(), expected);
+        assert!(healed.clock() > 0);
     }
 }

@@ -44,7 +44,12 @@ where
 /// send time. Reordering and delay need no injector here — OS scheduling
 /// already supplies both — and node crashes are a simulator-only feature
 /// (the simulator owns a global clock to time them against; real threads
-/// do not). Returns the union of outputs plus the injector's tally.
+/// do not). Straggler entries *are* honored: a slowed node sleeps
+/// proportionally to `slowdown − 1` for every message it processes
+/// (tallied in `straggler_stalls`), stretching real tail latency without
+/// changing what is computed — the scenario the supervisor's speculative
+/// re-execution targets. Returns the union of outputs plus the
+/// injector's tally.
 pub fn run_threaded_faulty<P>(
     program: Arc<P>,
     shards: &[Instance],
@@ -67,6 +72,9 @@ where
     }
     let injector = Arc::new(Mutex::new(plan.map(|p| p.injector())));
     let stats = Arc::new(Mutex::new(crate::faulty::FaultStats::default()));
+    let slowdowns: Vec<f64> = (0..shards.len())
+        .map(|i| plan.map_or(1.0, |p| p.slowdown(i)))
+        .collect();
     let n = shards.len();
     let mut senders: Vec<Sender<(usize, Fact)>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<(usize, Fact)>> = Vec::with_capacity(n);
@@ -89,6 +97,7 @@ where
         let shard = shard.clone();
         let injector = Arc::clone(&injector);
         let stats = Arc::clone(&stats);
+        let slowdown = slowdowns[id];
         handles.push(std::thread::spawn(move || {
             let mut node = NodeState::new(id, shard);
             let mut sent: parlog_relal::fastmap::FxSet<Fact> = parlog_relal::fastmap::fxset();
@@ -134,6 +143,14 @@ where
             loop {
                 match receiver.recv_timeout(Duration::from_millis(2)) {
                     Ok((from, fact)) => {
+                        if slowdown > 1.0 {
+                            // A straggler stalls per message: real wall-
+                            // clock tail latency, same computed answer.
+                            std::thread::sleep(Duration::from_micros(
+                                ((slowdown - 1.0) * 50.0) as u64,
+                            ));
+                            stats.lock().straggler_stalls += 1;
+                        }
                         let out = program.on_fact(&mut node, from, &fact, &ctx);
                         broadcast(out, &mut sent);
                         in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -241,6 +258,22 @@ mod tests {
         let p = Arc::new(MonotoneBroadcast::new(q));
         let plan = FaultPlan::crash_stop(1, 0, 3);
         run_threaded_faulty(p, &[db()], Ctx::oblivious(), Some(&plan));
+    }
+
+    #[test]
+    fn threaded_straggler_stalls_but_computes_the_same() {
+        use parlog_faults::FaultPlan;
+        let q = parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let expected = parlog_relal::eval::eval_query(&q, &db());
+        let p = Arc::new(MonotoneBroadcast::new(q));
+        let dist = hash_distribution(&db(), 4, 9);
+        let plan = FaultPlan::none(1).with_straggler(2, 3.0);
+        let (out, stats) = run_threaded_faulty(p, &dist, Ctx::oblivious(), Some(&plan));
+        assert_eq!(out, expected, "a slow node changes latency, not answers");
+        assert!(
+            stats.straggler_stalls > 0,
+            "the straggler must actually stall"
+        );
     }
 
     #[test]
