@@ -7,8 +7,9 @@
 //! `datalog_ablation` quantifies against the naive fixpoint.
 
 use crate::program::{Program, ProgramError, ADOM};
-use parlog_relal::eval::satisfying_valuations;
+use parlog_relal::eval::{satisfying_valuations_indexed, Indexed};
 use parlog_relal::fact::Fact;
+use parlog_relal::fastmap::fxset;
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
 use parlog_relal::symbols::{rel, RelId};
@@ -65,16 +66,55 @@ pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramErro
             }
         }
 
-        // Initial round: full evaluation of every rule.
+        // Body relations of every rule plus their delta variants: one
+        // shared index per pass covers all rules and all delta rewrites.
+        let body_rels: Vec<RelId> = {
+            let mut v: Vec<RelId> = rules
+                .iter()
+                .flat_map(|r| r.body.iter().map(|a| a.rel))
+                .collect();
+            v.extend(recursive.iter().map(|&r| delta_of(r)));
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+
+        // The delta variants of each rule, precomputed once per stratum
+        // (one rewrite per recursive body atom).
+        let variants: Vec<ConjunctiveQuery> = rules
+            .iter()
+            .flat_map(|r| {
+                r.body.iter().enumerate().filter_map(|(j, atom)| {
+                    if !recursive.contains(&atom.rel) {
+                        return None;
+                    }
+                    let mut variant = (*r).clone();
+                    variant.body[j].rel = delta_of(atom.rel);
+                    Some(variant)
+                })
+            })
+            .collect();
+
+        // Initial round: full evaluation of every rule against one shared
+        // index. Insertions are deferred to the end of the pass (the index
+        // borrows the database), which is fixpoint-safe: a derivation that
+        // would have used a same-pass fact fires in the next iteration via
+        // that fact's delta, and negation only sees lower strata.
         let mut delta: Vec<Fact> = Vec::new();
-        for r in &rules {
-            for v in satisfying_valuations(r, &db) {
-                let f = v.derived_fact(r);
-                if !db.contains(&f) {
-                    db.insert(f.clone());
-                    delta.push(f);
+        {
+            let mut pending = fxset();
+            let index = Indexed::build(&db, &body_rels);
+            for r in &rules {
+                for v in satisfying_valuations_indexed(r, &db, &index) {
+                    let f = v.derived_fact(r);
+                    if !db.contains(&f) && pending.insert(f.clone()) {
+                        delta.push(f);
+                    }
                 }
             }
+        }
+        for f in &delta {
+            db.insert(f.clone());
         }
 
         // Semi-naive iterations.
@@ -88,21 +128,20 @@ pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramErro
                 db.insert(f.clone());
             }
             let mut next: Vec<Fact> = Vec::new();
-            for r in &rules {
-                for (j, atom) in r.body.iter().enumerate() {
-                    if !recursive.contains(&atom.rel) {
-                        continue;
-                    }
-                    let mut variant = (*r).clone();
-                    variant.body[j].rel = delta_of(atom.rel);
-                    for v in satisfying_valuations(&variant, &db) {
-                        let f = v.derived_fact(&variant);
-                        if !db.contains(&f) {
-                            db.insert(f.clone());
+            {
+                let mut pending = fxset();
+                let index = Indexed::build(&db, &body_rels);
+                for variant in &variants {
+                    for v in satisfying_valuations_indexed(variant, &db, &index) {
+                        let f = v.derived_fact(variant);
+                        if !db.contains(&f) && pending.insert(f.clone()) {
                             next.push(f);
                         }
                     }
                 }
+            }
+            for f in &next {
+                db.insert(f.clone());
             }
             // Retract the published deltas before the next round.
             for f in &published {
@@ -126,13 +165,29 @@ pub fn eval_program_naive(p: &Program, edb: &Instance) -> Result<Instance, Progr
     add_adom(&mut db, p);
     for stratum in &strat.rule_strata {
         let rules: Vec<&ConjunctiveQuery> = stratum.iter().map(|&i| &p.rules[i]).collect();
+        let body_rels: Vec<RelId> = {
+            let mut v: Vec<RelId> = rules
+                .iter()
+                .flat_map(|r| r.body.iter().map(|a| a.rel))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
         loop {
-            let mut changed = false;
-            for r in &rules {
-                for v in satisfying_valuations(r, &db) {
-                    if db.insert(v.derived_fact(r)) {
-                        changed = true;
+            let mut derived: Vec<Fact> = Vec::new();
+            {
+                let index = Indexed::build(&db, &body_rels);
+                for r in &rules {
+                    for v in satisfying_valuations_indexed(r, &db, &index) {
+                        derived.push(v.derived_fact(r));
                     }
+                }
+            }
+            let mut changed = false;
+            for f in derived {
+                if db.insert(f) {
+                    changed = true;
                 }
             }
             if !changed {

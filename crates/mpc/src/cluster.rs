@@ -25,6 +25,21 @@
 //! waits: each round's `tail_time` is the received load of the slowest
 //! server scaled by its slowdown factor — `max_load` when nobody lags.
 //!
+//! ## Parallel round engine
+//!
+//! The MPC model is defined by *parallel* servers, so the simulator can
+//! execute each phase on a scoped-thread worker pool
+//! ([`Cluster::with_parallelism`]): the communication phase fans the
+//! routing function out over contiguous chunks of the per-source fact
+//! stream, and the computation phase runs each server's local function on
+//! its own worker. Determinism is preserved by construction — routing
+//! decisions are computed in parallel but **merged in server order**, and
+//! each server's computed instance lands in its own slot — so outputs,
+//! per-round [`RoundStats`], and the JSON reports are byte-identical to
+//! the sequential engine (`parallelism = 1`, the default). Checkpoint/
+//! replay, stragglers, and speculation all operate on the merged results
+//! and therefore work unchanged on both engines.
+//!
 //! ## Speculative re-execution (backup tasks)
 //!
 //! With a [`SpeculationPolicy`] installed ([`Cluster::with_speculation`]),
@@ -175,6 +190,72 @@ impl RoundStats {
     }
 }
 
+/// Evaluate `route` over every `(source, fact)` item, fanned out over at
+/// most `threads` scoped workers on contiguous chunks. The returned
+/// routing decisions are aligned with `items`, in `items` order — exactly
+/// what a sequential scan would produce — so the caller's merge is
+/// byte-identical to the sequential engine no matter how many workers ran.
+fn route_chunked<F>(items: &[(ServerId, &Fact)], threads: usize, route: &F) -> Vec<Routing>
+where
+    F: Fn(ServerId, &Fact) -> Routing + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(|&(src, f)| route(src, f)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut routings: Vec<Routing> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|&(src, f)| route(src, f))
+                        .collect::<Vec<Routing>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            routings.extend(h.join().expect("routing worker panicked"));
+        }
+    });
+    routings
+}
+
+/// Apply routing decisions to build the next cluster state, strictly in
+/// `items` order (= source-server order): the single, sequential merge
+/// point both engines share. Keep-retained facts are free; each `Send`
+/// delivery counts as load once per destination (deduplicated against
+/// whatever that destination already received, as in the model's
+/// accounting of repartitioning).
+fn apply_deliveries(
+    p: usize,
+    items: &[(ServerId, &Fact)],
+    routings: Vec<Routing>,
+) -> (Vec<Instance>, Vec<usize>) {
+    let mut next: Vec<Instance> = vec![Instance::new(); p];
+    let mut received = vec![0usize; p];
+    for (&(src, f), routing) in items.iter().zip(routings) {
+        match routing {
+            Routing::Keep => {
+                next[src].insert(f.clone());
+            }
+            Routing::Send(dests) => {
+                for &dest in &dests {
+                    assert!(dest < p, "destination {dest} out of range for p={p}");
+                    if next[dest].insert(f.clone()) {
+                        received[dest] += 1;
+                    }
+                }
+            }
+            Routing::Drop => {}
+        }
+    }
+    (next, received)
+}
+
 /// A simulated shared-nothing cluster of `p` servers.
 ///
 /// The local state of each server is an [`Instance`]. Rounds are driven by
@@ -188,6 +269,7 @@ pub struct Cluster {
     recovery: RecoveryStats,
     speculation: Option<SpeculationPolicy>,
     spec_stats: SpeculationStats,
+    parallelism: usize,
 }
 
 impl Cluster {
@@ -204,7 +286,27 @@ impl Cluster {
             recovery: RecoveryStats::default(),
             speculation: None,
             spec_stats: SpeculationStats::default(),
+            parallelism: 1,
         }
+    }
+
+    /// Execute rounds on a worker pool of (at most) `n` OS threads:
+    /// routing fans out over the fact stream, local computation fans out
+    /// over servers. `n = 1` (the default) is the sequential engine; any
+    /// `n` produces byte-identical outputs, [`RoundStats`] and reports,
+    /// because per-worker results are merged in server order.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_parallelism(mut self, n: usize) -> Cluster {
+        assert!(n >= 1, "parallelism must be at least 1");
+        self.parallelism = n;
+        self
+    }
+
+    /// The worker-pool width rounds execute with (1 = sequential).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Install a fault plan: per-attempt server crashes (recovered by
@@ -351,28 +453,21 @@ impl Cluster {
     /// deduplicated as a real system would via its partitioning contract).
     ///
     /// Returns the stats of this round.
-    pub fn communicate<F>(&mut self, mut route: F) -> &RoundStats
+    pub fn communicate<F>(&mut self, route: F) -> &RoundStats
     where
-        F: FnMut(&Fact) -> Vec<ServerId>,
+        F: Fn(&Fact) -> Vec<ServerId> + Sync,
     {
         let p = self.p();
+        let threads = self.parallelism;
         self.commit_round(move |local| {
-            let mut next: Vec<Instance> = vec![Instance::new(); p];
-            let mut received = vec![0usize; p];
             // Collect the distinct facts across servers to route each once.
             let mut all = Instance::new();
             for inst in local {
                 all.extend_from(inst);
             }
-            for f in all.iter() {
-                for &dest in route(f).iter() {
-                    assert!(dest < p, "destination {dest} out of range for p={p}");
-                    if next[dest].insert(f.clone()) {
-                        received[dest] += 1;
-                    }
-                }
-            }
-            (next, received)
+            let items: Vec<(ServerId, &Fact)> = all.iter().map(|f| (0, f)).collect();
+            let routings = route_chunked(&items, threads, &|_, f| Routing::Send(route(f)));
+            apply_deliveries(p, &items, routings)
         })
     }
 
@@ -381,25 +476,20 @@ impl Cluster {
     /// where routing is by *tuple position*, not value). A fact held by
     /// several servers is routed from each holder; deliveries are
     /// deduplicated per destination.
-    pub fn communicate_from<F>(&mut self, mut route: F) -> &RoundStats
+    pub fn communicate_from<F>(&mut self, route: F) -> &RoundStats
     where
-        F: FnMut(ServerId, &Fact) -> Vec<ServerId>,
+        F: Fn(ServerId, &Fact) -> Vec<ServerId> + Sync,
     {
         let p = self.p();
+        let threads = self.parallelism;
         self.commit_round(move |local| {
-            let mut next: Vec<Instance> = vec![Instance::new(); p];
-            let mut received = vec![0usize; p];
-            for (src, inst) in local.iter().enumerate() {
-                for f in inst.iter() {
-                    for &dest in route(src, f).iter() {
-                        assert!(dest < p, "destination {dest} out of range for p={p}");
-                        if next[dest].insert(f.clone()) {
-                            received[dest] += 1;
-                        }
-                    }
-                }
-            }
-            (next, received)
+            let items: Vec<(ServerId, &Fact)> = local
+                .iter()
+                .enumerate()
+                .flat_map(|(src, inst)| inst.iter().map(move |f| (src, f)))
+                .collect();
+            let routings = route_chunked(&items, threads, &|src, f| Routing::Send(route(src, f)));
+            apply_deliveries(p, &items, routings)
         })
     }
 
@@ -415,44 +505,67 @@ impl Cluster {
     /// counted. Routing decisions in this workspace are value-
     /// deterministic (all holders of a fact choose the same fate), so
     /// the case does not arise in practice.
-    pub fn reshuffle<F>(&mut self, mut route: F) -> &RoundStats
+    pub fn reshuffle<F>(&mut self, route: F) -> &RoundStats
     where
-        F: FnMut(ServerId, &Fact) -> Routing,
+        F: Fn(ServerId, &Fact) -> Routing + Sync,
     {
         let p = self.p();
+        let threads = self.parallelism;
         self.commit_round(move |local| {
-            let mut next: Vec<Instance> = vec![Instance::new(); p];
-            let mut received = vec![0usize; p];
-            for (src, inst) in local.iter().enumerate() {
-                for f in inst.iter() {
-                    match route(src, f) {
-                        Routing::Keep => {
-                            next[src].insert(f.clone());
-                        }
-                        Routing::Send(dests) => {
-                            for &dest in &dests {
-                                assert!(dest < p, "destination {dest} out of range for p={p}");
-                                if next[dest].insert(f.clone()) {
-                                    received[dest] += 1;
-                                }
-                            }
-                        }
-                        Routing::Drop => {}
-                    }
-                }
-            }
-            (next, received)
+            let items: Vec<(ServerId, &Fact)> = local
+                .iter()
+                .enumerate()
+                .flat_map(|(src, inst)| inst.iter().map(move |f| (src, f)))
+                .collect();
+            let routings = route_chunked(&items, threads, &route);
+            apply_deliveries(p, &items, routings)
         })
     }
 
     /// Computation phase applied per server with access to the server id.
-    pub fn compute_per_server<F>(&mut self, mut f: F)
+    pub fn compute_per_server<F>(&mut self, f: F)
     where
-        F: FnMut(ServerId, &Instance) -> Instance,
+        F: Fn(ServerId, &Instance) -> Instance + Sync,
     {
-        for (s, inst) in self.local.iter_mut().enumerate() {
-            *inst = f(s, inst);
+        self.run_compute(f, false);
+    }
+
+    /// The shared computation-phase driver: apply `f` to every server's
+    /// local instance, replacing (`extend = false`) or extending
+    /// (`extend = true`) it with the result. With parallelism `n > 1` the
+    /// servers are split into contiguous chunks, one scoped worker each;
+    /// every server's result lands in its own slot, so the outcome is
+    /// identical to the sequential sweep.
+    fn run_compute<F>(&mut self, f: F, extend: bool)
+    where
+        F: Fn(ServerId, &Instance) -> Instance + Sync,
+    {
+        let threads = self.parallelism.min(self.local.len());
+        let apply = |s: ServerId, inst: &mut Instance| {
+            let out = f(s, inst);
+            if extend {
+                inst.extend_from(&out);
+            } else {
+                *inst = out;
+            }
+        };
+        if threads <= 1 {
+            for (s, inst) in self.local.iter_mut().enumerate() {
+                apply(s, inst);
+            }
+            return;
         }
+        let chunk = self.local.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, slice) in self.local.chunks_mut(chunk).enumerate() {
+                let apply = &apply;
+                scope.spawn(move || {
+                    for (off, inst) in slice.iter_mut().enumerate() {
+                        apply(ci * chunk + off, inst);
+                    }
+                });
+            }
+        });
     }
 
     /// Communication phase that also draws on per-server *storage* shards:
@@ -465,52 +578,40 @@ impl Cluster {
     /// `route` must be value-deterministic (same fact ⇒ same destinations
     /// regardless of holder), which lets the simulator route each distinct
     /// fact once.
-    pub fn communicate_with<F>(&mut self, storage: &[Instance], mut route: F) -> &RoundStats
+    pub fn communicate_with<F>(&mut self, storage: &[Instance], route: F) -> &RoundStats
     where
-        F: FnMut(&Fact) -> Vec<ServerId>,
+        F: Fn(&Fact) -> Vec<ServerId> + Sync,
     {
         assert_eq!(storage.len(), self.p(), "one storage shard per server");
         let p = self.p();
+        let threads = self.parallelism;
         self.commit_round(move |local| {
-            let mut next: Vec<Instance> = vec![Instance::new(); p];
-            let mut received = vec![0usize; p];
             let mut all = Instance::new();
             for inst in local.iter().chain(storage.iter()) {
                 all.extend_from(inst);
             }
-            for f in all.iter() {
-                for &dest in route(f).iter() {
-                    assert!(dest < p, "destination {dest} out of range for p={p}");
-                    if next[dest].insert(f.clone()) {
-                        received[dest] += 1;
-                    }
-                }
-            }
-            (next, received)
+            let items: Vec<(ServerId, &Fact)> = all.iter().map(|f| (0, f)).collect();
+            let routings = route_chunked(&items, threads, &|_, f| Routing::Send(route(f)));
+            apply_deliveries(p, &items, routings)
         })
     }
 
     /// **Computation phase**: replace every server's local instance with
     /// `f(local)`. Purely local — no communication, no load.
-    pub fn compute<F>(&mut self, mut f: F)
+    pub fn compute<F>(&mut self, f: F)
     where
-        F: FnMut(&Instance) -> Instance,
+        F: Fn(&Instance) -> Instance + Sync,
     {
-        for inst in &mut self.local {
-            *inst = f(inst);
-        }
+        self.run_compute(|_, inst| f(inst), false);
     }
 
     /// Computation phase that *adds* facts instead of replacing (useful
     /// when servers must retain their inputs for a later round).
-    pub fn compute_extend<F>(&mut self, mut f: F)
+    pub fn compute_extend<F>(&mut self, f: F)
     where
-        F: FnMut(&Instance) -> Instance,
+        F: Fn(&Instance) -> Instance + Sync,
     {
-        for inst in &mut self.local {
-            let extra = f(inst);
-            inst.extend_from(&extra);
-        }
+        self.run_compute(|_, inst| f(inst), true);
     }
 }
 
@@ -719,6 +820,104 @@ mod tests {
         assert_eq!(c.rounds()[0].received[0], 1);
         assert!(c.rounds()[0].tail_time > 3.0, "the tiny task still lags");
         assert_eq!(c.speculation().backups, 0);
+    }
+
+    /// Drive every phase kind once: communicate, compute_extend,
+    /// reshuffle (Keep/Send/Drop), communicate_from, compute_per_server.
+    fn mixed_phase_run(mut c: Cluster, facts: &[Fact]) -> Cluster {
+        for (i, f) in facts.iter().enumerate() {
+            c.local_mut(i % c.p()).insert(f.clone());
+        }
+        let p = c.p();
+        c.communicate(|f| vec![(f.args[0].0 as usize) % p]);
+        c.compute_extend(|inst| {
+            let mut out = Instance::new();
+            for f in inst.iter() {
+                out.insert(fact("S", &[f.args[1].0, f.args[0].0]));
+            }
+            out
+        });
+        c.reshuffle(|src, f| {
+            if f.rel == parlog_relal::symbols::rel("S") {
+                Routing::Send(vec![(f.args[0].0 as usize + src) % p])
+            } else if f.args[0].0 % 5 == 0 {
+                Routing::Drop
+            } else {
+                Routing::Keep
+            }
+        });
+        c.communicate_from(|src, f| vec![(f.args[1].0 as usize + src) % p]);
+        c.compute_per_server(|s, inst| {
+            let mut out = Instance::new();
+            for f in inst.iter() {
+                out.insert(fact("T", &[f.args[0].0 + s as u64]));
+            }
+            out
+        });
+        c
+    }
+
+    #[test]
+    fn parallel_engine_is_byte_identical_to_sequential() {
+        let facts: Vec<Fact> = (0..64u64).map(|i| fact("R", &[i, i * 13 % 23])).collect();
+        let seq = mixed_phase_run(Cluster::new(8), &facts);
+        for threads in [2, 3, 8, 16] {
+            let par = mixed_phase_run(Cluster::new(8).with_parallelism(threads), &facts);
+            assert_eq!(seq.union_all(), par.union_all());
+            assert_eq!(seq.round_count(), par.round_count());
+            for (a, b) in seq.rounds().iter().zip(par.rounds().iter()) {
+                assert_eq!(a.received, b.received, "threads={threads}");
+                assert_eq!(a.max_load, b.max_load);
+                assert_eq!(a.total_comm, b.total_comm);
+                assert_eq!(a.tail_time, b.tail_time);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_replays_crashes_identically() {
+        // Faults, stragglers and speculation are applied to the *merged*
+        // round results, so the parallel engine recovers exactly like the
+        // sequential one: same committed stats, same RecoveryStats.
+        let facts: Vec<Fact> = (0..24u64).map(|i| fact("R", &[i, i + 1])).collect();
+        let plan = || {
+            MpcFaultPlan::crash(0, 1)
+                .with_crash(2, 0)
+                .with_straggler(1, 4.0)
+        };
+        let run = |c: Cluster| {
+            let mut c = c
+                .with_faults(plan())
+                .with_speculation(SpeculationPolicy::default());
+            for (i, f) in facts.iter().enumerate() {
+                c.local_mut(i % 3).insert(f.clone());
+            }
+            c.communicate(|f| vec![(f.args[0].0 % 3) as usize]);
+            c.communicate(|f| vec![(f.args[1].0 % 3) as usize]);
+            c
+        };
+        let seq = run(Cluster::new(3));
+        let par = run(Cluster::new(3).with_parallelism(4));
+        assert_eq!(seq.union_all(), par.union_all());
+        assert_eq!(seq.recovery(), par.recovery());
+        assert_eq!(seq.speculation(), par.speculation());
+        for (a, b) in seq.rounds().iter().zip(par.rounds().iter()) {
+            assert_eq!(a.received, b.received);
+            assert_eq!(a.tail_time, b.tail_time);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn parallel_bad_destination_rejected() {
+        let mut c = seeded(2, &[fact("R", &[1, 2])]).with_parallelism(4);
+        c.communicate(|_| vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be at least 1")]
+    fn zero_parallelism_rejected() {
+        Cluster::new(2).with_parallelism(0);
     }
 
     #[test]

@@ -121,8 +121,15 @@ impl HypercubeAlgorithm {
 
     /// Run the one-round algorithm on `db`, starting from a round-robin
     /// initial partition. Returns the output and the load report.
-    pub fn run(&self, db: &Instance, _seed: u64) -> RunReport {
-        let mut cluster = Cluster::new(self.servers());
+    pub fn run(&self, db: &Instance, seed: u64) -> RunReport {
+        self.run_with_parallelism(db, seed, 1)
+    }
+
+    /// [`HypercubeAlgorithm::run`] on a cluster with `threads` worker
+    /// threads per phase ([`Cluster::with_parallelism`]). The report is
+    /// byte-identical to the sequential one for every `threads` value.
+    pub fn run_with_parallelism(&self, db: &Instance, _seed: u64, threads: usize) -> RunReport {
+        let mut cluster = Cluster::new(self.servers()).with_parallelism(threads);
         seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
         cluster.communicate(|f| self.destinations(f));
         let q = self.query.clone();
@@ -237,6 +244,23 @@ mod tests {
             assert!(
                 meet.is_some_and(|m| !m.is_empty()),
                 "valuation {v} does not meet"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_run_report_is_identical() {
+        let q = triangle();
+        let db = datagen::triangle_db(300, 50, 11);
+        let hc = HypercubeAlgorithm::new(&q, 27).unwrap();
+        let seq = hc.run(&db, 0);
+        for threads in [2, 4, 16] {
+            let par = hc.run_with_parallelism(&db, 0, threads);
+            assert_eq!(par.output, seq.output);
+            assert_eq!(
+                serde_json::to_string(&par.stats).unwrap(),
+                serde_json::to_string(&seq.stats).unwrap(),
+                "threads={threads}"
             );
         }
     }

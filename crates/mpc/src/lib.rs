@@ -10,7 +10,11 @@
 //!
 //! The paper's claims are about communication loads, not wall-clock time on
 //! a particular cluster, so this crate *simulates* the model in-process and
-//! measures loads exactly:
+//! measures loads exactly. The simulation itself can still run servers in
+//! parallel — [`cluster::Cluster::with_parallelism`] executes both phases
+//! on scoped worker threads with a deterministic in-order merge, so
+//! outputs and statistics are byte-identical to the sequential engine
+//! (see experiment E20):
 //!
 //! * [`cluster`] — servers, rounds, exact per-round load accounting;
 //! * [`partition`] — hash partitioners and initial data placement;

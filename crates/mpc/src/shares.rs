@@ -15,6 +15,33 @@ use parlog_relal::packing::share_exponents;
 use parlog_relal::query::ConjunctiveQuery;
 use parlog_relal::simplex::LpError;
 
+/// Integer k-th root: the largest `s` with `s^k ≤ p`. A float hint is
+/// corrected by multiply-and-check, so exact powers are never under-rounded
+/// the way `powf(1.0/k).floor()` is.
+fn nth_root(p: usize, k: u32) -> usize {
+    if k <= 1 {
+        return p;
+    }
+    let pow_le = |s: usize| -> bool {
+        let mut acc: u128 = 1;
+        for _ in 0..k {
+            acc = acc.saturating_mul(s as u128);
+            if acc > p as u128 {
+                return false;
+            }
+        }
+        true
+    };
+    let mut s = (p as f64).powf(1.0 / f64::from(k)).round() as usize;
+    while !pow_le(s) {
+        s -= 1;
+    }
+    while pow_le(s + 1) {
+        s += 1;
+    }
+    s
+}
+
 /// A share allocation: one positive integer share per body variable of a
 /// query; the product of the shares is the number of servers used.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -40,9 +67,14 @@ impl Shares {
             let candidate = (0..shares.len())
                 .filter(|&i| product / shares[i] * (shares[i] + 1) <= p)
                 .max_by(|&i, &j| {
+                    // total_cmp, not partial_cmp: a degenerate LP exponent
+                    // (share 0 real) can make a ratio NaN, which must not
+                    // panic the planner — NaN orders above every number
+                    // under total order, and a NaN'd share simply stops
+                    // being bumped once its +1 no longer fits in p.
                     let di = reals[i] / shares[i] as f64;
                     let dj = reals[j] / shares[j] as f64;
-                    di.partial_cmp(&dj).expect("no NaN")
+                    di.total_cmp(&dj)
                 });
             match candidate {
                 Some(i) => shares[i] += 1,
@@ -55,11 +87,13 @@ impl Shares {
         })
     }
 
-    /// Uniform shares: every variable gets `⌊p^(1/k)⌋` (at least 1).
+    /// Uniform shares: every variable gets `⌊p^(1/k)⌋` (at least 1),
+    /// computed as an exact integer k-th root — `f64::powf` under-rounds
+    /// exact powers (e.g. 27^(1/3) = 2.999…, floored to 2).
     pub fn uniform(q: &ConjunctiveQuery, p: usize) -> Shares {
         let vars = q.body_variables();
         let k = vars.len().max(1);
-        let s = ((p as f64).powf(1.0 / k as f64).floor() as usize).max(1);
+        let s = nth_root(p, k as u32).max(1);
         Shares {
             vars: vars.into_iter().map(|v| v.0).collect(),
             shares: vec![s; k],
@@ -171,6 +205,53 @@ mod tests {
         let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
         let s = Shares::uniform(&q, 27);
         assert_eq!(s.shares, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn uniform_exact_powers_never_under_round() {
+        // Regression: `powf(1.0/3.0)` yields 2.999… for 27 on some inputs,
+        // which `.floor()` turns into 2. The integer nth-root must return
+        // exactly n for p = n^k.
+        for n in 1usize..=20 {
+            for k in 1u32..=5 {
+                let p = n.pow(k);
+                let body: Vec<String> = (0..k).map(|i| format!("R{i}(x{i})")).collect();
+                let q = parse_query(&format!("H() <- {}", body.join(", "))).unwrap();
+                assert_eq!(q.body_variables().len(), k as usize);
+                let s = Shares::uniform(&q, p);
+                assert_eq!(
+                    s.shares,
+                    vec![n; k as usize],
+                    "uniform({p} = {n}^{k}) must give shares of exactly {n}"
+                );
+                assert_eq!(s.servers(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn nth_root_brute_force_agreement() {
+        for p in 0usize..=600 {
+            for k in 1u32..=6 {
+                let expected = (0usize..)
+                    .take_while(|s| s.checked_pow(k).is_some_and(|v| v <= p))
+                    .last()
+                    .unwrap_or(0);
+                assert_eq!(nth_root(p, k), expected, "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_non_powers_floor() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        assert_eq!(Shares::uniform(&q, 26).shares, vec![2, 2, 2]);
+        assert_eq!(Shares::uniform(&q, 28).shares, vec![3, 3, 3]);
+        assert_eq!(Shares::uniform(&q, 63).shares, vec![3, 3, 3]);
+        assert_eq!(Shares::uniform(&q, 64).shares, vec![4, 4, 4]);
+        // p=0 and p=1 degenerate to a single server.
+        assert_eq!(Shares::uniform(&q, 0).shares, vec![1, 1, 1]);
+        assert_eq!(Shares::uniform(&q, 1).shares, vec![1, 1, 1]);
     }
 
     #[test]

@@ -18,19 +18,35 @@ use crate::query::{ConjunctiveQuery, UnionQuery};
 use crate::symbols::RelId;
 use crate::valuation::Valuation;
 
-/// Per-relation fact store with positional value indices, built once per
-/// evaluation.
-struct Indexed<'a> {
+/// Per-relation fact store with positional value indices.
+///
+/// Building the index is `O(Σ arity · |relation|)` — cheap, but not free
+/// when evaluation runs in a loop over the *same* instance (a Datalog
+/// stratum evaluating many rules per iteration, a union query evaluating
+/// many disjuncts, an MPC server evaluating several bag queries per
+/// round). For those callers the index is public and reusable: build it
+/// once with [`Indexed::build`] and hand it to
+/// [`satisfying_valuations_indexed`] / [`eval_query_indexed`] for every
+/// query over the same instance snapshot. One-shot callers keep using
+/// [`eval_query`], which builds a fresh index internally.
+pub struct Indexed<'a> {
     facts: FxMap<RelId, Vec<&'a Fact>>,
     /// `(rel, position, value) → fact indices` into `facts[rel]`.
     by_pos: FxMap<(RelId, usize, Val), Vec<usize>>,
 }
 
 impl<'a> Indexed<'a> {
-    fn build(instance: &'a Instance, rels: &[RelId]) -> Indexed<'a> {
+    /// Index the given relations of `instance`. Duplicate entries in
+    /// `rels` (self-joins list a relation once per atom) are indexed once.
+    pub fn build(instance: &'a Instance, rels: &[RelId]) -> Indexed<'a> {
         let mut facts: FxMap<RelId, Vec<&Fact>> = fxmap();
         let mut by_pos: FxMap<(RelId, usize, Val), Vec<usize>> = fxmap();
+        let mut seen: Vec<RelId> = Vec::with_capacity(rels.len());
         for &r in rels {
+            if seen.contains(&r) {
+                continue;
+            }
+            seen.push(r);
             let fs: Vec<&Fact> = instance.relation(r).collect();
             for (i, f) in fs.iter().enumerate() {
                 for (pos, &v) in f.args.iter().enumerate() {
@@ -42,9 +58,23 @@ impl<'a> Indexed<'a> {
         Indexed { facts, by_pos }
     }
 
+    /// Index every relation appearing in the body of `q`.
+    pub fn for_query(q: &ConjunctiveQuery, instance: &'a Instance) -> Indexed<'a> {
+        let rels: Vec<RelId> = q.body.iter().map(|a| a.rel).collect();
+        Indexed::build(instance, &rels)
+    }
+
+    /// Is `rel` covered by this index? Evaluating a query whose body
+    /// mentions an uncovered relation would silently treat it as empty.
+    pub fn covers(&self, rel: RelId) -> bool {
+        self.facts.contains_key(&rel)
+    }
+
     /// Candidate facts for `atom` under the partial valuation `val`:
     /// if some position is bound, use the positional index, else scan all.
-    fn candidates(&self, atom: &Atom, val: &Valuation) -> Vec<&'a Fact> {
+    /// A bound value with *no* index entry proves there is no matching
+    /// fact, so the candidate set is empty — never a full relation scan.
+    pub fn candidates(&self, atom: &Atom, val: &Valuation) -> Vec<&'a Fact> {
         let all = match self.facts.get(&atom.rel) {
             Some(fs) => fs,
             None => return Vec::new(),
@@ -160,8 +190,22 @@ fn atom_order(q: &ConjunctiveQuery, instance: &Instance) -> Vec<usize> {
 /// contained in the instance; for `CQ¬`/`CQ≠` the negated atoms and
 /// inequalities are enforced as well.
 pub fn satisfying_valuations(q: &ConjunctiveQuery, instance: &Instance) -> Vec<Valuation> {
-    let rels: Vec<RelId> = q.body.iter().map(|a| a.rel).collect();
-    let index = Indexed::build(instance, &rels);
+    satisfying_valuations_indexed(q, instance, &Indexed::for_query(q, instance))
+}
+
+/// [`satisfying_valuations`] against a prebuilt [`Indexed`] — the reusable
+/// path for callers evaluating many queries over one instance snapshot.
+/// `instance` must be the indexed instance (negated atoms are checked
+/// against it directly) and `index` must cover every body relation.
+pub fn satisfying_valuations_indexed(
+    q: &ConjunctiveQuery,
+    instance: &Instance,
+    index: &Indexed<'_>,
+) -> Vec<Valuation> {
+    debug_assert!(
+        q.body.iter().all(|a| index.covers(a.rel)),
+        "index must cover every body relation of the query"
+    );
     let order = atom_order(q, instance);
     let mut out = Vec::new();
     let mut val = Valuation::new();
@@ -198,26 +242,42 @@ pub fn satisfying_valuations(q: &ConjunctiveQuery, instance: &Instance) -> Vec<V
         }
     }
 
-    recurse(q, &order, 0, &index, instance, &mut val, &mut out);
+    recurse(q, &order, 0, index, instance, &mut val, &mut out);
     out
 }
 
 /// Evaluate `q` on `instance`, returning the set of derived head facts
 /// (`Q(I)` in the survey).
 pub fn eval_query(q: &ConjunctiveQuery, instance: &Instance) -> Instance {
+    eval_query_indexed(q, instance, &Indexed::for_query(q, instance))
+}
+
+/// [`eval_query`] against a prebuilt [`Indexed`] (see [`Indexed::build`]).
+pub fn eval_query_indexed(
+    q: &ConjunctiveQuery,
+    instance: &Instance,
+    index: &Indexed<'_>,
+) -> Instance {
     Instance::from_facts(
-        satisfying_valuations(q, instance)
+        satisfying_valuations_indexed(q, instance, index)
             .iter()
             .map(|v| v.derived_fact(q)),
     )
 }
 
 /// Evaluate a union of conjunctive queries: the union of the disjuncts'
-/// results.
+/// results. One positional index is built over the union of the body
+/// relations and shared by every disjunct.
 pub fn eval_union(u: &UnionQuery, instance: &Instance) -> Instance {
+    let rels: Vec<RelId> = u
+        .disjuncts
+        .iter()
+        .flat_map(|d| d.body.iter().map(|a| a.rel))
+        .collect();
+    let index = Indexed::build(instance, &rels);
     let mut out = Instance::new();
     for d in &u.disjuncts {
-        out.extend_from(&eval_query(d, instance));
+        out.extend_from(&eval_query_indexed(d, instance, &index));
     }
     out
 }
@@ -388,5 +448,59 @@ mod tests {
         let i = Instance::from_facts([fact("R", &[1, 2]), fact("R", &[1, 3])]);
         assert_eq!(satisfying_valuations(&q, &i).len(), 2);
         assert_eq!(eval_query(&q, &i).len(), 1); // projection dedups
+    }
+
+    #[test]
+    fn candidates_bound_value_absent_is_empty_not_full_scan() {
+        // Regression: a bound position whose value has no `by_pos` entry
+        // proves zero matching facts; `candidates` must return the empty
+        // set, never fall back to the full relation scan.
+        let q = parse_query("H(x) <- R(x,y)").unwrap();
+        let i = Instance::from_facts((0..100u64).map(|k| fact("R", &[k, k + 1])));
+        let index = Indexed::for_query(&q, &i);
+        let atom = &q.body[0];
+        let mut val = Valuation::new();
+        // Bind x to a value far outside the relation's domain.
+        val.bind(atom.variables()[0].clone(), crate::fact::Val(10_000));
+        assert!(index.candidates(atom, &val).is_empty());
+        // Sanity: unbound valuation still enumerates everything.
+        assert_eq!(index.candidates(atom, &Valuation::new()).len(), 100);
+    }
+
+    #[test]
+    fn self_join_index_built_once_no_duplicate_candidates() {
+        // Regression: `Indexed::build` used to index a relation once per
+        // occurrence in `rels`, so self-joins (which list the relation once
+        // per atom) duplicated every positional entry and every candidate.
+        let q = parse_query("H(x,z) <- R(x,y), R(y,z)").unwrap();
+        let i = Instance::from_facts([fact("R", &[1, 2]), fact("R", &[2, 3])]);
+        let index = Indexed::for_query(&q, &i);
+        let mut val = Valuation::new();
+        val.bind(q.body[0].variables()[0].clone(), crate::fact::Val(1));
+        assert_eq!(index.candidates(&q.body[0], &val).len(), 1);
+        assert_eq!(satisfying_valuations(&q, &i).len(), 1);
+    }
+
+    #[test]
+    fn shared_index_matches_fresh_per_query() {
+        let qs = [
+            parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap(),
+            parse_query("G(x) <- R(x,y), T(y,x)").unwrap(),
+            parse_query("F(y) <- S(y,y)").unwrap(),
+        ];
+        let i = Instance::from_facts([
+            fact("R", &[1, 2]),
+            fact("R", &[3, 1]),
+            fact("S", &[2, 2]),
+            fact("T", &[1, 3]),
+        ]);
+        let rels: Vec<_> = qs
+            .iter()
+            .flat_map(|q| q.body.iter().map(|a| a.rel))
+            .collect();
+        let shared = Indexed::build(&i, &rels);
+        for q in &qs {
+            assert_eq!(eval_query_indexed(q, &i, &shared), eval_query(q, &i));
+        }
     }
 }

@@ -215,6 +215,80 @@ proptest! {
         }
     }
 
+    /// `Shares::optimal` invariants on random conjunctive queries and any
+    /// p ∈ {1..64}: product ≤ p, every share ≥ 1, and `servers()` is the
+    /// product of the shares.
+    #[test]
+    fn optimal_shares_invariants(
+        atoms in prop::collection::vec((0..3u8, 0..4u8, 0..4u8), 1..4),
+        p in 1usize..64,
+    ) {
+        use parlog::mpc::shares::Shares;
+        let body: Vec<String> = atoms
+            .iter()
+            .map(|&(r, a, b)| {
+                let rel = ["R", "S", "T"][r as usize];
+                format!("{rel}(v{a}, v{b})")
+            })
+            .collect();
+        let mut head: Vec<String> = atoms
+            .iter()
+            .flat_map(|&(_, a, b)| [format!("v{a}"), format!("v{b}")])
+            .collect();
+        head.sort();
+        head.dedup();
+        let q = parse_query(&format!("H({}) <- {}", head.join(","), body.join(", "))).unwrap();
+        let s = Shares::optimal(&q, p).unwrap();
+        let product: usize = s.shares.iter().product();
+        prop_assert!(s.shares.iter().all(|&x| x >= 1), "shares {:?}", s.shares);
+        prop_assert!(product <= p, "product {} > p {} for {:?}", product, p, s.shares);
+        prop_assert_eq!(s.servers(), product);
+        // The uniform baseline obeys the same envelope.
+        let u = Shares::uniform(&q, p);
+        prop_assert!(u.servers() <= p || u.shares.iter().all(|&x| x == 1));
+        prop_assert!(u.shares.iter().all(|&x| x >= 1));
+    }
+
+    /// The parallel round engine is unobservable: for any worker count the
+    /// output and the serialized `RunStats` are byte-equal to the
+    /// sequential engine's, on fault-free and on crash+straggler runs.
+    #[test]
+    fn parallel_engine_matches_sequential(
+        db in small_instance(20, 6),
+        p in 2usize..10,
+        threads in 2usize..9,
+        crash in 0usize..10,
+    ) {
+        use parlog::faults::{MpcFaultPlan, SpeculationPolicy};
+        use parlog::mpc::cluster::Cluster;
+        use parlog::mpc::report::RunReport;
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let run = |threads: usize, faulty: bool| {
+            let mut c = Cluster::new(p).with_parallelism(threads);
+            if faulty {
+                c = c
+                    .with_faults(
+                        MpcFaultPlan::crash(0, crash % p)
+                            .with_straggler((crash + 1) % p, 3.0),
+                    )
+                    .with_speculation(SpeculationPolicy::default());
+            }
+            for (i, f) in db.iter().enumerate() {
+                c.local_mut(i % p).insert(f.clone());
+            }
+            c.communicate(|f| vec![(f.args[0].0 as usize) % p]);
+            c.compute(|local| eval_query(&q, local));
+            let stats = RunReport::from_cluster("prop", &c, db.len()).stats;
+            (c.union_all(), serde_json::to_string(&stats).unwrap())
+        };
+        for faulty in [false, true] {
+            let (seq_out, seq_stats) = run(1, faulty);
+            let (par_out, par_stats) = run(threads, faulty);
+            prop_assert_eq!(&seq_out, &par_out, "faulty={}", faulty);
+            prop_assert_eq!(&seq_stats, &par_stats, "faulty={}", faulty);
+        }
+    }
+
     /// Policies distribute soundly: local instances contain only facts the
     /// node is responsible for, and a ReplicateAll policy reproduces I.
     #[test]
