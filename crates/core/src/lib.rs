@@ -33,6 +33,13 @@
 //!   φ-accrual failure detection, deadline-bounded retry, shard
 //!   re-replication heals, speculative re-execution of stragglers, and
 //!   certified graceful degradation for monotone queries.
+//! * **Observability** — [`trace`] (re-exported from `parlog-trace`) is
+//!   the zero-dependency structured tracing layer: per-round phase
+//!   spans on the virtual clock, per-server load histograms checked
+//!   against `m/p^{1/τ*}`, message-level comm counters, the
+//!   fault/decision timeline, and a two-section JSON export whose
+//!   deterministic half is byte-identical across reruns and thread
+//!   counts.
 //!
 //! ```
 //! use parlog::prelude::*;
@@ -59,6 +66,7 @@ pub use parlog_faults as faults;
 pub use parlog_mpc as mpc;
 pub use parlog_relal as relal;
 pub use parlog_supervisor as supervisor;
+pub use parlog_trace as trace;
 pub use parlog_transducer as transducer;
 
 /// Commonly used items from the whole workspace.

@@ -54,6 +54,9 @@
 use parlog_faults::{MpcFaultPlan, SpeculationPolicy};
 use parlog_relal::fact::Fact;
 use parlog_relal::instance::Instance;
+use parlog_trace::{
+    CommCounters, FaultEvent, FaultEventKind, Phase, Span, TraceEvent, TraceHandle,
+};
 
 /// A server id in `[0, p)`.
 pub type ServerId = usize;
@@ -128,6 +131,8 @@ impl RoundStats {
         plan: &MpcFaultPlan,
         policy: &SpeculationPolicy,
         tally: &mut SpeculationStats,
+        vstart: f64,
+        trace: &TraceHandle,
     ) {
         let times: Vec<f64> = self
             .received
@@ -151,13 +156,28 @@ impl RoundStats {
             let backup_finish = cutoff + load as f64;
             tally.backups += 1;
             tally.wasted_work += load;
+            trace.record(TraceEvent::Fault(FaultEvent {
+                vclock: vstart + cutoff,
+                kind: FaultEventKind::SpeculativeBackup,
+                node: s,
+                info: load as u64,
+            }));
             if backup_finish < *t {
                 tally.wins += 1;
                 *t = backup_finish;
+                trace.record(TraceEvent::Fault(FaultEvent {
+                    vclock: vstart + backup_finish,
+                    kind: FaultEventKind::SpeculativeWin,
+                    node: s,
+                    info: load as u64,
+                }));
             }
         }
         self.tail_time = effective.iter().fold(0.0f64, |a, &b| a.max(b));
-        tally.tail_saved += old_tail - self.tail_time;
+        // A backup that loses leaves the tail where it was; the clamp
+        // keeps floating-point noise from ever driving the saved-time
+        // tally negative.
+        tally.tail_saved += (old_tail - self.tail_time).max(0.0);
     }
 }
 
@@ -224,19 +244,27 @@ where
     routings
 }
 
+/// Estimated wire size of one fact: 8 bytes per value plus an 8-byte
+/// relation tag (the trace layer's bytes metric).
+fn fact_bytes(f: &Fact) -> u64 {
+    8 * (f.args.len() as u64 + 1)
+}
+
 /// Apply routing decisions to build the next cluster state, strictly in
 /// `items` order (= source-server order): the single, sequential merge
 /// point both engines share. Keep-retained facts are free; each `Send`
 /// delivery counts as load once per destination (deduplicated against
 /// whatever that destination already received, as in the model's
-/// accounting of repartitioning).
+/// accounting of repartitioning). The third component is the estimated
+/// payload bytes of the counted deliveries, for the trace layer.
 fn apply_deliveries(
     p: usize,
     items: &[(ServerId, &Fact)],
     routings: Vec<Routing>,
-) -> (Vec<Instance>, Vec<usize>) {
+) -> (Vec<Instance>, Vec<usize>, u64) {
     let mut next: Vec<Instance> = vec![Instance::new(); p];
     let mut received = vec![0usize; p];
+    let mut bytes = 0u64;
     for (&(src, f), routing) in items.iter().zip(routings) {
         match routing {
             Routing::Keep => {
@@ -247,13 +275,14 @@ fn apply_deliveries(
                     assert!(dest < p, "destination {dest} out of range for p={p}");
                     if next[dest].insert(f.clone()) {
                         received[dest] += 1;
+                        bytes += fact_bytes(f);
                     }
                 }
             }
             Routing::Drop => {}
         }
     }
-    (next, received)
+    (next, received, bytes)
 }
 
 /// A simulated shared-nothing cluster of `p` servers.
@@ -270,6 +299,7 @@ pub struct Cluster {
     speculation: Option<SpeculationPolicy>,
     spec_stats: SpeculationStats,
     parallelism: usize,
+    trace: TraceHandle,
 }
 
 impl Cluster {
@@ -287,7 +317,24 @@ impl Cluster {
             speculation: None,
             spec_stats: SpeculationStats::default(),
             parallelism: 1,
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Attach a trace handle: phase spans, per-round load histograms,
+    /// comm counters and replay/speculation timeline events are
+    /// delivered to its sink. The default is [`TraceHandle::off`], which
+    /// keeps every instrumentation site a single branch — the hot path
+    /// does no tracing work (and no allocation) unless a sink is
+    /// attached.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Cluster {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached trace handle (off by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Execute rounds on a worker pool of (at most) `n` OS threads:
@@ -365,20 +412,55 @@ impl Cluster {
     /// Panics when a round exhausts the plan's retry budget.
     fn commit_round<G>(&mut self, mut attempt: G) -> &RoundStats
     where
-        G: FnMut(&[Instance]) -> (Vec<Instance>, Vec<usize>),
+        G: FnMut(&[Instance]) -> (Vec<Instance>, Vec<usize>, u64),
     {
         let mut replays_this_round = 0u32;
+        let round = self.rounds.len();
+        let vstart: f64 = self.rounds.iter().map(|r| r.tail_time).sum();
         loop {
             let attempt_idx = self.recovery.attempts;
             self.recovery.attempts += 1;
-            let (next, received) = attempt(&self.local);
+            let wall = self.trace.is_on().then(std::time::Instant::now);
+            let (next, received, bytes) = attempt(&self.local);
+            let wall_ns = wall.map(|t0| t0.elapsed().as_nanos() as u64);
             let crashed = (0..self.p()).any(|s| self.faults.crashes_in(attempt_idx, s));
             if !crashed {
                 self.local = next;
+                self.trace.emit(|| TraceEvent::Loads {
+                    round,
+                    received: &received,
+                });
                 let mut stats = RoundStats::from_received(received, &self.faults);
                 if let Some(policy) = &self.speculation {
-                    stats.apply_speculation(&self.faults, policy, &mut self.spec_stats);
+                    stats.apply_speculation(
+                        &self.faults,
+                        policy,
+                        &mut self.spec_stats,
+                        vstart,
+                        &self.trace,
+                    );
                 }
+                self.trace.record(TraceEvent::Comm(CommCounters {
+                    sent: stats.total_comm as u64,
+                    delivered: stats.total_comm as u64,
+                    bytes,
+                    ..CommCounters::default()
+                }));
+                let comm_end = vstart + stats.max_load as f64;
+                self.trace.record(TraceEvent::Phase(Span {
+                    round,
+                    phase: Phase::Communication,
+                    vstart,
+                    vend: comm_end,
+                    wall_ns,
+                }));
+                self.trace.record(TraceEvent::Phase(Span {
+                    round,
+                    phase: Phase::Barrier,
+                    vstart: comm_end,
+                    vend: vstart + stats.tail_time,
+                    wall_ns: None,
+                }));
                 self.rounds.push(stats);
                 return self.rounds.last().expect("just pushed");
             }
@@ -386,6 +468,22 @@ impl Cluster {
             // checkpoint — self.local — is untouched) and replay.
             self.recovery.replays += 1;
             self.recovery.wasted_comm += received.iter().sum::<usize>();
+            if self.trace.is_on() {
+                for s in (0..self.p()).filter(|&s| self.faults.crashes_in(attempt_idx, s)) {
+                    self.trace.record(TraceEvent::Fault(FaultEvent {
+                        vclock: vstart,
+                        kind: FaultEventKind::RoundReplay,
+                        node: s,
+                        info: attempt_idx as u64,
+                    }));
+                }
+                self.trace.record(TraceEvent::Comm(CommCounters {
+                    sent: received.iter().sum::<usize>() as u64,
+                    wasted: received.iter().sum::<usize>() as u64,
+                    bytes,
+                    ..CommCounters::default()
+                }));
+            }
             replays_this_round += 1;
             self.recovery.max_replays_in_round =
                 self.recovery.max_replays_in_round.max(replays_this_round);
@@ -540,6 +638,7 @@ impl Cluster {
     where
         F: Fn(ServerId, &Instance) -> Instance + Sync,
     {
+        let wall = self.trace.is_on().then(std::time::Instant::now);
         let threads = self.parallelism.min(self.local.len());
         let apply = |s: ServerId, inst: &mut Instance| {
             let out = f(s, inst);
@@ -553,19 +652,32 @@ impl Cluster {
             for (s, inst) in self.local.iter_mut().enumerate() {
                 apply(s, inst);
             }
-            return;
+        } else {
+            let chunk = self.local.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ci, slice) in self.local.chunks_mut(chunk).enumerate() {
+                    let apply = &apply;
+                    scope.spawn(move || {
+                        for (off, inst) in slice.iter_mut().enumerate() {
+                            apply(ci * chunk + off, inst);
+                        }
+                    });
+                }
+            });
         }
-        let chunk = self.local.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (ci, slice) in self.local.chunks_mut(chunk).enumerate() {
-                let apply = &apply;
-                scope.spawn(move || {
-                    for (off, inst) in slice.iter_mut().enumerate() {
-                        apply(ci * chunk + off, inst);
-                    }
-                });
-            }
-        });
+        if let Some(t0) = wall {
+            // Computation is free in the model's accounting, so the
+            // virtual span is empty; only the wall clock moves.
+            let round = self.rounds.len().saturating_sub(1);
+            let vnow: f64 = self.rounds.iter().map(|r| r.tail_time).sum();
+            self.trace.record(TraceEvent::Phase(Span {
+                round,
+                phase: Phase::Computation,
+                vstart: vnow,
+                vend: vnow,
+                wall_ns: Some(t0.elapsed().as_nanos() as u64),
+            }));
+        }
     }
 
     /// Communication phase that also draws on per-server *storage* shards:
@@ -800,6 +912,32 @@ mod tests {
         c.communicate(|f| vec![(f.args[0].0 % 4) as usize]);
         assert_eq!(c.speculation(), SpeculationStats::default());
         assert!((c.tail_time() - c.max_load() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn losing_speculation_never_negates_tail_saved() {
+        // A straggler slow enough to flag (2× > 1.5× median) but not
+        // slow enough for the backup to win: detection at the cutoff
+        // plus a full healthy re-run finishes after the original
+        // (6 + 4 = 10 > 8). The backup loses, the tail is unchanged,
+        // and tail_saved must stay exactly zero — never negative.
+        let facts: Vec<Fact> = (0..16u64).map(|i| fact("R", &[i, i])).collect();
+        let mut c = seeded(4, &facts)
+            .with_faults(MpcFaultPlan::none().with_straggler(1, 2.0))
+            .with_speculation(SpeculationPolicy {
+                threshold: 1.5,
+                min_load: 2,
+            });
+        c.communicate(|f| vec![(f.args[0].0 % 4) as usize]);
+        let tally = c.speculation();
+        assert_eq!(tally.backups, 1, "the straggler was flagged");
+        assert_eq!(tally.wins, 0, "the backup lost the race");
+        assert!(tally.wasted_work > 0, "the losing copy still cost work");
+        assert_eq!(
+            tally.tail_saved, 0.0,
+            "a losing backup saves nothing — and never a negative amount"
+        );
+        assert_eq!(c.tail_time(), 8.0, "tail is the original straggler's");
     }
 
     #[test]

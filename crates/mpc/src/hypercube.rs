@@ -21,6 +21,7 @@ use parlog_relal::fact::Fact;
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
 use parlog_relal::simplex::LpError;
+use parlog_trace::TraceHandle;
 
 /// The one-round HyperCube algorithm for a conjunctive query.
 #[derive(Debug, Clone)]
@@ -129,7 +130,24 @@ impl HypercubeAlgorithm {
     /// threads per phase ([`Cluster::with_parallelism`]). The report is
     /// byte-identical to the sequential one for every `threads` value.
     pub fn run_with_parallelism(&self, db: &Instance, _seed: u64, threads: usize) -> RunReport {
-        let mut cluster = Cluster::new(self.servers()).with_parallelism(threads);
+        self.run_traced(db, _seed, threads, &TraceHandle::off())
+    }
+
+    /// [`HypercubeAlgorithm::run_with_parallelism`] with an attached
+    /// trace: phase spans, the per-round load histogram and comm
+    /// counters are delivered to the handle's sink
+    /// ([`Cluster::with_trace`]). `TraceHandle::off()` reproduces the
+    /// untraced run exactly.
+    pub fn run_traced(
+        &self,
+        db: &Instance,
+        _seed: u64,
+        threads: usize,
+        trace: &TraceHandle,
+    ) -> RunReport {
+        let mut cluster = Cluster::new(self.servers())
+            .with_parallelism(threads)
+            .with_trace(trace.clone());
         seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
         cluster.communicate(|f| self.destinations(f));
         let q = self.query.clone();

@@ -68,12 +68,12 @@ impl PhiDetector {
         if let Some(prev) = self.last[node] {
             let dt = now.saturating_sub(prev).max(1) as f64;
             // EWMA with a 1/4 gain: adapts to drift without letting one
-            // delayed heartbeat inflate the window.
-            self.mean[node] = if self.samples[node] == 0 {
-                dt
-            } else {
-                0.75 * self.mean[node] + 0.25 * dt
-            };
+            // delayed heartbeat inflate the window. The seeded
+            // `expected_interval` acts as the zeroth sample — replacing
+            // it outright with the first observed gap let one early,
+            // clamped-tiny inter-arrival collapse the mean and raise a
+            // cold-start false suspicion at the very next probe.
+            self.mean[node] = 0.75 * self.mean[node] + 0.25 * dt;
             self.samples[node] += 1;
         }
         self.last[node] = Some(now);
@@ -90,7 +90,10 @@ impl PhiDetector {
             None => 0.0, // nothing observed yet: no basis for suspicion
             Some(t) => {
                 let elapsed = now.saturating_sub(t) as f64;
-                elapsed / self.mean[node] * LOG10_E
+                // The mean is seeded positive and every blend keeps it
+                // positive, but floor the divisor anyway so a degenerate
+                // state yields a finite (huge) φ instead of NaN/∞.
+                elapsed / self.mean[node].max(f64::EPSILON) * LOG10_E
             }
         }
     }
@@ -181,6 +184,35 @@ mod tests {
         assert!(det.phi(1, 0).is_infinite());
         assert!(det.suspects(10_000).is_empty() || det.suspects(10_000) == vec![0]);
         assert!(!det.suspects(10_000).contains(&1));
+    }
+
+    #[test]
+    fn one_tight_first_gap_does_not_trigger_cold_start_suspicion() {
+        // Regression: the first observed inter-arrival used to *replace*
+        // the seeded mean. Two back-to-back startup heartbeats (dt
+        // clamped to 1) then collapsed μ to 1, so an 8-tick-cadence node
+        // read φ ≈ 3.5 one period later — a false suspicion before the
+        // detector had any real evidence. With the seed blended as the
+        // zeroth sample, μ stays near 8·0.75 + 1·0.25 = 6.25 and φ stays
+        // well under threshold.
+        let mut det = PhiDetector::new(1, 2.0, 8);
+        det.arrival(0, 0);
+        det.arrival(0, 1); // startup burst: dt = 1
+        assert!(
+            det.phi(0, 9) < 2.0,
+            "one period after the burst, φ = {} must stay sub-threshold",
+            det.phi(0, 9)
+        );
+        assert!(det.suspects(9).is_empty());
+    }
+
+    #[test]
+    fn phi_is_always_finite_for_live_nodes() {
+        let mut det = PhiDetector::new(1, 2.0, 1);
+        det.arrival(0, 0);
+        for now in [0, 1, 1_000_000] {
+            assert!(det.phi(0, now).is_finite());
+        }
     }
 
     #[test]

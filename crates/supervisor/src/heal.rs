@@ -27,6 +27,50 @@ use parlog_relal::packing::hypercube_load_exponent;
 use parlog_relal::query::ConjunctiveQuery;
 use parlog_relal::simplex::LpError;
 
+/// Why a requested heal could not be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealError {
+    /// The query has no fractional-cover LP solution (no shares to
+    /// build the grid from).
+    Lp(LpError),
+    /// The cluster has no survivor to adopt the shard — healing a
+    /// 1-server (or all-dead) cluster is a refusal, not a panic.
+    NoSurvivor {
+        /// Servers the algorithm actually addressed.
+        p_eff: usize,
+    },
+    /// The crashed-server index is outside the effective grid — the
+    /// caller named a server that does not exist.
+    DeadOutOfRange {
+        /// The requested crash index.
+        dead: usize,
+        /// Servers the algorithm actually addressed.
+        p_eff: usize,
+    },
+}
+
+impl std::fmt::Display for HealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealError::Lp(e) => write!(f, "no shares to heal with: {e:?}"),
+            HealError::NoSurvivor { p_eff } => {
+                write!(f, "healing needs at least one survivor (p_eff = {p_eff})")
+            }
+            HealError::DeadOutOfRange { dead, p_eff } => {
+                write!(f, "crashed server {dead} out of range (p_eff = {p_eff})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HealError {}
+
+impl From<LpError> for HealError {
+    fn from(e: LpError) -> HealError {
+        HealError::Lp(e)
+    }
+}
+
 /// What one HyperCube shard re-replication did and cost.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct MpcHealReport {
@@ -61,19 +105,28 @@ pub struct MpcHealReport {
 /// over the `m/p^{1/τ*}` bound (hash imbalance on finite data; 2–3 is
 /// ample for skew-free inputs).
 ///
-/// Returns [`LpError`] when the query has no fractional-cover LP
-/// solution (no shares to build the grid from).
+/// Returns [`HealError::Lp`] when the query has no fractional-cover LP
+/// solution (no shares to build the grid from),
+/// [`HealError::NoSurvivor`] when the effective grid has a single
+/// server (nobody left to adopt the shard), and
+/// [`HealError::DeadOutOfRange`] when `dead` names a server outside the
+/// effective grid — shares may round `p` down, and silently wrapping
+/// the index healed a *different* server than the caller asked about.
 pub fn heal_hypercube_crash(
     q: &ConjunctiveQuery,
     db: &Instance,
     p: usize,
     dead: usize,
     slack: f64,
-) -> Result<MpcHealReport, LpError> {
+) -> Result<MpcHealReport, HealError> {
     let algo = HypercubeAlgorithm::new(q, p)?;
     let p_eff = algo.servers();
-    assert!(p_eff > 1, "healing needs at least one survivor");
-    let dead = dead % p_eff;
+    if p_eff <= 1 {
+        return Err(HealError::NoSurvivor { p_eff });
+    }
+    if dead >= p_eff {
+        return Err(HealError::DeadOutOfRange { dead, p_eff });
+    }
     // The fault-free baseline: output and loads.
     let clean = algo.run(db, 0);
     // The crashed run: same distribution, then the dead server's cell is
@@ -85,7 +138,7 @@ pub fn heal_hypercube_crash(
     let survivor = (0..p_eff)
         .filter(|&s| s != dead)
         .min_by_key(|&s| cluster.rounds()[0].received[s])
-        .expect("p_eff > 1");
+        .ok_or(HealError::NoSurvivor { p_eff })?;
     cluster.local_mut(survivor).extend_from(&shard);
     let mut healed_output = Instance::new();
     for s in (0..p_eff).filter(|&s| s != dead) {
@@ -145,6 +198,28 @@ mod tests {
             let r = heal_hypercube_crash(&q, &db, 8, dead, 3.0).unwrap();
             assert!(r.output_matches, "dead server {dead}");
         }
+    }
+
+    #[test]
+    fn one_server_cluster_refuses_to_heal_instead_of_panicking() {
+        // A single-variable query on p = 1 leaves nobody to adopt the
+        // shard: the old code hit `assert!(p_eff > 1)`.
+        let q = parse_query("H(x) <- R(x)").unwrap();
+        let db = datagen::matching_relation("R", 10, 0);
+        let err = heal_hypercube_crash(&q, &db, 1, 0, 3.0).unwrap_err();
+        assert_eq!(err, HealError::NoSurvivor { p_eff: 1 });
+        assert!(err.to_string().contains("survivor"));
+    }
+
+    #[test]
+    fn dead_index_outside_the_effective_grid_is_an_error_not_a_wrap() {
+        // Triangle shares on p = 8 address exactly 8 servers; asking
+        // about server 8 used to silently wrap to server 0 and report a
+        // heal of the wrong cell.
+        let q = triangle();
+        let db = datagen::triangle_db(60, 20, 3);
+        let err = heal_hypercube_crash(&q, &db, 8, 8, 3.0).unwrap_err();
+        assert_eq!(err, HealError::DeadOutOfRange { dead: 8, p_eff: 8 });
     }
 
     #[test]

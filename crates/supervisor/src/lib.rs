@@ -47,17 +47,19 @@ pub mod supervise;
 
 pub use degrade::{Certificate, Degraded, QueryMode};
 pub use detector::PhiDetector;
-pub use heal::{heal_hypercube_crash, MpcHealReport};
+pub use heal::{heal_hypercube_crash, HealError, MpcHealReport};
 pub use retry::DeadlineRetry;
-pub use supervise::{supervise, Detection, SupervisedRun, SupervisorConfig, SupervisorReport};
+pub use supervise::{
+    supervise, supervise_traced, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,
+};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::degrade::{Certificate, Degraded, QueryMode};
     pub use crate::detector::PhiDetector;
-    pub use crate::heal::{heal_hypercube_crash, MpcHealReport};
+    pub use crate::heal::{heal_hypercube_crash, HealError, MpcHealReport};
     pub use crate::retry::DeadlineRetry;
     pub use crate::supervise::{
-        supervise, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,
+        supervise, supervise_traced, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,
     };
 }

@@ -35,6 +35,7 @@ use crate::degrade::{Certificate, Degraded, QueryMode};
 use crate::detector::PhiDetector;
 use parlog_faults::{mix64, FaultPlan};
 use parlog_relal::instance::Instance;
+use parlog_trace::{FaultEvent, FaultEventKind, TraceEvent, TraceHandle};
 use parlog_transducer::faulty::FaultStats;
 use parlog_transducer::program::{Ctx, TransducerProgram};
 use parlog_transducer::scheduler::{Schedule, SimRun};
@@ -165,6 +166,7 @@ struct Monitor<'a> {
     healed: Vec<bool>,
     probe_idx: usize,
     now: usize,
+    trace: &'a TraceHandle,
 }
 
 impl Monitor<'_> {
@@ -192,10 +194,26 @@ impl Monitor<'_> {
         let mut did_heal = false;
         for s in self.det.suspects(self.now) {
             self.report.suspicions += 1;
+            self.trace.emit(|| {
+                TraceEvent::Fault(FaultEvent {
+                    vclock: self.now as f64,
+                    kind: FaultEventKind::Suspect,
+                    node: s,
+                    info: (self.det.phi(s, self.now) * 1000.0) as u64,
+                })
+            });
             if run.health(s).is_up() {
                 // Confirm probe answered: slow, not dead.
                 self.report.false_suspicions += 1;
                 self.det.clear(s, self.now);
+                self.trace.emit(|| {
+                    TraceEvent::Fault(FaultEvent {
+                        vclock: self.now as f64,
+                        kind: FaultEventKind::FalseSuspicion,
+                        node: s,
+                        info: 0,
+                    })
+                });
                 continue;
             }
             self.det.mark_dead(s);
@@ -208,6 +226,14 @@ impl Monitor<'_> {
                 .min()
                 .unwrap_or(self.now);
             let latency = self.now.saturating_sub(crashed_at);
+            self.trace.emit(|| {
+                TraceEvent::Fault(FaultEvent {
+                    vclock: self.now as f64,
+                    kind: FaultEventKind::ConfirmDead,
+                    node: s,
+                    info: latency as u64,
+                })
+            });
             let mut detection = Detection {
                 node: s,
                 crashed_at,
@@ -254,7 +280,38 @@ pub fn supervise<P: TransducerProgram + ?Sized>(
     mode: QueryMode,
     config: &SupervisorConfig,
 ) -> SupervisedRun {
+    supervise_traced(
+        program,
+        shards,
+        ctx,
+        schedule,
+        plan,
+        mode,
+        config,
+        &TraceHandle::off(),
+    )
+}
+
+/// [`supervise`] with an attached trace: the data plane's message-level
+/// counters and crash/recovery/heal events flow to the sink through the
+/// scheduler, and the control plane adds its own decision timeline —
+/// `Suspect` (info = φ·1000), `FalseSuspicion`, `ConfirmDead`
+/// (info = detection latency) and, at close-out, one `Degrade` or
+/// `Refuse` per unhealed node (info = lost shard size).
+/// `TraceHandle::off()` reproduces the untraced run exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn supervise_traced<P: TransducerProgram + ?Sized>(
+    program: &P,
+    shards: &[Instance],
+    ctx: Ctx,
+    schedule: Schedule,
+    plan: &FaultPlan,
+    mode: QueryMode,
+    config: &SupervisorConfig,
+    trace: &TraceHandle,
+) -> SupervisedRun {
     let mut run = SimRun::new(program, shards, ctx);
+    run.set_trace(trace.clone());
     run.install_plan(plan);
     let seed = match schedule {
         Schedule::Random(s) => s,
@@ -271,6 +328,7 @@ pub fn supervise<P: TransducerProgram + ?Sized>(
         healed: vec![false; n],
         probe_idx: 0,
         now: 0,
+        trace,
     };
     let mut next_probe = 0usize;
     let budget = 10_000_000usize;
@@ -327,7 +385,7 @@ pub fn supervise<P: TransducerProgram + ?Sized>(
     mon.report.unhealed = (0..n)
         .filter(|&i| !run.health(i).is_up() && !mon.healed[i])
         .collect();
-    let verdict = close_out(&run, shards, mode, &mon.report);
+    let verdict = close_out(&run, shards, mode, &mon.report, trace);
     SupervisedRun {
         verdict,
         report: mon.report,
@@ -341,9 +399,25 @@ fn close_out(
     shards: &[Instance],
     mode: QueryMode,
     report: &SupervisorReport,
+    trace: &TraceHandle,
 ) -> Degraded {
     if report.unhealed.is_empty() {
         return Degraded::Exact(run.outputs());
+    }
+    let close_kind = if mode.degradable() {
+        FaultEventKind::Degrade
+    } else {
+        FaultEventKind::Refuse
+    };
+    for &node in &report.unhealed {
+        trace.emit(|| {
+            TraceEvent::Fault(FaultEvent {
+                vclock: report.final_clock as f64,
+                kind: close_kind,
+                node,
+                info: shards[node].len() as u64,
+            })
+        });
     }
     let total: usize = shards.iter().map(Instance::len).sum();
     let missing_facts: usize = report.unhealed.iter().map(|&i| shards[i].len()).sum();
@@ -510,6 +584,101 @@ mod tests {
         assert!(reason.contains("non-monotone"));
         assert_eq!(certificate.missing_nodes, vec![1]);
         assert!(out.verdict.answer().is_none(), "no answer is surfaced");
+    }
+
+    #[test]
+    fn traced_supervision_emits_the_suspect_confirm_heal_timeline() {
+        use parlog_trace::MemSink;
+        use std::sync::Arc;
+
+        let (p, shards, expected) = setup();
+        let plan = FaultPlan::crash_stop(2, 0, 6);
+        let run_traced = || {
+            let sink = Arc::new(MemSink::new());
+            let out = supervise_traced(
+                &p,
+                &shards,
+                Ctx::oblivious(),
+                Schedule::Random(2),
+                &plan,
+                QueryMode::Monotone,
+                &SupervisorConfig::default(),
+                &TraceHandle::to(sink.clone()),
+            );
+            (out, sink)
+        };
+        let (out, sink) = run_traced();
+        assert!(out.verdict.is_exact());
+        assert_eq!(out.verdict.answer().unwrap(), &expected);
+        let timeline = sink.timeline();
+        let pos = |kind: FaultEventKind| {
+            timeline
+                .iter()
+                .position(|e| e.kind == kind && e.node == 0)
+                .unwrap_or_else(|| panic!("{kind:?} for node 0 missing from {timeline:?}"))
+        };
+        let (crash, suspect, confirm, heal) = (
+            pos(FaultEventKind::Crash),
+            pos(FaultEventKind::Suspect),
+            pos(FaultEventKind::ConfirmDead),
+            pos(FaultEventKind::Heal),
+        );
+        assert!(
+            crash < suspect && suspect < confirm && confirm < heal,
+            "lifecycle order crash→suspect→confirm→heal violated: {timeline:?}"
+        );
+        let confirm_ev = &timeline[confirm];
+        assert_eq!(
+            confirm_ev.info, out.report.detections[0].latency as u64,
+            "ConfirmDead carries the detection latency"
+        );
+        // The control-plane decisions ride the same deterministic clock
+        // as everything else: a rerun produces byte-identical JSON.
+        let (_, sink2) = run_traced();
+        assert_eq!(
+            serde_json::to_string(&sink.report()).unwrap(),
+            serde_json::to_string(&sink2.report()).unwrap()
+        );
+        // And the data plane's own books agree with the sink's counters.
+        let ours = sink.comm();
+        let theirs = out.fault_stats.as_comm_counters();
+        assert_eq!(ours.dropped, theirs.dropped);
+        assert_eq!(ours.retransmitted, theirs.retransmitted);
+        assert_eq!(ours.acks, theirs.acks);
+    }
+
+    #[test]
+    fn unhealable_traced_crash_emits_a_degrade_event() {
+        use parlog_trace::MemSink;
+        use std::sync::Arc;
+
+        let (p, shards, _) = setup();
+        let sink = Arc::new(MemSink::new());
+        let out = supervise_traced(
+            &p,
+            &shards,
+            Ctx::oblivious(),
+            Schedule::Random(2),
+            &FaultPlan::crash_stop(2, 0, 6),
+            QueryMode::Monotone,
+            &SupervisorConfig {
+                max_heals: 0,
+                ..SupervisorConfig::default()
+            },
+            &TraceHandle::to(sink.clone()),
+        );
+        assert!(matches!(out.verdict, Degraded::Partial { .. }));
+        let timeline = sink.timeline();
+        let degrade = timeline
+            .iter()
+            .find(|e| e.kind == FaultEventKind::Degrade)
+            .expect("unhealed node must be recorded as degraded");
+        assert_eq!(degrade.node, 0);
+        assert_eq!(degrade.info, shards[0].len() as u64);
+        assert!(
+            !timeline.iter().any(|e| e.kind == FaultEventKind::Heal),
+            "no heal was allowed"
+        );
     }
 
     #[test]

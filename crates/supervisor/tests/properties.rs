@@ -108,6 +108,29 @@ proptest! {
         }
     }
 
+    /// (d) Cold start is never suspicious: whatever the true heartbeat
+    /// cadence, a detector that has seen at most one (possibly
+    /// clamped-tiny) inter-arrival keeps φ sub-threshold through the
+    /// whole first observed period. Regression for the cold-start bug
+    /// where the first sample *replaced* the seeded mean.
+    #[test]
+    fn cold_start_never_false_suspects(cadence in 1usize..50) {
+        let mut det = PhiDetector::new(1, 2.0, cadence);
+        det.arrival(0, 0);
+        det.arrival(0, 1); // startup burst: the degenerate first gap
+        let mut now = 1;
+        for beat in 0..20usize {
+            // Probe just before the next heartbeat — the worst moment.
+            prop_assert!(
+                det.suspects(now + cadence).is_empty(),
+                "beat {} (cadence {}): φ = {}",
+                beat, cadence, det.phi(0, now + cadence)
+            );
+            now += cadence;
+            det.arrival(0, now);
+        }
+    }
+
     /// (c) Zero message faults: every live node answers every probe, so
     /// the detector never suspects one — no false positives, ever.
     #[test]

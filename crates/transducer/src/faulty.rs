@@ -81,6 +81,24 @@ impl FaultStats {
     pub fn coordination_messages(&self) -> usize {
         self.acks + self.retransmissions
     }
+
+    /// Project the injector's tallies onto the trace-layer counter
+    /// shape, for cross-validating an attached sink against the
+    /// injector's own books. Fields the injector does not track
+    /// (`sent`, `delivered`, `bytes`) stay zero; copies destroyed by a
+    /// crash land in `wasted`.
+    pub fn as_comm_counters(&self) -> parlog_trace::CommCounters {
+        parlog_trace::CommCounters {
+            dropped: self.dropped as u64,
+            duplicated: self.duplicated as u64,
+            delayed: self.delayed as u64,
+            reordered: self.reordered as u64,
+            retransmitted: self.retransmissions as u64,
+            acks: self.acks as u64,
+            wasted: self.lost_in_crash as u64,
+            ..parlog_trace::CommCounters::default()
+        }
+    }
 }
 
 /// A message copy parked until the clock reaches `release`: either a

@@ -20,8 +20,16 @@ use parlog_faults::{FaultPlan, MessageFate};
 use parlog_relal::fact::Fact;
 use parlog_relal::fastmap::{fxset, FxSet};
 use parlog_relal::instance::Instance;
+use parlog_trace::{CommCounters, FaultEvent, FaultEventKind, TraceEvent, TraceHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Estimated wire size of one fact: 8 bytes per value plus an 8-byte
+/// relation tag (the trace layer's bytes metric, matching the MPC
+/// side's accounting).
+fn fact_bytes(f: &Fact) -> u64 {
+    8 * (f.args.len() as u64 + 1)
+}
 
 /// Message-delivery strategies. All are fair (no message is deferred
 /// forever) because delivery continues until the buffers drain.
@@ -52,6 +60,8 @@ pub struct SimRun {
     /// Fault-injection state; inert (a pure pass-through) unless a
     /// [`FaultPlan`] is installed.
     faults: FaultState<Fact>,
+    /// Observability handle; off (free) by default.
+    trace: TraceHandle,
     ctx: Ctx,
     /// Total messages delivered so far.
     pub delivered: usize,
@@ -86,6 +96,7 @@ impl SimRun {
             sent: vec![fxset(); n],
             shards: shards.to_vec(),
             faults: FaultState::inert(n),
+            trace: TraceHandle::off(),
             ctx,
             delivered: 0,
             facts_broadcast: 0,
@@ -105,6 +116,14 @@ impl SimRun {
     /// What the injector did so far (all zeros for fault-free runs).
     pub fn fault_stats(&self) -> FaultStats {
         self.faults.stats
+    }
+
+    /// Attach a trace handle: message-level comm counters and the
+    /// crash / recovery / heal timeline are delivered to its sink. The
+    /// default is `TraceHandle::off()` — a single branch per site, no
+    /// allocation, when tracing is off.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Liveness of node `i`.
@@ -168,6 +187,14 @@ impl SimRun {
         }
         self.broadcast(to, adopted);
         self.shards[to].extend_from(&shard);
+        self.trace.emit(|| {
+            TraceEvent::Fault(FaultEvent {
+                vclock: self.faults.clock as f64,
+                kind: FaultEventKind::Heal,
+                node: dead,
+                info: shard.len() as u64,
+            })
+        });
         shard.len()
     }
 
@@ -209,10 +236,47 @@ impl SimRun {
             // retries — which is exactly how a crash-recover node gets
             // its mail back.
             self.faults.stats.lost_in_crash += 1;
+            self.trace.emit(|| {
+                TraceEvent::Comm(CommCounters {
+                    sent: 1,
+                    wasted: 1,
+                    bytes: fact_bytes(&fact),
+                    ..CommCounters::default()
+                })
+            });
             self.faults.schedule_retrans(from, dest, fact, attempts);
             return;
         }
-        match self.faults.fate() {
+        let fate = self.faults.fate();
+        self.trace.emit(|| {
+            let bytes = fact_bytes(&fact);
+            TraceEvent::Comm(match fate {
+                MessageFate::Deliver => CommCounters {
+                    sent: 1,
+                    bytes,
+                    ..CommCounters::default()
+                },
+                MessageFate::Drop => CommCounters {
+                    sent: 1,
+                    dropped: 1,
+                    bytes,
+                    ..CommCounters::default()
+                },
+                MessageFate::Duplicate => CommCounters {
+                    sent: 2,
+                    duplicated: 1,
+                    bytes: 2 * bytes,
+                    ..CommCounters::default()
+                },
+                MessageFate::Delay(_) => CommCounters {
+                    sent: 1,
+                    delayed: 1,
+                    bytes,
+                    ..CommCounters::default()
+                },
+            })
+        });
+        match fate {
             MessageFate::Deliver => self.enqueue(dest, from, fact),
             MessageFate::Drop => {
                 self.faults.stats.dropped += 1;
@@ -245,6 +309,12 @@ impl SimRun {
             None => self.buffers[dest].push((from, fact)),
             Some(pos) => {
                 self.faults.stats.reordered += 1;
+                self.trace.emit(|| {
+                    TraceEvent::Comm(CommCounters {
+                        reordered: 1,
+                        ..CommCounters::default()
+                    })
+                });
                 self.buffers[dest].insert(pos, (from, fact));
             }
         }
@@ -254,6 +324,7 @@ impl SimRun {
     /// copies. Called before every delivery choice and at drain
     /// boundaries.
     fn pump<P: TransducerProgram + ?Sized>(&mut self, program: &P) {
+        let clock = self.faults.clock as f64;
         for (idx, event) in self.faults.due_crashes() {
             self.faults.apply_crash(idx, event);
             // In-flight copies touching the crashed node are lost: its
@@ -266,6 +337,25 @@ impl SimRun {
                 lost += before - buf.len();
             }
             self.faults.stats.lost_in_crash += lost;
+            if lost > 0 {
+                // In-flight copies destroyed by the crash never reach
+                // `send_copy` again — book their waste here so the sink
+                // agrees with the injector's `lost_in_crash` tally.
+                self.trace.emit(|| {
+                    TraceEvent::Comm(CommCounters {
+                        wasted: lost as u64,
+                        ..CommCounters::default()
+                    })
+                });
+            }
+            self.trace.emit(|| {
+                TraceEvent::Fault(FaultEvent {
+                    vclock: clock,
+                    kind: FaultEventKind::Crash,
+                    node,
+                    info: lost as u64,
+                })
+            });
         }
         let recoveries = self.faults.due_recoveries();
         for node in recoveries {
@@ -274,13 +364,32 @@ impl SimRun {
             // rebroadcasts the node's own data.
             self.faults.health[node] = Health::Up;
             self.faults.stats.recoveries += 1;
+            self.trace.emit(|| {
+                TraceEvent::Fault(FaultEvent {
+                    vclock: clock,
+                    kind: FaultEventKind::Recovery,
+                    node,
+                    info: 0,
+                })
+            });
             self.nodes[node] = NodeState::new(node, self.shards[node].clone());
             self.sent[node].clear();
             let ctx = self.ctx.clone();
             let out = program.init(&mut self.nodes[node], &ctx);
             self.broadcast(node, out);
         }
-        for parked in self.faults.take_due() {
+        let retrans_before = self.faults.stats.retransmissions;
+        let due = self.faults.take_due();
+        let retrans = self.faults.stats.retransmissions - retrans_before;
+        if retrans > 0 {
+            self.trace.emit(|| {
+                TraceEvent::Comm(CommCounters {
+                    retransmitted: retrans as u64,
+                    ..CommCounters::default()
+                })
+            });
+        }
+        for parked in due {
             self.send_copy(parked.from, parked.dest, parked.msg, parked.attempts);
         }
     }
@@ -354,9 +463,17 @@ impl SimRun {
         let (from, fact) = self.buffers[node].remove(msg_idx);
         self.delivered += 1;
         self.faults.clock += 1;
-        if self.faults.reliable().is_some() {
+        let acked = self.faults.reliable().is_some();
+        if acked {
             self.faults.stats.acks += 1; // receiver acknowledges
         }
+        self.trace.emit(|| {
+            TraceEvent::Comm(CommCounters {
+                delivered: 1,
+                acks: acked as u64,
+                ..CommCounters::default()
+            })
+        });
         let ctx = self.ctx.clone();
         let out = program.on_fact(&mut self.nodes[node], from, &fact, &ctx);
         self.broadcast(node, out);
