@@ -7,12 +7,15 @@
 //! `datalog_ablation` quantifies against the naive fixpoint.
 
 use crate::program::{Program, ProgramError, ADOM};
-use parlog_relal::eval::{satisfying_valuations_indexed, Indexed};
+use parlog_relal::atom::Var;
+use parlog_relal::eval::{satisfying_valuations_indexed, EvalStrategy, Indexed};
 use parlog_relal::fact::Fact;
-use parlog_relal::fastmap::fxset;
+use parlog_relal::fastmap::{fxset, FxMap};
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
 use parlog_relal::symbols::{rel, RelId};
+use parlog_relal::trie::{satisfying_valuations_wcoj_ordered, wcoj_variable_order};
+use parlog_relal::valuation::Valuation;
 
 /// Add the built-in `ADom` facts: one per active-domain value of the EDB
 /// plus every constant in the program.
@@ -42,9 +45,48 @@ fn cleanup(db: &mut Instance, extra: &[RelId]) {
     }
 }
 
+/// The satisfying valuations of one rule under `strategy`. `prefix` is
+/// the delta-outermost hint for the Wcoj path: the variables of the
+/// rewritten delta atom become the outermost trie levels, so the
+/// leapfrog enumerates the (small) delta first and the rest of the body
+/// only under its bindings — the trie-side analogue of semi-naive's
+/// "start from the new facts".
+fn rule_valuations(
+    r: &ConjunctiveQuery,
+    db: &Instance,
+    index: Option<&Indexed<'_>>,
+    strategy: EvalStrategy,
+    prefix: &[Var],
+) -> Vec<Valuation> {
+    match strategy.resolve(r) {
+        EvalStrategy::Wcoj => {
+            let order = wcoj_variable_order(r, prefix);
+            satisfying_valuations_wcoj_ordered(r, db, &order)
+        }
+        // `Naive` has no valuation-level entry point distinct from the
+        // backtracker; the fixpoint loop needs valuations, and the
+        // indexed backtracker is the same semantics (the differential
+        // property tests pin all three evaluators together).
+        _ => satisfying_valuations_indexed(r, db, index.expect("index built for this stratum")),
+    }
+}
+
 /// Evaluate `p` on `edb` with stratified semi-naive evaluation. The result
 /// contains the EDB and all derived IDB facts.
 pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramError> {
+    eval_program_with(p, edb, EvalStrategy::Indexed)
+}
+
+/// [`eval_program`] with an explicit local-join [`EvalStrategy`]: the
+/// strategy is resolved per rule (and per delta rewrite, for `Auto`);
+/// the Wcoj path evaluates each delta variant with the delta atom's
+/// variables as the outermost trie levels. All strategies produce the
+/// same fixpoint.
+pub fn eval_program_with(
+    p: &Program,
+    edb: &Instance,
+    strategy: EvalStrategy,
+) -> Result<Instance, ProgramError> {
     let strat = p.stratify()?;
     let mut db = edb.clone();
     add_adom(&mut db, p);
@@ -58,7 +100,14 @@ pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramErro
             v.dedup();
             v
         };
-        let delta_of = |r: RelId| rel(&format!("Δ{r}"));
+        // Interning goes through a global `RwLock` (plus a `format!` per
+        // call) — fine at stratum setup, poison in the per-fact publish
+        // loop below. Resolve each recursive relation's delta id once.
+        let delta_ids: FxMap<RelId, RelId> = recursive
+            .iter()
+            .map(|&r| (r, rel(&format!("Δ{r}"))))
+            .collect();
+        let delta_of = |r: RelId| delta_ids[&r];
         for &r in &recursive {
             let d = delta_of(r);
             if !delta_rels.contains(&d) {
@@ -80,8 +129,9 @@ pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramErro
         };
 
         // The delta variants of each rule, precomputed once per stratum
-        // (one rewrite per recursive body atom).
-        let variants: Vec<ConjunctiveQuery> = rules
+        // (one rewrite per recursive body atom), each with its delta
+        // atom's variables — the Wcoj outermost-level hint.
+        let variants: Vec<(ConjunctiveQuery, Vec<Var>)> = rules
             .iter()
             .flat_map(|r| {
                 r.body.iter().enumerate().filter_map(|(j, atom)| {
@@ -90,7 +140,8 @@ pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramErro
                     }
                     let mut variant = (*r).clone();
                     variant.body[j].rel = delta_of(atom.rel);
-                    Some(variant)
+                    let prefix = variant.body[j].variables();
+                    Some((variant, prefix))
                 })
             })
             .collect();
@@ -100,12 +151,19 @@ pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramErro
         // borrows the database), which is fixpoint-safe: a derivation that
         // would have used a same-pass fact fires in the next iteration via
         // that fact's delta, and negation only sees lower strata.
+        // The delta rewrite only renames a body relation, so a variant
+        // resolves (acyclicity, `Auto`) exactly like its source rule —
+        // one check decides whether any pass needs the hash index.
+        let needs_index = rules
+            .iter()
+            .any(|r| strategy.resolve(r) != EvalStrategy::Wcoj);
+
         let mut delta: Vec<Fact> = Vec::new();
         {
             let mut pending = fxset();
-            let index = Indexed::build(&db, &body_rels);
+            let index = needs_index.then(|| Indexed::build(&db, &body_rels));
             for r in &rules {
-                for v in satisfying_valuations_indexed(r, &db, &index) {
+                for v in rule_valuations(r, &db, index.as_ref(), strategy, &[]) {
                     let f = v.derived_fact(r);
                     if !db.contains(&f) && pending.insert(f.clone()) {
                         delta.push(f);
@@ -130,9 +188,9 @@ pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramErro
             let mut next: Vec<Fact> = Vec::new();
             {
                 let mut pending = fxset();
-                let index = Indexed::build(&db, &body_rels);
-                for variant in &variants {
-                    for v in satisfying_valuations_indexed(variant, &db, &index) {
+                let index = needs_index.then(|| Indexed::build(&db, &body_rels));
+                for (variant, prefix) in &variants {
+                    for v in rule_valuations(variant, &db, index.as_ref(), strategy, prefix) {
                         let f = v.derived_fact(variant);
                         if !db.contains(&f) && pending.insert(f.clone()) {
                             next.push(f);
@@ -335,6 +393,59 @@ mod tests {
         assert!(out.contains(&fact("Even", &[4])));
         assert!(out.contains(&fact("Odd", &[5])));
         assert!(!out.contains(&fact("Even", &[5])));
+    }
+
+    #[test]
+    fn strategies_agree_on_transitive_closure() {
+        let p = parse_program("TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), TC(z,y)").unwrap();
+        let mut db = chain(6);
+        db.insert(fact("E", &[6, 2])); // cycle
+        let reference = eval_program(&p, &db).unwrap();
+        for s in [
+            EvalStrategy::Indexed,
+            EvalStrategy::Wcoj,
+            EvalStrategy::Auto,
+        ] {
+            assert_eq!(eval_program_with(&p, &db, s).unwrap(), reference, "{s:?}");
+        }
+        assert_eq!(eval_program_naive(&p, &db).unwrap(), reference);
+    }
+
+    #[test]
+    fn strategies_agree_on_self_join_rule() {
+        // Self-joins were a latent-bug site for the shared index (PR 3);
+        // pin the Wcoj path on them too, including a repeated variable.
+        let p = parse_program(
+            "P(x,z) <- E(x,y), E(y,z), E(x,x)
+             P(x,z) <- P(x,y), P(y,z)",
+        )
+        .unwrap();
+        let db = Instance::from_facts([
+            fact("E", &[1, 1]),
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[3, 3]),
+            fact("E", &[3, 1]),
+        ]);
+        let reference = eval_program(&p, &db).unwrap();
+        for s in [EvalStrategy::Wcoj, EvalStrategy::Auto] {
+            assert_eq!(eval_program_with(&p, &db, s).unwrap(), reference, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_under_stratified_negation() {
+        let p = parse_program(
+            "TC(x,y) <- E(x,y)
+             TC(x,y) <- TC(x,z), TC(z,y)
+             OUT(x,y) <- ADom(x), ADom(y), not TC(x,y)",
+        )
+        .unwrap();
+        let db = chain(3);
+        let reference = eval_program(&p, &db).unwrap();
+        for s in [EvalStrategy::Wcoj, EvalStrategy::Auto] {
+            assert_eq!(eval_program_with(&p, &db, s).unwrap(), reference, "{s:?}");
+        }
     }
 
     #[test]

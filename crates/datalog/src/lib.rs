@@ -47,13 +47,13 @@ pub mod invention;
 pub mod program;
 pub mod wellfounded;
 
-pub use eval::{eval_program, eval_program_naive};
+pub use eval::{eval_program, eval_program_naive, eval_program_with};
 pub use program::{Program, ProgramError, Stratification};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::analysis::{is_connected, is_semi_connected, is_semi_positive};
-    pub use crate::eval::{eval_program, eval_program_naive};
+    pub use crate::eval::{eval_program, eval_program_naive, eval_program_with};
     pub use crate::invention::{InventionProgram, InventionRule};
     pub use crate::program::{parse_program, Program, Stratification};
     pub use crate::wellfounded::{well_founded, TruthValue, WellFoundedModel};

@@ -12,7 +12,7 @@
 use crate::cluster::Cluster;
 use crate::partition::{seed_cluster, HashPartitioner, InitialPartition};
 use crate::report::RunReport;
-use parlog_relal::eval::eval_query;
+use parlog_relal::eval::EvalStrategy;
 use parlog_relal::fact::Fact;
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
@@ -24,6 +24,8 @@ pub struct GroupedJoin {
     /// Number of groups per relation (`g`); `g²` servers are used.
     pub groups: usize,
     hasher: HashPartitioner,
+    /// Local-join strategy for the computation phase (default `Auto`).
+    strategy: EvalStrategy,
 }
 
 impl GroupedJoin {
@@ -35,7 +37,14 @@ impl GroupedJoin {
             query: q.clone(),
             groups,
             hasher: HashPartitioner::new(seed, groups),
+            strategy: EvalStrategy::Auto,
         }
+    }
+
+    /// Override the computation-phase [`EvalStrategy`] (default `Auto`).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> GroupedJoin {
+        self.strategy = strategy;
+        self
     }
 
     /// The group of a fact: a hash of its entire tuple.
@@ -69,8 +78,7 @@ impl GroupedJoin {
         let mut cluster = Cluster::new(self.groups * self.groups);
         seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
         cluster.communicate(|f| self.destinations(f));
-        let q = self.query.clone();
-        cluster.compute(|local| eval_query(&q, local));
+        cluster.compute_query(&self.query, self.strategy);
         RunReport::from_cluster("grouped-join", &cluster, db.len())
     }
 }

@@ -23,7 +23,7 @@ use crate::partition::{seed_cluster, InitialPartition};
 use crate::report::RunReport;
 use crate::shares::Shares;
 use parlog_relal::atom::Atom;
-use parlog_relal::eval::eval_query;
+use parlog_relal::eval::{eval_query_with, EvalStrategy};
 use parlog_relal::hypergraph::{tree_decomposition, TreeDecomposition};
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
@@ -36,6 +36,8 @@ pub struct Gym {
     td: TreeDecomposition,
     p: usize,
     seed: u64,
+    /// Local-join strategy for the per-bag computation (default `Auto`).
+    strategy: EvalStrategy,
 }
 
 impl Gym {
@@ -49,7 +51,14 @@ impl Gym {
             td,
             p,
             seed,
+            strategy: EvalStrategy::Auto,
         }
+    }
+
+    /// Override the per-bag computation [`EvalStrategy`] (default `Auto`).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Gym {
+        self.strategy = strategy;
+        self
     }
 
     /// The decomposition in use (its width and depth drive the trade-offs
@@ -132,10 +141,11 @@ impl Gym {
 
         // Local bag evaluation: a server in block b evaluates bag b's query.
         let bq = bag_queries.clone();
+        let strategy = self.strategy;
         cluster.compute_per_server(|s, local| {
             let b = (s / block).min(nbags - 1);
             // Servers beyond the addressed sub-grid may hold nothing.
-            eval_query(&bq[b], local)
+            eval_query_with(&bq[b], local, strategy)
         });
 
         // Yannakakis over the bag tree.
@@ -166,6 +176,7 @@ impl Gym {
 mod tests {
     use super::*;
     use crate::datagen;
+    use parlog_relal::eval::eval_query;
     use parlog_relal::parser::parse_query;
 
     #[test]

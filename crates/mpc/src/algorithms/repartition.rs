@@ -13,7 +13,7 @@ use crate::cluster::Cluster;
 use crate::partition::{seed_cluster, HashPartitioner, InitialPartition};
 use crate::report::RunReport;
 use parlog_relal::atom::{Atom, Term, Var};
-use parlog_relal::eval::eval_query;
+use parlog_relal::eval::EvalStrategy;
 use parlog_relal::fact::{Fact, Val};
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
@@ -24,6 +24,8 @@ pub struct RepartitionJoin {
     query: ConjunctiveQuery,
     join_vars: Vec<Var>,
     hasher: HashPartitioner,
+    /// Local-join strategy for the computation phase (default `Auto`).
+    strategy: EvalStrategy,
 }
 
 impl RepartitionJoin {
@@ -49,7 +51,14 @@ impl RepartitionJoin {
             query: q.clone(),
             join_vars,
             hasher: HashPartitioner::new(seed, p),
+            strategy: EvalStrategy::Auto,
         }
+    }
+
+    /// Override the computation-phase [`EvalStrategy`] (default `Auto`).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> RepartitionJoin {
+        self.strategy = strategy;
+        self
     }
 
     /// The values a fact binds for the join variables via `atom`, if it
@@ -89,8 +98,7 @@ impl RepartitionJoin {
         let mut cluster = Cluster::new(self.hasher.buckets);
         seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
         cluster.communicate(|f| self.destinations(f));
-        let q = self.query.clone();
-        cluster.compute(|local| eval_query(&q, local));
+        cluster.compute_query(&self.query, self.strategy);
         RunReport::from_cluster("repartition-join", &cluster, db.len())
     }
 }

@@ -52,6 +52,7 @@
 //! [`SpeculationStats`] waste accounting.
 
 use parlog_faults::{MpcFaultPlan, SpeculationPolicy};
+use parlog_relal::eval::{eval_query_with, EvalStrategy};
 use parlog_relal::fact::Fact;
 use parlog_relal::instance::Instance;
 use parlog_trace::{
@@ -724,6 +725,20 @@ impl Cluster {
         F: Fn(&Instance) -> Instance + Sync,
     {
         self.run_compute(|_, inst| f(inst), true);
+    }
+
+    /// Computation phase evaluating one conjunctive query on every
+    /// server's local instance with the chosen local-join strategy —
+    /// the standard "local evaluation after routing" step of HyperCube
+    /// and the repartition joins. All strategies produce byte-identical
+    /// results at every `with_parallelism` thread count.
+    pub fn compute_query(
+        &mut self,
+        q: &parlog_relal::query::ConjunctiveQuery,
+        strategy: EvalStrategy,
+    ) {
+        let q = q.clone();
+        self.compute(move |local| eval_query_with(&q, local, strategy));
     }
 }
 

@@ -16,7 +16,7 @@ use crate::partition::{seed_cluster, HashPartitioner, InitialPartition};
 use crate::report::RunReport;
 use crate::shares::Shares;
 use parlog_relal::atom::{Atom, Term};
-use parlog_relal::eval::eval_query;
+use parlog_relal::eval::EvalStrategy;
 use parlog_relal::fact::Fact;
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
@@ -30,6 +30,11 @@ pub struct HypercubeAlgorithm {
     shares: Shares,
     /// Per-variable hash functions `h_c` (independent via distinct seeds).
     hashers: Vec<HashPartitioner>,
+    /// Local-join strategy for the computation phase. `Auto` (default)
+    /// runs worst-case-optimal LeapFrog TrieJoin on cyclic queries and
+    /// the hash-indexed backtracker on acyclic ones; the output is
+    /// byte-identical either way.
+    strategy: EvalStrategy,
 }
 
 impl HypercubeAlgorithm {
@@ -51,7 +56,19 @@ impl HypercubeAlgorithm {
             query: q.clone(),
             shares,
             hashers,
+            strategy: EvalStrategy::Auto,
         }
+    }
+
+    /// Override the computation-phase [`EvalStrategy`] (default `Auto`).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> HypercubeAlgorithm {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The computation-phase strategy in use.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.strategy
     }
 
     /// The shares in use.
@@ -150,8 +167,7 @@ impl HypercubeAlgorithm {
             .with_trace(trace.clone());
         seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
         cluster.communicate(|f| self.destinations(f));
-        let q = self.query.clone();
-        cluster.compute(|local| eval_query(&q, local));
+        cluster.compute_query(&self.query, self.strategy);
         RunReport::from_cluster("hypercube", &cluster, db.len())
     }
 }

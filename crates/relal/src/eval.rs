@@ -13,10 +13,58 @@
 use crate::atom::{Atom, Term};
 use crate::fact::{Fact, Val};
 use crate::fastmap::{fxmap, FxMap};
+use crate::hypergraph::is_acyclic;
 use crate::instance::Instance;
 use crate::query::{ConjunctiveQuery, UnionQuery};
 use crate::symbols::RelId;
+use crate::trie::satisfying_valuations_wcoj;
 use crate::valuation::Valuation;
+
+/// Which local join algorithm evaluates a conjunctive query.
+///
+/// All strategies compute the same output set — the valuation semantics
+/// of Section 2 — and the differential property tests enforce it. They
+/// differ only in asymptotics:
+///
+/// * [`EvalStrategy::Naive`] — enumerate every total valuation over the
+///   active domain (`O(|adom|^{vars})`). Reference implementation.
+/// * [`EvalStrategy::Indexed`] — backtracking binary-style join with
+///   per-(relation, position) hash indices. `Ω(m²)` on cyclic queries'
+///   hard instances.
+/// * [`EvalStrategy::Wcoj`] — LeapFrog TrieJoin over sorted columnar
+///   tries ([`crate::trie`]): worst-case optimal, `Õ(m^{ρ*})` with `ρ*`
+///   the fractional edge cover (the AGM bound).
+/// * [`EvalStrategy::Auto`] — [`EvalStrategy::Wcoj`] for cyclic queries,
+///   [`EvalStrategy::Indexed`] for acyclic ones (where binary joins are
+///   already near-optimal and skip the trie build).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub enum EvalStrategy {
+    /// Exhaustive valuation enumeration (tests/reference only).
+    Naive,
+    /// Hash-indexed backtracking join.
+    Indexed,
+    /// Worst-case-optimal LeapFrog TrieJoin.
+    Wcoj,
+    /// `Wcoj` when the query hypergraph is cyclic, else `Indexed`.
+    #[default]
+    Auto,
+}
+
+impl EvalStrategy {
+    /// Resolve `Auto` against a concrete query.
+    pub fn resolve(self, q: &ConjunctiveQuery) -> EvalStrategy {
+        match self {
+            EvalStrategy::Auto => {
+                if is_acyclic(q) {
+                    EvalStrategy::Indexed
+                } else {
+                    EvalStrategy::Wcoj
+                }
+            }
+            s => s,
+        }
+    }
+}
 
 /// Per-relation fact store with positional value indices.
 ///
@@ -74,10 +122,15 @@ impl<'a> Indexed<'a> {
     /// if some position is bound, use the positional index, else scan all.
     /// A bound value with *no* index entry proves there is no matching
     /// fact, so the candidate set is empty — never a full relation scan.
-    pub fn candidates(&self, atom: &Atom, val: &Valuation) -> Vec<&'a Fact> {
+    ///
+    /// Allocation-free: the returned [`Candidates`] iterator walks the
+    /// index entry (or the fact slice) in place. The evaluator calls this
+    /// once per atom × valuation extension, so a fresh `Vec` here used to
+    /// dominate the join's allocation profile.
+    pub fn candidate_iter<'s>(&'s self, atom: &Atom, val: &Valuation) -> Candidates<'s, 'a> {
         let all = match self.facts.get(&atom.rel) {
             Some(fs) => fs,
-            None => return Vec::new(),
+            None => return Candidates::Empty,
         };
         // Find the most selective bound position.
         let mut best: Option<&Vec<usize>> = None;
@@ -89,13 +142,60 @@ impl<'a> Indexed<'a> {
                             best = Some(ix);
                         }
                     }
-                    None => return Vec::new(), // bound value absent entirely
+                    None => return Candidates::Empty, // bound value absent entirely
                 }
             }
         }
         match best {
-            Some(ix) => ix.iter().map(|&i| all[i]).collect(),
-            None => all.clone(),
+            Some(ix) => Candidates::ByIndex {
+                indices: ix.iter(),
+                facts: all,
+            },
+            None => Candidates::All(all.iter()),
+        }
+    }
+
+    /// [`Indexed::candidate_iter`], collected. Kept for callers that want
+    /// an owned list; the evaluator itself iterates without allocating.
+    pub fn candidates(&self, atom: &Atom, val: &Valuation) -> Vec<&'a Fact> {
+        self.candidate_iter(atom, val).collect()
+    }
+}
+
+/// Iterator over the candidate facts of one atom under a partial
+/// valuation (see [`Indexed::candidate_iter`]). A named type rather than
+/// `impl Iterator` so the borrow of the index (`'s`) and of the instance
+/// (`'a`) stay independent.
+pub enum Candidates<'s, 'a> {
+    /// Provably no matching fact.
+    Empty,
+    /// Walk one positional-index entry.
+    ByIndex {
+        /// Positions into `facts`.
+        indices: std::slice::Iter<'s, usize>,
+        /// The relation's fact slice.
+        facts: &'s [&'a Fact],
+    },
+    /// No position bound: scan the whole relation.
+    All(std::slice::Iter<'s, &'a Fact>),
+}
+
+impl<'a> Iterator for Candidates<'_, 'a> {
+    type Item = &'a Fact;
+
+    fn next(&mut self) -> Option<&'a Fact> {
+        match self {
+            Candidates::Empty => None,
+            Candidates::ByIndex { indices, facts } => indices.next().map(|&i| facts[i]),
+            Candidates::All(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Candidates::Empty => (0, Some(0)),
+            Candidates::ByIndex { indices, .. } => indices.size_hint(),
+            Candidates::All(it) => it.size_hint(),
         }
     }
 }
@@ -232,7 +332,8 @@ pub fn satisfying_valuations_indexed(
             return;
         }
         let atom = &q.body[order[depth]];
-        for f in index.candidates(atom, val) {
+        for f in index.candidate_iter(atom, val) {
+            crate::opcount::bump();
             if let Some(newly) = unify(atom, f, val) {
                 if inequalities_ok_so_far(q, val) {
                     recurse(q, order, depth + 1, index, instance, val, out);
@@ -265,19 +366,68 @@ pub fn eval_query_indexed(
     )
 }
 
+/// [`eval_query`] with the worst-case-optimal LeapFrog TrieJoin
+/// evaluator (see [`crate::trie`]): `Õ(m^{ρ*})` local time, matching the
+/// AGM bound, versus `Ω(m²)` for the binary-join backtracker on cyclic
+/// queries' hard instances.
+pub fn eval_query_wcoj(q: &ConjunctiveQuery, instance: &Instance) -> Instance {
+    Instance::from_facts(
+        satisfying_valuations_wcoj(q, instance)
+            .iter()
+            .map(|v| v.derived_fact(q)),
+    )
+}
+
+/// Evaluate `q` with an explicit [`EvalStrategy`]. All strategies return
+/// the same instance; `Auto` resolves per query (Wcoj iff cyclic).
+pub fn eval_query_with(
+    q: &ConjunctiveQuery,
+    instance: &Instance,
+    strategy: EvalStrategy,
+) -> Instance {
+    match strategy.resolve(q) {
+        EvalStrategy::Naive => eval_query_naive(q, instance),
+        EvalStrategy::Indexed => eval_query(q, instance),
+        EvalStrategy::Wcoj => eval_query_wcoj(q, instance),
+        EvalStrategy::Auto => unreachable!("resolve() eliminates Auto"),
+    }
+}
+
 /// Evaluate a union of conjunctive queries: the union of the disjuncts'
 /// results. One positional index is built over the union of the body
 /// relations and shared by every disjunct.
 pub fn eval_union(u: &UnionQuery, instance: &Instance) -> Instance {
-    let rels: Vec<RelId> = u
+    eval_union_with(u, instance, EvalStrategy::Indexed)
+}
+
+/// [`eval_union`] with an explicit [`EvalStrategy`], resolved per
+/// disjunct for `Auto`. The `Indexed` path shares one positional index
+/// across disjuncts; the `Wcoj` path shares the instance's trie cache
+/// the same way (tries persist across disjuncts until the next insert).
+pub fn eval_union_with(u: &UnionQuery, instance: &Instance, strategy: EvalStrategy) -> Instance {
+    let needs_index = u
         .disjuncts
         .iter()
-        .flat_map(|d| d.body.iter().map(|a| a.rel))
-        .collect();
-    let index = Indexed::build(instance, &rels);
+        .any(|d| strategy.resolve(d) == EvalStrategy::Indexed);
+    let index = needs_index.then(|| {
+        let rels: Vec<RelId> = u
+            .disjuncts
+            .iter()
+            .flat_map(|d| d.body.iter().map(|a| a.rel))
+            .collect();
+        Indexed::build(instance, &rels)
+    });
     let mut out = Instance::new();
     for d in &u.disjuncts {
-        out.extend_from(&eval_query_indexed(d, instance, &index));
+        let part = match strategy.resolve(d) {
+            EvalStrategy::Naive => eval_query_naive(d, instance),
+            EvalStrategy::Indexed => {
+                eval_query_indexed(d, instance, index.as_ref().expect("index built"))
+            }
+            EvalStrategy::Wcoj => eval_query_wcoj(d, instance),
+            EvalStrategy::Auto => unreachable!("resolve() eliminates Auto"),
+        };
+        out.extend_from(&part);
     }
     out
 }
@@ -465,6 +615,44 @@ mod tests {
         assert!(index.candidates(atom, &val).is_empty());
         // Sanity: unbound valuation still enumerates everything.
         assert_eq!(index.candidates(atom, &Valuation::new()).len(), 100);
+    }
+
+    #[test]
+    fn candidate_iter_streams_exactly_what_candidates_collects() {
+        // Regression for the hot-loop allocation fix: the recursion now
+        // consumes `candidate_iter` directly instead of a fresh
+        // `Vec<&Fact>` per step. The iterator must yield the same facts in
+        // the same order as the collected form in all three regimes —
+        // unbound (full scan), bound-present (positional index), and
+        // bound-absent (provably empty).
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let i = Instance::from_facts(
+            (0..50u64)
+                .map(|k| fact("R", &[k % 7, k]))
+                .chain((0..30u64).map(|k| fact("S", &[k, k % 5]))),
+        );
+        let index = Indexed::for_query(&q, &i);
+        let atom = &q.body[0];
+        let x = atom.variables()[0].clone();
+        let cases = [
+            None,                          // unbound: full-relation scan
+            Some(crate::fact::Val(3)),     // bound, value present
+            Some(crate::fact::Val(9_999)), // bound, value absent
+        ];
+        for bound in cases {
+            let mut val = Valuation::new();
+            if let Some(v) = bound {
+                val.bind(x.clone(), v);
+            }
+            let collected = index.candidates(atom, &val);
+            let streamed: Vec<&Fact> = index.candidate_iter(atom, &val).collect();
+            assert_eq!(streamed, collected, "bound = {bound:?}");
+            // The size hint is exact in every regime — downstream code may
+            // rely on it for preallocation.
+            let (lo, hi) = index.candidate_iter(atom, &val).size_hint();
+            assert_eq!(lo, collected.len(), "bound = {bound:?}");
+            assert_eq!(hi, Some(collected.len()), "bound = {bound:?}");
+        }
     }
 
     #[test]

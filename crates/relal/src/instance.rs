@@ -9,13 +9,31 @@
 use crate::fact::{Fact, Val};
 use crate::fastmap::{fxmap, fxset, FxMap, FxSet};
 use crate::symbols::RelId;
+use crate::trie::TrieRel;
 use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// The per-epoch trie cache: `(relation, column permutation) → trie`.
+type TrieCache = FxMap<(RelId, Vec<usize>), Arc<TrieRel>>;
 
 /// A finite set of facts, indexed by relation for efficient evaluation.
-#[derive(Clone, Default, serde::Serialize, serde::Deserialize)]
+///
+/// Alongside the hash-set storage, the instance lazily builds and caches
+/// sorted columnar tries ([`TrieRel`], one per `(relation, column
+/// permutation)`) for the worst-case-optimal evaluator
+/// ([`crate::eval::eval_query_wcoj`]). The cache is keyed by an **epoch**
+/// that every successful mutation bumps, so tries are built once per
+/// epoch and never observe stale facts. The cache is invisible to
+/// equality, serialization and cloning.
+#[derive(Default)]
 pub struct Instance {
     by_rel: FxMap<RelId, FxSet<Fact>>,
     len: usize,
+    /// Bumped on every *successful* insert/remove (duplicate inserts and
+    /// absent removes leave it unchanged, like `len`).
+    epoch: u64,
+    /// Cached tries for the current epoch.
+    tries: Mutex<TrieCache>,
 }
 
 impl Instance {
@@ -38,6 +56,7 @@ impl Instance {
         let fresh = self.by_rel.entry(f.rel).or_default().insert(f);
         if fresh {
             self.len += 1;
+            self.invalidate_tries();
         }
         fresh
     }
@@ -51,8 +70,41 @@ impl Instance {
             .unwrap_or(false);
         if removed {
             self.len -= 1;
+            self.invalidate_tries();
         }
         removed
+    }
+
+    /// The mutation epoch: bumped exactly when the fact set changes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drop every cached trie and bump the epoch (`&mut self`, so no
+    /// other thread can hold the lock — `get_mut` never blocks).
+    fn invalidate_tries(&mut self) {
+        self.epoch += 1;
+        let tries = self.tries.get_mut().expect("trie cache lock poisoned");
+        if !tries.is_empty() {
+            tries.clear();
+        }
+    }
+
+    /// The sorted columnar trie of `rel` under the column permutation
+    /// `perm`, built on first use and cached until the next mutation.
+    pub fn trie(&self, rel: RelId, perm: &[usize]) -> Arc<TrieRel> {
+        let mut cache = self.tries.lock().expect("trie cache lock poisoned");
+        if let Some(t) = cache.get(&(rel, perm.to_vec())) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(TrieRel::build(self, rel, perm));
+        cache.insert((rel, perm.to_vec()), Arc::clone(&t));
+        t
+    }
+
+    /// Number of tries currently cached (test/diagnostic hook).
+    pub fn cached_tries(&self) -> usize {
+        self.tries.lock().expect("trie cache lock poisoned").len()
     }
 
     /// Does the instance contain the fact?
@@ -220,6 +272,31 @@ impl Instance {
         v
     }
 }
+
+/// Clones carry the facts and the epoch but start with an empty trie
+/// cache (tries are rebuilt on demand; sharing them across clones would
+/// tie the clones' mutation bookkeeping together for no benefit).
+impl Clone for Instance {
+    fn clone(&self) -> Instance {
+        Instance {
+            by_rel: self.by_rel.clone(),
+            len: self.len,
+            epoch: self.epoch,
+            tries: Mutex::new(fxmap()),
+        }
+    }
+}
+
+/// Serialized as the sorted fact list — deterministic (hash-map iteration
+/// order never leaks) and oblivious to the trie cache and epoch, which
+/// are process-local bookkeeping.
+impl serde::Serialize for Instance {
+    fn json(&self, out: &mut String) {
+        self.sorted_facts().json(out);
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Instance {}
 
 impl PartialEq for Instance {
     fn eq(&self, other: &Instance) -> bool {

@@ -63,12 +63,14 @@ pub mod fastmap;
 pub mod hypergraph;
 pub mod instance;
 pub mod minimal;
+pub mod opcount;
 pub mod packing;
 pub mod parser;
 pub mod policy;
 pub mod query;
 pub mod simplex;
 pub mod symbols;
+pub mod trie;
 pub mod valuation;
 
 pub use atom::{Atom, Term, Var};
@@ -82,7 +84,10 @@ pub use valuation::Valuation;
 pub mod prelude {
     pub use crate::atom::{Atom, Term, Var};
     pub use crate::containment::{contains, equivalent, homomorphism};
-    pub use crate::eval::{eval_query, eval_union, satisfying_valuations};
+    pub use crate::eval::{
+        eval_query, eval_query_with, eval_union, eval_union_with, satisfying_valuations,
+        EvalStrategy,
+    };
     pub use crate::fact::{fact, fact_syms, Fact, Val};
     pub use crate::instance::Instance;
     pub use crate::minimal::{minimal_valuations, minimal_valuations_over};

@@ -1,0 +1,631 @@
+//! Sorted columnar tries and the LeapFrog TrieJoin evaluator.
+//!
+//! The survey's one-round HyperCube analysis (Section 3.1) bounds
+//! *communication* by the fractional edge packing `τ*`; the *local
+//! computation* each server performs afterwards is bounded — when done
+//! right — by the AGM inequality `|Q(I)| ≤ m^{ρ*}` with `ρ*` the
+//! fractional edge **cover** (Atserias–Grohe–Marx). Worst-case-optimal
+//! join algorithms (Ngo–Porat–Ré–Rudra; Veldhuizen's LeapFrog TrieJoin)
+//! run in time `Õ(m^{ρ*})`, whereas any binary-join plan is `Ω(m²)` on
+//! the triangle query's hard instances even though `ρ* = 3/2`.
+//!
+//! This module provides the storage layer and evaluator:
+//!
+//! * [`TrieRel`] — one relation, stored as the sorted set of its tuples
+//!   under a fixed column permutation, column-major. A trie node at depth
+//!   `d` is a contiguous row range `[lo, hi)`; its children are the
+//!   distinct values of column `d` within that range, found by galloping
+//!   / binary-search [`TrieRel::seek_ge`]. Built once per
+//!   [`Instance`] epoch and cached (see [`Instance::trie`]).
+//! * [`wcoj_variable_order`] — a variable-elimination order over the
+//!   query hypergraph (highest atom-degree first, connectivity-greedy),
+//!   optionally forced to start with a caller-supplied prefix (the
+//!   Datalog semi-naive loop puts the delta atom's variables outermost).
+//! * [`satisfying_valuations_wcoj`] — the LeapFrog TrieJoin itself:
+//!   per-variable leapfrog intersection across all atoms containing the
+//!   variable, descending each atom's trie one level per variable (and
+//!   one extra level per repeated occurrence). Negated atoms are checked
+//!   at the leaves, inequalities as soon as both endpoints are bound —
+//!   exactly the contract of the backtracking evaluator in [`crate::eval`],
+//!   so the two agree fact-for-fact.
+
+use crate::atom::{Term, Var};
+use crate::fact::Val;
+use crate::instance::Instance;
+use crate::query::ConjunctiveQuery;
+use crate::valuation::Valuation;
+use std::sync::Arc;
+
+/// A relation stored as a sorted columnar trie for one column permutation.
+///
+/// `cols[d][i]` is the depth-`d` value of the `i`-th tuple in the sorted
+/// order; tuples are deduplicated, so for binary `R` under the identity
+/// permutation the rows are exactly the sorted distinct pairs of `R`.
+#[derive(Debug, Clone)]
+pub struct TrieRel {
+    /// `perm[d]` = the fact argument position stored at trie depth `d`.
+    pub perm: Vec<usize>,
+    /// Column-major tuple storage, aligned by row index.
+    cols: Vec<Vec<Val>>,
+    /// Number of stored (distinct, permuted) tuples.
+    rows: usize,
+}
+
+impl TrieRel {
+    /// Build the trie of `rel`'s facts in `instance` under `perm`. Facts
+    /// whose arity differs from `perm.len()` cannot match the atom the
+    /// permutation came from and are skipped.
+    pub fn build(instance: &Instance, rel: crate::symbols::RelId, perm: &[usize]) -> TrieRel {
+        let mut tuples: Vec<Vec<Val>> = instance
+            .relation(rel)
+            .filter(|f| f.args.len() == perm.len())
+            .map(|f| perm.iter().map(|&p| f.args[p]).collect())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        let rows = tuples.len();
+        let mut cols = vec![Vec::with_capacity(rows); perm.len()];
+        for t in &tuples {
+            for (d, &v) in t.iter().enumerate() {
+                cols[d].push(v);
+            }
+        }
+        TrieRel {
+            perm: perm.to_vec(),
+            cols,
+            rows,
+        }
+    }
+
+    /// Number of stored tuples.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of trie levels (the arity of the permutation).
+    pub fn depth(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// The value at `(depth, row)`.
+    #[inline]
+    pub fn value(&self, depth: usize, row: usize) -> Val {
+        self.cols[depth][row]
+    }
+
+    /// First row in `[lo, hi)` whose depth-`d` value is `≥ v`, or `hi`.
+    ///
+    /// Gallops from `lo` (the leapfrog cursor advances in small steps far
+    /// more often than it jumps), then binary-searches the bracketed run —
+    /// `O(log gap)` rather than `O(log (hi−lo))`.
+    pub fn seek_ge(&self, d: usize, lo: usize, hi: usize, v: Val) -> usize {
+        gallop(&self.cols[d], lo, hi, |x| x >= v)
+    }
+
+    /// First row in `[lo, hi)` whose depth-`d` value is `> v`, or `hi` —
+    /// i.e. the end of `v`'s run starting at `lo`.
+    pub fn seek_gt(&self, d: usize, lo: usize, hi: usize, v: Val) -> usize {
+        gallop(&self.cols[d], lo, hi, |x| x > v)
+    }
+
+    /// Narrow `[lo, hi)` at depth `d` to the rows whose value equals `v`
+    /// (possibly empty).
+    pub fn descend(&self, d: usize, lo: usize, hi: usize, v: Val) -> (usize, usize) {
+        let start = self.seek_ge(d, lo, hi, v);
+        if start == hi || self.cols[d][start] != v {
+            return (start, start);
+        }
+        (start, self.seek_gt(d, start, hi, v))
+    }
+}
+
+/// First index `i` in `[lo, hi)` with `pred(col[i])`, or `hi` — `pred`
+/// must be monotone over the sorted column. Exponential probe from `lo`
+/// followed by a binary search of the bracketed run: `O(log gap)`.
+fn gallop(col: &[Val], lo: usize, hi: usize, pred: impl Fn(Val) -> bool) -> usize {
+    crate::opcount::bump();
+    if lo >= hi || pred(col[lo]) {
+        return lo;
+    }
+    let mut step = 1usize;
+    let mut prev = lo; // invariant: !pred(col[prev])
+    let bracket = loop {
+        let probe = match prev.checked_add(step) {
+            Some(p) if p < hi => p,
+            _ => break hi,
+        };
+        if pred(col[probe]) {
+            break probe + 1;
+        }
+        prev = probe;
+        step <<= 1;
+    };
+    // Binary search (prev, bracket): first index satisfying pred.
+    prev + 1 + col[prev + 1..bracket].partition_point(|&x| !pred(x))
+}
+
+/// A variable-elimination order for LeapFrog TrieJoin, derived from the
+/// query hypergraph: variables of `prefix` first (in the given order, for
+/// delta-outermost Datalog evaluation), then greedily the remaining
+/// variable with (a) the most atoms already "touched" by placed variables
+/// and (b) the highest atom degree — keeping the intersection levels busy
+/// and the search space connected. Constants play no role (they are
+/// descended before any variable level).
+pub fn wcoj_variable_order(q: &ConjunctiveQuery, prefix: &[Var]) -> Vec<Var> {
+    let all = q.body_variables();
+    let mut order: Vec<Var> = prefix.iter().filter(|v| all.contains(v)).cloned().collect();
+    let atom_vars: Vec<Vec<Var>> = q.body.iter().map(|a| a.variables()).collect();
+    while order.len() < all.len() {
+        let best = all
+            .iter()
+            .filter(|v| !order.contains(v))
+            .max_by_key(|v| {
+                let touched = atom_vars
+                    .iter()
+                    .filter(|av| av.contains(v) && av.iter().any(|w| order.contains(w)))
+                    .count();
+                let degree = atom_vars.iter().filter(|av| av.contains(v)).count();
+                // Ties broken by *reverse* first-occurrence position so
+                // `max_by_key` (which keeps the last max) settles on the
+                // earliest variable — deterministic across runs.
+                let pos = all.iter().position(|w| w == *v).unwrap();
+                (touched, degree, usize::MAX - pos)
+            })
+            .cloned()
+            .expect("unplaced variable exists");
+        order.push(best);
+    }
+    order
+}
+
+/// The per-atom state of the LeapFrog TrieJoin: its cached trie and the
+/// stack of row ranges descended so far (one entry per trie level).
+struct AtomCursor {
+    trie: Arc<TrieRel>,
+    /// `levels[l]` = the variable-order index of the variable at trie
+    /// depth `l`, or `None` for a constant column (descended at init).
+    levels: Vec<Option<usize>>,
+    /// Constant columns, as `(depth, value)` in depth order.
+    consts: Vec<(usize, Val)>,
+    /// Range stack: `ranges[d]` is the row range after descending depth
+    /// `d−1`; `ranges[0]` is the full relation (or the post-constant
+    /// range, since constants sort before variables in the permutation).
+    ranges: Vec<(usize, usize)>,
+}
+
+/// All trie depths of `cursor` bound to variable-order index `oi`
+/// (repeated variables occupy several adjacent depths).
+fn depths_of(cursor: &AtomCursor, oi: usize) -> std::ops::Range<usize> {
+    let start = cursor.levels.iter().position(|l| *l == Some(oi));
+    match start {
+        None => 0..0,
+        Some(s) => {
+            let mut e = s;
+            while e < cursor.levels.len() && cursor.levels[e] == Some(oi) {
+                e += 1;
+            }
+            s..e
+        }
+    }
+}
+
+/// Enumerate all satisfying valuations of `q` on `instance` with LeapFrog
+/// TrieJoin, visiting variables in `order` (see [`wcoj_variable_order`]).
+/// `order` must contain every positive-body variable exactly once.
+///
+/// The valuations produced are exactly those of
+/// [`crate::eval::satisfying_valuations`] — same semantics, different
+/// asymptotics.
+pub fn satisfying_valuations_wcoj_ordered(
+    q: &ConjunctiveQuery,
+    instance: &Instance,
+    order: &[Var],
+) -> Vec<Valuation> {
+    debug_assert_eq!(
+        {
+            let mut o: Vec<&Var> = order.iter().collect();
+            o.sort();
+            o.dedup();
+            o.len()
+        },
+        q.body_variables().len(),
+        "order must cover the body variables exactly once"
+    );
+    let mut cursors: Vec<AtomCursor> = Vec::with_capacity(q.body.len());
+    for atom in &q.body {
+        // Column permutation: constants first (by position), then
+        // variables by their place in the global order; equal keys (a
+        // repeated variable) stay in position order, making its columns
+        // adjacent trie depths.
+        let mut cols: Vec<usize> = (0..atom.terms.len()).collect();
+        let key = |j: usize| match &atom.terms[j] {
+            Term::Const(_) => (0usize, j),
+            Term::Var(v) => (
+                1 + order.iter().position(|w| w == v).expect("var in order"),
+                j,
+            ),
+        };
+        cols.sort_by_key(|&j| key(j));
+        let trie = instance.trie(atom.rel, &cols);
+        let mut levels = Vec::with_capacity(cols.len());
+        let mut consts = Vec::new();
+        for (d, &j) in cols.iter().enumerate() {
+            match &atom.terms[j] {
+                Term::Const(c) => {
+                    levels.push(None);
+                    consts.push((d, *c));
+                }
+                Term::Var(v) => {
+                    levels.push(Some(order.iter().position(|w| w == v).unwrap()));
+                }
+            }
+        }
+        let rows = trie.rows();
+        cursors.push(AtomCursor {
+            trie,
+            levels,
+            consts,
+            ranges: vec![(0, rows)],
+        });
+    }
+
+    // Descend every constant column up front; an empty range proves the
+    // query unsatisfiable on this instance.
+    for cur in &mut cursors {
+        let mut range = cur.ranges[0];
+        for &(d, v) in &cur.consts {
+            range = cur.trie.descend(d, range.0, range.1, v);
+            cur.ranges.push(range);
+        }
+        if range.0 == range.1 {
+            return Vec::new();
+        }
+    }
+
+    // Atoms participating at each variable level, and pure membership
+    // checks (repeated-variable-only atoms never participate — they are
+    // fully descended once all their variables are bound).
+    let participants: Vec<Vec<usize>> = (0..order.len())
+        .map(|oi| {
+            (0..cursors.len())
+                .filter(|&k| !depths_of(&cursors[k], oi).is_empty())
+                .collect()
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let mut val = Valuation::new();
+    lftj(
+        q,
+        instance,
+        order,
+        &participants,
+        &mut cursors,
+        0,
+        &mut val,
+        &mut out,
+    );
+    out
+}
+
+/// [`satisfying_valuations_wcoj_ordered`] with the default hypergraph
+/// order ([`wcoj_variable_order`] with an empty prefix).
+pub fn satisfying_valuations_wcoj(q: &ConjunctiveQuery, instance: &Instance) -> Vec<Valuation> {
+    let order = wcoj_variable_order(q, &[]);
+    satisfying_valuations_wcoj_ordered(q, instance, &order)
+}
+
+/// One leapfrog level: intersect the candidate values of every atom
+/// containing `order[oi]`, and for each common value descend all of its
+/// columns in every participating atom, recursing to the next level.
+#[allow(clippy::too_many_arguments)]
+fn lftj(
+    q: &ConjunctiveQuery,
+    instance: &Instance,
+    order: &[Var],
+    participants: &[Vec<usize>],
+    cursors: &mut [AtomCursor],
+    oi: usize,
+    val: &mut Valuation,
+    out: &mut Vec<Valuation>,
+) {
+    if oi == order.len() {
+        // Leaf: every positive atom fully descended and non-empty; check
+        // negation (inequalities were checked incrementally).
+        for a in &q.negated {
+            match val.apply(a) {
+                Some(f) if !instance.contains(&f) => {}
+                _ => return,
+            }
+        }
+        out.push(val.clone());
+        return;
+    }
+    let parts = &participants[oi];
+    debug_assert!(!parts.is_empty(), "safety: every variable is in an atom");
+
+    // First column of this variable per participant; extra (repeated)
+    // columns are descended only on a candidate match.
+    let firsts: Vec<usize> = parts
+        .iter()
+        .map(|&k| depths_of(&cursors[k], oi).start)
+        .collect();
+    let mut pos: Vec<usize> = Vec::with_capacity(parts.len());
+    let mut his: Vec<usize> = Vec::with_capacity(parts.len());
+    for (i, &k) in parts.iter().enumerate() {
+        let (lo, hi) = *cursors[k].ranges.last().unwrap();
+        debug_assert_eq!(cursors[k].ranges.len() - 1, firsts[i]);
+        if lo == hi {
+            return;
+        }
+        pos.push(lo);
+        his.push(hi);
+    }
+
+    'leapfrog: loop {
+        // The leapfrog: raise every cursor to the current maximum value
+        // until all agree (a candidate) or one runs off its range.
+        let mut max = Val(0);
+        for (i, &k) in parts.iter().enumerate() {
+            let v = cursors[k].trie.value(firsts[i], pos[i]);
+            if v > max {
+                max = v;
+            }
+        }
+        loop {
+            let mut all_equal = true;
+            for (i, &k) in parts.iter().enumerate() {
+                let d = firsts[i];
+                if cursors[k].trie.value(d, pos[i]) < max {
+                    pos[i] = cursors[k].trie.seek_ge(d, pos[i], his[i], max);
+                    if pos[i] == his[i] {
+                        return;
+                    }
+                    let v = cursors[k].trie.value(d, pos[i]);
+                    if v > max {
+                        max = v;
+                        all_equal = false;
+                    }
+                }
+            }
+            if all_equal {
+                break;
+            }
+        }
+        let x = max;
+
+        // Candidate value x: descend every column of this variable in
+        // every participant (repeated columns must also equal x).
+        let mut ok = true;
+        let mut pushed: Vec<(usize, usize)> = Vec::with_capacity(parts.len());
+        for (i, &k) in parts.iter().enumerate() {
+            let cur = &mut cursors[k];
+            let depths = depths_of(cur, oi);
+            let mut range = (pos[i], cur.trie.seek_gt(firsts[i], pos[i], his[i], x));
+            let mut n = 0usize;
+            cur.ranges.push(range);
+            n += 1;
+            for d in depths.start + 1..depths.end {
+                range = cur.trie.descend(d, range.0, range.1, x);
+                cur.ranges.push(range);
+                n += 1;
+                if range.0 == range.1 {
+                    ok = false;
+                    break;
+                }
+            }
+            pushed.push((k, n));
+            if !ok {
+                break;
+            }
+        }
+        if ok {
+            val.bind(order[oi].clone(), x);
+            if inequalities_ok_so_far(q, val) {
+                lftj(q, instance, order, participants, cursors, oi + 1, val, out);
+            }
+            val.unbind(&order[oi]);
+        }
+        for &(k, n) in &pushed {
+            for _ in 0..n {
+                cursors[k].ranges.pop();
+            }
+        }
+
+        // Advance every participant past x's run.
+        for (i, &k) in parts.iter().enumerate() {
+            pos[i] = cursors[k].trie.seek_gt(firsts[i], pos[i], his[i], x);
+            if pos[i] == his[i] {
+                break 'leapfrog;
+            }
+        }
+    }
+}
+
+/// Check every inequality of `q` whose endpoints are both bound.
+fn inequalities_ok_so_far(q: &ConjunctiveQuery, val: &Valuation) -> bool {
+    q.inequalities.iter().all(|(s, t)| {
+        match (val.apply_term(s), val.apply_term(t)) {
+            (Some(a), Some(b)) => a != b,
+            _ => true, // not yet decidable
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_query, eval_query_naive, eval_query_wcoj};
+    use crate::fact::fact;
+    use crate::parser::parse_query;
+    use crate::symbols::rel;
+
+    fn db_triangle() -> Instance {
+        Instance::from_facts([
+            fact("R", &[1, 2]),
+            fact("R", &[4, 5]),
+            fact("S", &[2, 3]),
+            fact("S", &[5, 6]),
+            fact("T", &[3, 1]),
+        ])
+    }
+
+    #[test]
+    fn trie_layout_is_sorted_and_deduped() {
+        let i = Instance::from_facts([
+            fact("R", &[3, 1]),
+            fact("R", &[1, 2]),
+            fact("R", &[1, 1]),
+            fact("R", &[3, 1]),
+        ]);
+        let t = TrieRel::build(&i, rel("R"), &[0, 1]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(
+            (0..3)
+                .map(|r| (t.value(0, r), t.value(1, r)))
+                .collect::<Vec<_>>(),
+            vec![(Val(1), Val(1)), (Val(1), Val(2)), (Val(3), Val(1))]
+        );
+        // Reversed permutation sorts by the second argument first.
+        let rt = TrieRel::build(&i, rel("R"), &[1, 0]);
+        assert_eq!(rt.value(0, 0), Val(1));
+        assert_eq!(rt.value(1, 0), Val(1));
+        assert_eq!(rt.value(0, 2), Val(2));
+    }
+
+    #[test]
+    fn seek_gallops_to_the_right_row() {
+        let i = Instance::from_facts((0..100u64).map(|k| fact("R", &[2 * k, k])));
+        let t = TrieRel::build(&i, rel("R"), &[0, 1]);
+        assert_eq!(t.seek_ge(0, 0, 100, Val(0)), 0);
+        assert_eq!(t.seek_ge(0, 0, 100, Val(1)), 1); // first ≥1 is 2 at row 1
+        assert_eq!(t.seek_ge(0, 0, 100, Val(50)), 25);
+        assert_eq!(t.seek_ge(0, 0, 100, Val(51)), 26);
+        assert_eq!(t.seek_ge(0, 0, 100, Val(1000)), 100);
+        assert_eq!(t.seek_ge(0, 97, 100, Val(198)), 99);
+        let (lo, hi) = t.descend(0, 0, 100, Val(120));
+        assert_eq!((lo, hi), (60, 61));
+        let (lo, hi) = t.descend(0, 0, 100, Val(121));
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn variable_order_prefers_high_degree_and_respects_prefix() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let o = wcoj_variable_order(&q, &[]);
+        assert_eq!(o.len(), 3);
+        let q2 = parse_query("H(x,y,z,w) <- R(x,y), S(y,z), U(y,w)").unwrap();
+        let o2 = wcoj_variable_order(&q2, &[]);
+        assert_eq!(o2[0], Var::new("y")); // degree 3 beats everything
+        let o3 = wcoj_variable_order(&q2, &[Var::new("w")]);
+        assert_eq!(o3[0], Var::new("w"));
+        assert_eq!(o3[1], Var::new("y"));
+    }
+
+    #[test]
+    fn triangle_query_matches_backtracking() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let db = db_triangle();
+        assert_eq!(eval_query_wcoj(&q, &db), eval_query(&q, &db));
+        assert_eq!(
+            eval_query_wcoj(&q, &db).sorted_facts(),
+            vec![fact("H", &[1, 2, 3])]
+        );
+    }
+
+    #[test]
+    fn self_join_with_repeated_vars_matches() {
+        let q = parse_query("H(x,z) <- R(x,y), R(y,z), R(x,x)").unwrap();
+        let i = Instance::from_facts([fact("R", &[1, 1]), fact("R", &[1, 2])]);
+        assert_eq!(eval_query_wcoj(&q, &i), eval_query(&q, &i));
+        assert_eq!(eval_query_wcoj(&q, &i).len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_inside_one_atom() {
+        let q = parse_query("H(x,y) <- R(x,x,y)").unwrap();
+        let i = Instance::from_facts([
+            Fact::new(rel("R"), vec![Val(1), Val(1), Val(5)]),
+            Fact::new(rel("R"), vec![Val(1), Val(2), Val(6)]),
+            Fact::new(rel("R"), vec![Val(2), Val(2), Val(7)]),
+        ]);
+        let out = eval_query_wcoj(&q, &i);
+        assert_eq!(out, eval_query(&q, &i));
+        assert_eq!(out.len(), 2);
+    }
+    use crate::fact::Fact;
+
+    #[test]
+    fn constants_descend_before_variables() {
+        let q = parse_query("H(x) <- R(1, x), S(x, 2)").unwrap();
+        let i = Instance::from_facts([
+            fact("R", &[1, 7]),
+            fact("R", &[1, 8]),
+            fact("R", &[2, 8]),
+            fact("S", &[7, 2]),
+            fact("S", &[8, 3]),
+        ]);
+        let out = eval_query_wcoj(&q, &i);
+        assert_eq!(out, eval_query(&q, &i));
+        assert_eq!(out.sorted_facts(), vec![fact("H", &[7])]);
+    }
+
+    #[test]
+    fn negation_and_inequalities_match_backtracking() {
+        let q = parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x), x != z").unwrap();
+        let i = Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[3, 1]),
+            fact("E", &[2, 4]),
+        ]);
+        assert_eq!(eval_query_wcoj(&q, &i), eval_query(&q, &i));
+    }
+
+    #[test]
+    fn boolean_and_empty_cases() {
+        let q = parse_query("H() <- R(x,x)").unwrap();
+        let yes = Instance::from_facts([fact("R", &[3, 3])]);
+        let no = Instance::from_facts([fact("R", &[3, 4])]);
+        assert_eq!(eval_query_wcoj(&q, &yes).len(), 1);
+        assert_eq!(eval_query_wcoj(&q, &no).len(), 0);
+        assert!(eval_query_wcoj(&q, &Instance::new()).is_empty());
+    }
+
+    #[test]
+    fn ground_query_no_variables() {
+        let q = parse_query("H() <- R(1, 2)").unwrap();
+        let yes = Instance::from_facts([fact("R", &[1, 2])]);
+        let no = Instance::from_facts([fact("R", &[2, 1])]);
+        assert_eq!(eval_query_wcoj(&q, &yes).len(), 1);
+        assert!(eval_query_wcoj(&q, &no).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_naive_on_survey_example() {
+        use crate::fact::fact_syms;
+        let q = parse_query("H(x1,x3) <- R(x1,x2), R(x2,x3), S(x3,x1)").unwrap();
+        let ie = Instance::from_facts([
+            fact_syms("R", &["a", "b"]),
+            fact_syms("R", &["b", "a"]),
+            fact_syms("R", &["b", "c"]),
+            fact_syms("S", &["a", "a"]),
+            fact_syms("S", &["c", "a"]),
+        ]);
+        assert_eq!(eval_query_wcoj(&q, &ie), eval_query_naive(&q, &ie));
+    }
+
+    #[test]
+    fn four_cycle_matches() {
+        let q = parse_query("H(x,y,z,w) <- R(x,y), S(y,z), T(z,w), U(w,x)").unwrap();
+        let mut i = Instance::new();
+        for k in 0..6u64 {
+            i.insert(fact("R", &[k, k + 1]));
+            i.insert(fact("S", &[k + 1, k + 2]));
+            i.insert(fact("T", &[k + 2, k + 3]));
+            i.insert(fact("U", &[k + 3, k]));
+        }
+        i.insert(fact("U", &[9, 9]));
+        assert_eq!(eval_query_wcoj(&q, &i), eval_query(&q, &i));
+    }
+}

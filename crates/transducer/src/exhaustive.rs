@@ -35,23 +35,45 @@ impl ExplorationReport {
 }
 
 /// A canonical encoding of a global state for memoization.
+///
+/// Keys are memoization tokens, never shown to a human: facts are
+/// encoded as raw interned ids. Going through `Display` here would take
+/// the global interner's `RwLock` (and allocate a `String`) once per
+/// fact per explored state — the single hottest formatting path in the
+/// whole exhaustive checker.
 fn encode_state(nodes: &[NodeState], buffers: &[Vec<(usize, Fact)>]) -> String {
     use std::fmt::Write;
+    fn push_fact(s: &mut String, f: &Fact) {
+        let _ = write!(s, "{}(", f.rel.0);
+        for a in &f.args {
+            let _ = write!(s, "{},", a.0);
+        }
+        s.push(')');
+    }
+    fn push_facts(s: &mut String, facts: &[Fact]) {
+        for f in facts {
+            push_fact(s, f);
+        }
+    }
     let mut s = String::new();
     for n in nodes {
-        let _ = write!(
-            s,
-            "N{}:{:?}|{:?}|{:?};",
-            n.id,
-            n.local.sorted_facts(),
-            n.aux.sorted_facts(),
-            n.output_so_far().sorted_facts()
-        );
+        let _ = write!(s, "N{}:", n.id);
+        push_facts(&mut s, &n.local.sorted_facts());
+        s.push('|');
+        push_facts(&mut s, &n.aux.sorted_facts());
+        s.push('|');
+        push_facts(&mut s, &n.output_so_far().sorted_facts());
+        s.push(';');
     }
     for (i, b) in buffers.iter().enumerate() {
-        let mut msgs: Vec<String> = b.iter().map(|(f, m)| format!("{f}->{m}")).collect();
+        let mut msgs: Vec<(usize, &Fact)> = b.iter().map(|(sender, m)| (*sender, m)).collect();
         msgs.sort();
-        let _ = write!(s, "B{i}:{msgs:?};");
+        let _ = write!(s, "B{i}:");
+        for (sender, m) in msgs {
+            let _ = write!(s, "{sender}->");
+            push_fact(&mut s, m);
+        }
+        s.push(';');
     }
     s
 }

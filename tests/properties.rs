@@ -304,6 +304,150 @@ proptest! {
     }
 }
 
+/// Strategy: a random conjunctive query over binary atoms of R, S, E —
+/// cyclic and acyclic shapes, self-joins, repeated variables and
+/// constants all arise. The first term is forced to be a variable so the
+/// head (all body variables) is never empty.
+fn random_cq() -> impl Strategy<Value = parlog::relal::query::ConjunctiveQuery> {
+    prop::collection::vec((0..3u8, 0..6u8, 0..6u8), 1..4).prop_map(|atoms| {
+        let term = |t: u8| -> String {
+            match t {
+                0 => "x".into(),
+                1 => "y".into(),
+                2 => "z".into(),
+                3 => "w".into(),
+                other => format!("{}", other - 4), // a constant: 0 or 1
+            }
+        };
+        let body: Vec<String> = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, a, b))| {
+                let rel = ["R", "S", "E"][r as usize];
+                // Force the very first term to a variable: guarantees a
+                // non-empty, safe head.
+                let ta = if i == 0 { term(a % 4) } else { term(a) };
+                format!("{rel}({ta}, {})", term(b))
+            })
+            .collect();
+        let mut head: Vec<String> = atoms
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &(_, a, b))| {
+                let ta = if i == 0 { a % 4 } else { a };
+                [ta, b]
+            })
+            .filter(|&t| t < 4)
+            .map(term)
+            .collect();
+        head.sort();
+        head.dedup();
+        let src = format!("H({}) <- {}", head.join(","), body.join(", "));
+        parse_query(&src).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential test of the three evaluators: on random conjunctive
+    /// queries (cyclic, acyclic, self-joins, repeated variables,
+    /// constants) × random instances, the naive, hash-indexed and
+    /// worst-case-optimal (LeapFrog TrieJoin) strategies all produce the
+    /// same output.
+    #[test]
+    fn strategies_agree_on_random_cqs(q in random_cq(), db in small_instance(16, 4)) {
+        use parlog::relal::eval::{eval_query_naive, eval_query_with, EvalStrategy};
+        let reference = eval_query_naive(&q, &db);
+        for strategy in [
+            EvalStrategy::Naive,
+            EvalStrategy::Indexed,
+            EvalStrategy::Wcoj,
+            EvalStrategy::Auto,
+        ] {
+            prop_assert_eq!(
+                eval_query_with(&q, &db, strategy),
+                reference.clone(),
+                "strategy {:?} on {}",
+                strategy,
+                q
+            );
+        }
+    }
+
+    /// Semi-naive Datalog fixpoints agree across local-join strategies on
+    /// random EDBs — recursion (transitive closure), a cyclic rule body
+    /// (triangles) and a self-join rule all included.
+    #[test]
+    fn datalog_fixpoints_agree_across_strategies(db in small_instance(12, 4)) {
+        use parlog::relal::eval::EvalStrategy;
+        let p = parlog::datalog::program::parse_program(
+            "TC(x,y) <- E(x,y)\n\
+             TC(x,y) <- TC(x,z), E(z,y)\n\
+             Tri(x,y,z) <- E(x,y), E(y,z), E(z,x)\n\
+             Hop(x,z) <- R(x,y), R(y,z)\n\
+             Loop(x) <- E(x,x)",
+        )
+        .unwrap();
+        let reference = parlog::datalog::eval_program(&p, &db).unwrap();
+        for strategy in [EvalStrategy::Naive, EvalStrategy::Wcoj, EvalStrategy::Auto] {
+            prop_assert_eq!(
+                parlog::datalog::eval_program_with(&p, &db, strategy).unwrap(),
+                reference.clone(),
+                "strategy {:?}",
+                strategy
+            );
+        }
+    }
+
+    /// Instance bookkeeping under dual storage (fact set + trie cache):
+    /// `insert`/`remove` return values, `len`, `contains` and the epoch
+    /// counter all agree with a naive set model, and cached tries are
+    /// dropped on every successful mutation (never on a no-op).
+    #[test]
+    fn instance_bookkeeping_matches_set_model(
+        ops in prop::collection::vec((0..2u8, 0..3u8, 0..4u64, 0..4u64), 0..40),
+    ) {
+        use std::collections::BTreeSet;
+        use parlog::relal::fact::{fact, Fact};
+        let mut inst = Instance::new();
+        let mut model: BTreeSet<Fact> = BTreeSet::new();
+        for (op, r, a, b) in ops {
+            let rel = ["R", "S", "E"][r as usize];
+            let f = fact(rel, &[a, b]);
+            // Touch the trie cache so invalidation is observable.
+            let trie = inst.trie(f.rel, &[0, 1]);
+            let rel_count = model.iter().filter(|g| g.rel == f.rel).count();
+            prop_assert_eq!(trie.rows(), rel_count);
+            prop_assert!(inst.cached_tries() > 0);
+            let epoch_before = inst.epoch();
+            let changed = if op == 0 {
+                let c = inst.insert(f.clone());
+                prop_assert_eq!(c, model.insert(f.clone()));
+                c
+            } else {
+                let c = inst.remove(&f);
+                prop_assert_eq!(c, model.remove(&f));
+                c
+            };
+            if changed {
+                // Mutation bumps the epoch and drops every cached trie.
+                prop_assert!(inst.epoch() > epoch_before);
+                prop_assert_eq!(inst.cached_tries(), 0);
+            } else {
+                // A no-op (duplicate insert / absent remove) must not
+                // desync anything: same epoch, caches intact.
+                prop_assert_eq!(inst.epoch(), epoch_before);
+                prop_assert!(inst.cached_tries() > 0);
+            }
+            prop_assert_eq!(inst.len(), model.len());
+            prop_assert_eq!(inst.contains(&f), model.contains(&f));
+        }
+        let facts: BTreeSet<Fact> = inst.iter().cloned().collect();
+        prop_assert_eq!(facts, model);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
