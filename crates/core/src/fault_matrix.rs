@@ -35,8 +35,21 @@
 //! receiver before they reach the count, flipping the duplicate cell back
 //! to [`Verdict::Consistent`]. The unfixed program stays in the matrix as
 //! the regression witness.
+//!
+//! PR 6 widens the threat model beyond omission: the **corrupt** fault
+//! class injects Byzantine (wrong-answer) behavior — in-flight payload
+//! tampering on the transducer substrate, per-server output tampering on
+//! the MPC cluster. No omission-tolerant discipline survives it: every
+//! unverified row Fails under corrupt. Two MPC rows carry the remedy:
+//! "mpc-unverified" (blind commit — the machine-checked UNSOUND
+//! regression witness) and "mpc-verified" (the verify-then-commit round
+//! mode of `parlog_mpc::verified`, which detects the lying server via
+//! its failed snapshot-bound certificate, quarantines it and heals —
+//! [`Verdict::Consistent`] again).
 
-use parlog_faults::{FaultClass, FaultPlan};
+use parlog_faults::{CorruptKind, CorruptionPlan, FaultClass, FaultPlan};
+use parlog_mpc::cluster::Cluster;
+use parlog_relal::eval::EvalStrategy;
 use parlog_relal::eval::eval_query;
 use parlog_relal::fact::fact;
 use parlog_relal::instance::Instance;
@@ -276,6 +289,86 @@ pub fn fault_matrix_with_seeds(seeds: &[u64]) -> FaultMatrix {
         );
     }
 
+    // Byzantine corruption on the MPC substrate. Two rows, same seeded
+    // corruption plans (one lying server per seed, kinds rotating over
+    // mutate/inject/drop):
+    //
+    // * "mpc-unverified" — the blind-commit path. The lying server's
+    //   tuples land in the committed union unchecked, so the verdict is
+    //   Fails — the machine-checked UNSOUND regression witness, kept for
+    //   the same reason the unfixed "coord" barrier row is.
+    // * "mpc-verified" — the verify-then-commit path. Every certificate
+    //   is checked before commit; the corrupted server is detected,
+    //   quarantined and healed, so the committed union equals the
+    //   fault-free answer on every seed: Consistent.
+    {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let p = 3usize;
+        let seed_cluster = || {
+            let mut c = Cluster::new(p);
+            for i in 0..12u64 {
+                c.local_mut((i % p as u64) as usize).insert(fact("R", &[i, i + 1]));
+                c.local_mut((i % p as u64) as usize)
+                    .insert(fact("S", &[i + 1, i + 2]));
+            }
+            c
+        };
+        let expected = {
+            let mut c = seed_cluster();
+            c.compute_query(&q, EvalStrategy::Indexed);
+            c.union_all()
+        };
+        let u = parlog_relal::query::UnionQuery::new(vec![q.clone()]);
+        let mut blind_exact = true;
+        let mut blind_unsound = false;
+        let mut verified_exact = true;
+        let mut verified_unsound = false;
+        for (i, &seed) in seeds.iter().enumerate() {
+            let kind = CorruptKind::ALL[i % CorruptKind::ALL.len()];
+            let plan = CorruptionPlan::single(seed, 0, (seed as usize) % p, kind);
+            let mut c = seed_cluster();
+            c.compute_union_corrupted(&u, EvalStrategy::Indexed, &plan);
+            let out = c.union_all();
+            if !out.is_subset_of(&expected) {
+                blind_unsound = true;
+            } else if out != expected {
+                blind_exact = false;
+            }
+            let mut c = seed_cluster();
+            let round = c.compute_query_verified(&q, EvalStrategy::Indexed, &plan);
+            debug_assert_eq!(round.detected.len(), round.corrupted.len());
+            let out = c.union_all();
+            if !out.is_subset_of(&expected) {
+                verified_unsound = true;
+            } else if out != expected {
+                verified_exact = false;
+            }
+        }
+        let verdict = |unsound: bool, exact: bool| {
+            if unsound {
+                Verdict::Fails
+            } else if exact {
+                Verdict::Consistent
+            } else {
+                Verdict::SoundOnly
+            }
+        };
+        rows.push(FaultMatrixRow {
+            program: "blind-commit cluster compute".to_string(),
+            class: "mpc-unverified",
+            fault: FaultClass::Corrupt.name(),
+            within_model: FaultClass::Corrupt.within_model(),
+            verdict: verdict(blind_unsound, blind_exact),
+        });
+        rows.push(FaultMatrixRow {
+            program: "verify-then-commit cluster compute".to_string(),
+            class: "mpc-verified",
+            fault: FaultClass::Corrupt.name(),
+            within_model: FaultClass::Corrupt.within_model(),
+            verdict: verdict(verified_unsound, verified_exact),
+        });
+    }
+
     FaultMatrix { rows }
 }
 
@@ -341,12 +434,72 @@ mod tests {
 
     #[test]
     fn calm_classes_never_fail_under_any_fault() {
-        // The CALM-under-chaos claim: across every fault class — including
-        // the ones outside the model — the coordination-free strategies
-        // degrade to sound-but-incomplete at worst.
+        // The CALM-under-chaos claim: across every *omission* fault class
+        // — including the ones outside the model — the coordination-free
+        // strategies degrade to sound-but-incomplete at worst. Byzantine
+        // corruption is excluded: a lying substrate defeats any
+        // coordination discipline, which is exactly why the verified
+        // path exists (see the corrupt-row tests below).
         let m = matrix();
-        for r in m.rows.iter().filter(|r| r.class != "coord") {
+        for r in m
+            .rows
+            .iter()
+            .filter(|r| r.class != "coord" && r.fault != "corrupt")
+        {
             assert_ne!(r.verdict, Verdict::Fails, "{} under {}", r.class, r.fault);
+        }
+    }
+
+    #[test]
+    fn unverified_corruption_is_unsound_and_verification_restores_consistency() {
+        // The tentpole claim in two rows. Blind commit of a Byzantine
+        // server's output silently poisons the union — the UNSOUND
+        // regression witness, kept deliberately like the unfixed "coord"
+        // barrier row. The verify-then-commit path detects the corrupted
+        // certificate, quarantines the server and heals its task, so the
+        // committed union is exact on every seed.
+        let m = matrix();
+        assert_eq!(
+            m.cell("mpc-unverified", "corrupt").unwrap().verdict,
+            Verdict::Fails,
+            "blind commit must stay the unsoundness witness"
+        );
+        assert_eq!(
+            m.cell("mpc-verified", "corrupt").unwrap().verdict,
+            Verdict::Consistent,
+            "verify-then-commit must absorb Byzantine corruption"
+        );
+    }
+
+    #[test]
+    fn corruption_defeats_every_unverified_transducer_class() {
+        // In-flight payload tampering makes nodes derive from facts that
+        // were never sent: without certificates nothing detects it, and
+        // the monotone-set discipline that absorbs every omission fault
+        // is helpless — every CALM class is outright unsound under
+        // corrupt. The barrier programs broadcast payloads too, but on
+        // these seeds tampering perturbs the *count* bookkeeping first,
+        // so the barrier stalls on incomplete data instead of inventing
+        // facts: degraded, just not provably unsound here. Either way,
+        // no transducer row absorbs corruption — the matrix-level
+        // motivation for proof-carrying answers.
+        let m = matrix();
+        for class in ["F0", "F1", "F2"] {
+            assert_eq!(
+                m.cell(class, "corrupt").unwrap().verdict,
+                Verdict::Fails,
+                "{class} under corrupt"
+            );
+        }
+        for class in ["coord", "coord-seq"] {
+            assert_ne!(
+                m.cell(class, "corrupt").unwrap().verdict,
+                Verdict::Consistent,
+                "{class} under corrupt"
+            );
+        }
+        for class in ["F0", "F1", "F2", "coord", "coord-seq"] {
+            assert!(!m.cell(class, "corrupt").unwrap().within_model);
         }
     }
 
@@ -418,7 +571,9 @@ mod tests {
     #[test]
     fn matrix_covers_every_cell_and_serializes() {
         let m = matrix();
-        assert_eq!(m.rows.len(), 5 * FaultClass::ALL.len());
+        // Five transducer programs × every fault class, plus the two
+        // MPC corrupt rows (blind-commit UNSOUND witness + verified).
+        assert_eq!(m.rows.len(), 5 * FaultClass::ALL.len() + 2);
         let json = serde_json::to_string(&m).unwrap();
         assert!(json.contains("\"verdict\""));
         assert!(json.contains("\"within_model\""));

@@ -67,6 +67,7 @@ pub use parlog_mpc as mpc;
 pub use parlog_relal as relal;
 pub use parlog_supervisor as supervisor;
 pub use parlog_trace as trace;
+pub use parlog_verify as verify;
 pub use parlog_transducer as transducer;
 
 /// Commonly used items from the whole workspace.

@@ -51,17 +51,25 @@ pub enum FaultClass {
     CrashRecover,
     /// A node crashes and never returns — the strongest violation.
     CrashStop,
+    /// Byzantine wrong-answer faults: a node **corrupts** data instead of
+    /// omitting it — mutated in-flight payloads on the transducer
+    /// substrate, mutated/injected/dropped tuples in a server's local
+    /// output on the MPC substrate. The strongest class: omission-fault
+    /// tolerance says nothing about it; detection needs the
+    /// `parlog-verify` certificate checker.
+    Corrupt,
 }
 
 impl FaultClass {
     /// All classes, in matrix order.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 7] = [
         FaultClass::Reorder,
         FaultClass::Duplicate,
         FaultClass::Delay,
         FaultClass::Loss,
         FaultClass::CrashRecover,
         FaultClass::CrashStop,
+        FaultClass::Corrupt,
     ];
 
     /// Does the paper's asynchronous model already quantify over this
@@ -83,6 +91,7 @@ impl FaultClass {
             FaultClass::Loss => "loss",
             FaultClass::CrashRecover => "crash-recover",
             FaultClass::CrashStop => "crash-stop",
+            FaultClass::Corrupt => "corrupt",
         }
     }
 }
@@ -98,6 +107,11 @@ pub enum MessageFate {
     Duplicate,
     /// Held back for the given number of delivery steps.
     Delay(u32),
+    /// Delivered **corrupted**: the payload is mutated before delivery.
+    /// Carries 64 bits of seeded entropy telling the substrate *how* to
+    /// mutate (which argument, which bit flip) — the injector has no view
+    /// of message payloads, so the substrate applies the mutation.
+    Corrupt(u64),
 }
 
 /// How a crashed node comes back (or doesn't).
@@ -279,6 +293,9 @@ pub struct FaultPlan {
     pub delay_prob: f64,
     /// Maximum hold-back, in delivery steps.
     pub max_delay: u32,
+    /// Per-message probability of the payload being corrupted in flight
+    /// (Byzantine wrong-data faults; see [`FaultClass::Corrupt`]).
+    pub corrupt_prob: f64,
     /// Scheduled node crashes.
     pub crashes: Vec<CrashEvent>,
     /// Slow servers (consumed by the MPC cluster's load accounting).
@@ -297,6 +314,7 @@ impl FaultPlan {
             reorder_prob: 0.0,
             delay_prob: 0.0,
             max_delay: 0,
+            corrupt_prob: 0.0,
             crashes: Vec::new(),
             stragglers: Vec::new(),
             retransmit: None,
@@ -336,6 +354,15 @@ impl FaultPlan {
         FaultPlan {
             delay_prob: p,
             max_delay,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// In-flight payload corruption with probability `p` per message.
+    pub fn corrupting(seed: u64, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "corrupt probability out of range");
+        FaultPlan {
+            corrupt_prob: p,
             ..FaultPlan::none(seed)
         }
     }
@@ -380,6 +407,7 @@ impl FaultPlan {
             FaultClass::CrashStop => {
                 FaultPlan::crash_stop(seed, (seed as usize) % 3, 4 + (seed as usize) % 5)
             }
+            FaultClass::Corrupt => FaultPlan::corrupting(seed, 0.3),
         }
     }
 
@@ -402,6 +430,7 @@ impl FaultPlan {
             && self.dup_prob == 0.0
             && self.reorder_prob == 0.0
             && self.delay_prob == 0.0
+            && self.corrupt_prob == 0.0
             && self.crashes.is_empty()
     }
 
@@ -446,6 +475,9 @@ impl FaultInjector {
             && self.rng.gen_bool(self.plan.delay_prob)
         {
             return MessageFate::Delay(self.rng.gen_range(1..=self.plan.max_delay));
+        }
+        if self.plan.corrupt_prob > 0.0 && self.rng.gen_bool(self.plan.corrupt_prob) {
+            return MessageFate::Corrupt(self.rng.gen::<u64>());
         }
         MessageFate::Deliver
     }
@@ -544,6 +576,107 @@ impl Default for MpcFaultPlan {
     }
 }
 
+/// How a Byzantine server tampers with its local computation output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum CorruptKind {
+    /// Replace one output tuple with a mutated copy (one argument bit
+    /// flipped) and relabel its witness — an *unsound* answer.
+    Mutate,
+    /// Add a fabricated tuple (with a forged head-only witness) — also
+    /// unsound.
+    Inject,
+    /// Silently drop one output tuple and its witness — an *incomplete*
+    /// answer.
+    Drop,
+}
+
+impl CorruptKind {
+    /// All kinds, in plan order.
+    pub const ALL: [CorruptKind; 3] = [CorruptKind::Mutate, CorruptKind::Inject, CorruptKind::Drop];
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptKind::Mutate => "mutate",
+            CorruptKind::Inject => "inject",
+            CorruptKind::Drop => "drop",
+        }
+    }
+}
+
+/// One scheduled output corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct CorruptEvent {
+    /// The (attempt-counted) round in which the server lies.
+    pub round: usize,
+    /// The Byzantine server.
+    pub server: usize,
+    /// How it lies.
+    pub kind: CorruptKind,
+}
+
+/// A seeded plan of Byzantine output corruptions for the MPC substrate —
+/// the wrong-*answer* counterpart of [`MpcFaultPlan`]'s omission faults.
+/// Kept separate so omission-only call sites are untouched.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct CorruptionPlan {
+    /// Seed for the deterministic choice of victim tuple / forged values.
+    pub seed: u64,
+    /// The scheduled corruptions.
+    pub events: Vec<CorruptEvent>,
+}
+
+impl CorruptionPlan {
+    /// No corruption: every server is honest.
+    pub fn none(seed: u64) -> CorruptionPlan {
+        CorruptionPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// One corruption of `server` in `round`.
+    pub fn single(seed: u64, round: usize, server: usize, kind: CorruptKind) -> CorruptionPlan {
+        CorruptionPlan {
+            seed,
+            events: vec![CorruptEvent {
+                round,
+                server,
+                kind,
+            }],
+        }
+    }
+
+    /// Add another corruption.
+    pub fn with_event(mut self, round: usize, server: usize, kind: CorruptKind) -> CorruptionPlan {
+        self.events.push(CorruptEvent {
+            round,
+            server,
+            kind,
+        });
+        self
+    }
+
+    /// The corruption (if any) scheduled for `server` in `round`.
+    pub fn event_for(&self, round: usize, server: usize) -> Option<CorruptKind> {
+        self.events
+            .iter()
+            .find(|e| e.round == round && e.server == server)
+            .map(|e| e.kind)
+    }
+
+    /// Does this plan corrupt nothing?
+    pub fn is_benign(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Deterministic per-event entropy: how the tampering picks its
+    /// victim tuple and forged values.
+    pub fn entropy(&self, round: usize, server: usize) -> u64 {
+        mix64(self.seed ^ mix64(((round as u64) << 32) | server as u64))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +724,7 @@ mod tests {
                 FaultClass::CrashRecover => {
                     assert!(matches!(plan.crashes[0].kind, CrashKind::Recover { .. }));
                 }
+                FaultClass::Corrupt => assert!(plan.corrupt_prob > 0.0),
             }
         }
     }
@@ -603,6 +737,47 @@ mod tests {
         assert!(!FaultClass::Loss.within_model());
         assert!(!FaultClass::CrashStop.within_model());
         assert!(!FaultClass::CrashRecover.within_model());
+        assert!(!FaultClass::Corrupt.within_model());
+    }
+
+    #[test]
+    fn corrupt_fates_carry_entropy_deterministically() {
+        let plan = FaultPlan::corrupting(13, 1.0);
+        let a: Vec<MessageFate> = {
+            let mut i = plan.injector();
+            (0..50).map(|_| i.fate()).collect()
+        };
+        let b: Vec<MessageFate> = {
+            let mut i = plan.injector();
+            (0..50).map(|_| i.fate()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|f| matches!(f, MessageFate::Corrupt(_))));
+        // Entropy actually varies across messages.
+        let distinct: std::collections::HashSet<u64> = a
+            .iter()
+            .map(|f| match f {
+                MessageFate::Corrupt(e) => *e,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn corruption_plan_lookup_and_entropy() {
+        let plan = CorruptionPlan::single(9, 2, 1, CorruptKind::Mutate).with_event(
+            3,
+            0,
+            CorruptKind::Drop,
+        );
+        assert_eq!(plan.event_for(2, 1), Some(CorruptKind::Mutate));
+        assert_eq!(plan.event_for(3, 0), Some(CorruptKind::Drop));
+        assert_eq!(plan.event_for(2, 0), None);
+        assert!(!plan.is_benign());
+        assert!(CorruptionPlan::none(9).is_benign());
+        assert_eq!(plan.entropy(2, 1), plan.entropy(2, 1));
+        assert_ne!(plan.entropy(2, 1), plan.entropy(2, 0));
     }
 
     #[test]

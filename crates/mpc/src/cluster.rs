@@ -301,6 +301,14 @@ pub struct Cluster {
     spec_stats: SpeculationStats,
     parallelism: usize,
     trace: TraceHandle,
+    /// Per-server quarantine flags set by the verify-then-commit round
+    /// mode (`verified::compute_union_verified`): a quarantined server's
+    /// local computation is no longer trusted — its task is re-executed
+    /// honestly on its shard by a survivor.
+    pub(crate) quarantined: Vec<bool>,
+    /// Count of verify-then-commit computation rounds executed — indexes
+    /// into the `CorruptionPlan`'s event schedule.
+    pub(crate) verified_rounds: usize,
 }
 
 impl Cluster {
@@ -319,6 +327,8 @@ impl Cluster {
             spec_stats: SpeculationStats::default(),
             parallelism: 1,
             trace: TraceHandle::off(),
+            quarantined: vec![false; p],
+            verified_rounds: 0,
         }
     }
 
@@ -510,6 +520,23 @@ impl Cluster {
     /// the initial partition.
     pub fn local_mut(&mut self, s: ServerId) -> &mut Instance {
         &mut self.local[s]
+    }
+
+    /// Which servers have been quarantined by the verify-then-commit
+    /// round mode (all `false` until a certificate check fails).
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Number of currently quarantined servers.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    /// The virtual-clock position after the rounds committed so far —
+    /// where timeline events emitted between rounds land.
+    pub(crate) fn vclock_now(&self) -> f64 {
+        self.rounds.iter().map(|r| r.tail_time).sum()
     }
 
     /// Statistics of the communication rounds executed so far.

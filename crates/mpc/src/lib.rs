@@ -54,8 +54,10 @@ pub mod report;
 pub mod shares;
 pub mod shares_skew;
 pub mod streaming;
+pub mod verified;
 
 pub use cluster::{Cluster, RoundStats};
+pub use verified::VerifiedRound;
 pub use hypercube::HypercubeAlgorithm;
 pub use report::RunReport;
 pub use shares::Shares;

@@ -1,0 +1,324 @@
+//! Verify-then-commit computation rounds: the cluster's defense against
+//! Byzantine (wrong-answer) servers.
+//!
+//! The omission-fault machinery elsewhere in this crate (checkpoint /
+//! replay, speculation, the supervisor's detector) assumes a crashed or
+//! slow server — never a *lying* one. A Byzantine server returns an
+//! answer that is simply wrong: extra tuples, missing tuples, mutated
+//! tuples. Nothing in the retry path notices, because the wrong answer
+//! arrives on time and parses fine. [`Cluster::compute_union_corrupted`]
+//! is that unprotected path, kept as the fault matrix's UNSOUND
+//! regression witness.
+//!
+//! [`Cluster::compute_union_verified`] closes the hole. Each server
+//! produces its local answer *with a certificate* binding it to the
+//! content-addressed snapshot of its input shard
+//! ([`parlog_verify::prove_ucq`]); the trusted checker validates every
+//! certificate **before** the round commits. A failed check raises
+//! `Detect` and `Quarantine` on the fault timeline, the corrupted
+//! server's task is re-executed honestly on its shard alone (`Heal`),
+//! and only then does the round commit — so the committed union equals
+//! the fault-free answer even under active corruption.
+
+use crate::cluster::Cluster;
+use parlog_faults::CorruptionPlan;
+use parlog_relal::eval::EvalStrategy;
+use parlog_relal::instance::Instance;
+use parlog_relal::query::{ConjunctiveQuery, UnionQuery};
+use parlog_trace::{FaultEvent, FaultEventKind, TraceEvent};
+use parlog_verify::checker::check_answer;
+use parlog_verify::{corrupt_answer, prove_ucq, snapshot, Rejection, SnapshotId};
+
+/// What one verify-then-commit round did: which servers were tampered
+/// with, which were detected (with the checker's rejection), which tasks
+/// were healed, and the certificate bill.
+#[derive(Debug, Clone)]
+pub struct VerifiedRound {
+    /// Index of this verified computation round (counts verified rounds,
+    /// not communication rounds).
+    pub round: usize,
+    /// Cluster-level snapshot id of the input shards the round is bound
+    /// to.
+    pub input_root: SnapshotId,
+    /// Servers whose output the corruption plan tampered with.
+    pub corrupted: Vec<usize>,
+    /// Servers whose certificate failed, with the checker's verdict.
+    pub detected: Vec<(usize, Rejection)>,
+    /// Servers whose task was re-executed honestly before commit.
+    pub healed: Vec<usize>,
+    /// Total serialized certificate bytes across servers this round.
+    pub cert_bytes: usize,
+}
+
+impl VerifiedRound {
+    /// Did every certificate check out on the first try?
+    pub fn clean(&self) -> bool {
+        self.detected.is_empty()
+    }
+}
+
+impl Cluster {
+    /// The number of verified computation rounds committed so far — the
+    /// length of the quarantine history, independent of communication
+    /// rounds.
+    fn next_verified_round(&self) -> usize {
+        self.verified_rounds
+    }
+
+    /// **Verify-then-commit computation phase.** Every live server
+    /// proves its local UCQ answer against the snapshot of its shard;
+    /// `corruption` tampers with the configured servers' outputs
+    /// (post-proof, pre-check — the Byzantine window); the trusted
+    /// checker validates every certificate; failures are detected,
+    /// quarantined and healed before anything commits. The committed
+    /// state is byte-identical to a fault-free `compute_query` run.
+    pub fn compute_union_verified(
+        &mut self,
+        u: &UnionQuery,
+        strategy: EvalStrategy,
+        corruption: &CorruptionPlan,
+    ) -> VerifiedRound {
+        let round = self.next_verified_round();
+        self.verified_rounds += 1;
+        let vclock = self.vclock_now();
+        let p = self.p();
+        let shards: Vec<Instance> = (0..p).map(|s| self.local(s).clone()).collect();
+
+        let mut answers = Vec::with_capacity(p);
+        let mut certs = Vec::with_capacity(p);
+        let mut corrupted = Vec::new();
+        for (s, shard) in shards.iter().enumerate() {
+            let (mut answer, mut cert) = prove_ucq(s, u, shard, strategy);
+            // A quarantined server no longer runs its own (untrusted)
+            // prover: a survivor re-executes the task honestly, so the
+            // corruption plan has no purchase on it.
+            if !self.quarantined[s] {
+                if let Some(kind) = corruption.event_for(round, s) {
+                    let e = corruption.entropy(round, s);
+                    corrupt_answer(&mut answer, &mut cert, u, kind, e);
+                    corrupted.push(s);
+                    self.trace().record(TraceEvent::Fault(FaultEvent {
+                        vclock,
+                        kind: FaultEventKind::Corrupt,
+                        node: s,
+                        info: e,
+                    }));
+                }
+            }
+            answers.push(answer);
+            certs.push(cert);
+        }
+
+        let cert_bytes = certs.iter().map(|c| c.size_bytes()).sum();
+        let mut detected = Vec::new();
+        let mut healed = Vec::new();
+        for s in 0..p {
+            if let Err(rej) = check_answer(u, &shards[s], &answers[s], &certs[s]) {
+                self.trace().record(TraceEvent::Fault(FaultEvent {
+                    vclock,
+                    kind: FaultEventKind::Detect,
+                    node: s,
+                    info: snapshot(&shards[s]).short(),
+                }));
+                self.quarantined[s] = true;
+                // Detection happens inside the round that was tampered
+                // with — verify-then-commit has zero-round latency.
+                self.trace().record(TraceEvent::Fault(FaultEvent {
+                    vclock,
+                    kind: FaultEventKind::Quarantine,
+                    node: s,
+                    info: 0,
+                }));
+                // Heal: a survivor re-executes the quarantined server's
+                // task on its input shard *alone* (preserving the union
+                // semantics of per-server local computation).
+                let (honest, _) = prove_ucq(s, u, &shards[s], strategy);
+                answers[s] = honest;
+                healed.push(s);
+                self.trace().record(TraceEvent::Fault(FaultEvent {
+                    vclock,
+                    kind: FaultEventKind::Heal,
+                    node: s,
+                    info: shards[s].len() as u64,
+                }));
+                detected.push((s, rej));
+            }
+        }
+
+        let input_root =
+            parlog_verify::cluster_root(&shards.iter().map(snapshot).collect::<Vec<_>>());
+        for (s, answer) in answers.into_iter().enumerate() {
+            *self.local_mut(s) = answer;
+        }
+        VerifiedRound {
+            round,
+            input_root,
+            corrupted,
+            detected,
+            healed,
+            cert_bytes,
+        }
+    }
+
+    /// [`Cluster::compute_union_verified`] for a single conjunctive
+    /// query.
+    pub fn compute_query_verified(
+        &mut self,
+        q: &ConjunctiveQuery,
+        strategy: EvalStrategy,
+        corruption: &CorruptionPlan,
+    ) -> VerifiedRound {
+        self.compute_union_verified(&UnionQuery::new(vec![q.clone()]), strategy, corruption)
+    }
+
+    /// The **unprotected** path: apply the corruption plan and commit
+    /// blindly, exactly as `compute_query` would. Kept as the fault
+    /// matrix's regression witness that corruption without verification
+    /// is UNSOUND — the committed union silently diverges from the
+    /// fault-free answer. Returns which servers were tampered with.
+    pub fn compute_union_corrupted(
+        &mut self,
+        u: &UnionQuery,
+        strategy: EvalStrategy,
+        corruption: &CorruptionPlan,
+    ) -> Vec<usize> {
+        let round = self.next_verified_round();
+        self.verified_rounds += 1;
+        let vclock = self.vclock_now();
+        let p = self.p();
+        let mut corrupted = Vec::new();
+        for s in 0..p {
+            let shard = self.local(s).clone();
+            let (mut answer, mut cert) = prove_ucq(s, u, &shard, strategy);
+            if let Some(kind) = corruption.event_for(round, s) {
+                let e = corruption.entropy(round, s);
+                corrupt_answer(&mut answer, &mut cert, u, kind, e);
+                corrupted.push(s);
+                self.trace().record(TraceEvent::Fault(FaultEvent {
+                    vclock,
+                    kind: FaultEventKind::Corrupt,
+                    node: s,
+                    info: e,
+                }));
+            }
+            *self.local_mut(s) = answer;
+        }
+        corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_faults::CorruptKind;
+    use parlog_relal::eval::eval_query_with;
+    use parlog_relal::fact::fact;
+    use parlog_relal::parser::parse_query;
+    use parlog_trace::MemSink;
+    use std::sync::Arc;
+
+    fn seeded(p: usize) -> Cluster {
+        let mut c = Cluster::new(p);
+        for i in 0..12u64 {
+            c.local_mut((i % p as u64) as usize)
+                .insert(fact("R", &[i, i + 1]));
+            c.local_mut((i % p as u64) as usize)
+                .insert(fact("S", &[i + 1, i + 2]));
+        }
+        c
+    }
+
+    #[test]
+    fn clean_round_commits_the_faultfree_answer() {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let mut c = seeded(3);
+        let expected: Vec<Instance> = (0..3)
+            .map(|s| eval_query_with(&q, c.local(s), EvalStrategy::Indexed))
+            .collect();
+        let out = c.compute_query_verified(&q, EvalStrategy::Indexed, &CorruptionPlan::none(1));
+        assert!(out.clean());
+        assert!(out.corrupted.is_empty());
+        assert!(out.cert_bytes > 0);
+        for (s, want) in expected.iter().enumerate() {
+            assert_eq!(c.local(s), want);
+        }
+        assert_eq!(c.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn corrupted_server_is_detected_quarantined_and_healed() {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let mut honest = seeded(3);
+        honest.compute_query_verified(&q, EvalStrategy::Indexed, &CorruptionPlan::none(1));
+        let truth = honest.union_all();
+
+        for kind in CorruptKind::ALL {
+            let mut c = seeded(3);
+            let plan = CorruptionPlan::single(7, 0, 1, kind);
+            let out = c.compute_query_verified(&q, EvalStrategy::Indexed, &plan);
+            assert_eq!(out.corrupted, vec![1], "{kind:?}");
+            assert_eq!(out.detected.len(), 1, "{kind:?} not detected");
+            assert_eq!(out.detected[0].0, 1);
+            assert_eq!(out.healed, vec![1]);
+            assert!(c.quarantined()[1]);
+            assert_eq!(c.union_all(), truth, "{kind:?}: heal must restore truth");
+        }
+    }
+
+    #[test]
+    fn unverified_path_commits_the_corruption() {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let u = UnionQuery::new(vec![q.clone()]);
+        let mut honest = seeded(3);
+        honest.compute_query_verified(&q, EvalStrategy::Indexed, &CorruptionPlan::none(1));
+        let truth = honest.union_all();
+
+        let mut c = seeded(3);
+        let plan = CorruptionPlan::single(7, 0, 1, CorruptKind::Inject);
+        let tampered = c.compute_union_corrupted(&u, EvalStrategy::Indexed, &plan);
+        assert_eq!(tampered, vec![1]);
+        assert_ne!(
+            c.union_all(),
+            truth,
+            "blind commit must silently diverge (the UNSOUND witness)"
+        );
+        assert_eq!(c.quarantined_count(), 0, "nothing detects it");
+    }
+
+    #[test]
+    fn timeline_shows_corrupt_detect_quarantine_heal_in_order() {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let sink = Arc::new(MemSink::new());
+        let mut c = seeded(3).with_trace(parlog_trace::TraceHandle::to(sink.clone()));
+        let plan = CorruptionPlan::single(7, 0, 2, CorruptKind::Mutate);
+        c.compute_query_verified(&q, EvalStrategy::Indexed, &plan);
+        let timeline = sink.timeline();
+        let pos = |k: FaultEventKind| timeline.iter().position(|e| e.kind == k);
+        let (co, de, qu, he) = (
+            pos(FaultEventKind::Corrupt).expect("Corrupt on timeline"),
+            pos(FaultEventKind::Detect).expect("Detect on timeline"),
+            pos(FaultEventKind::Quarantine).expect("Quarantine on timeline"),
+            pos(FaultEventKind::Heal).expect("Heal on timeline"),
+        );
+        assert!(co < de && de < qu && qu < he, "order: {timeline:?}");
+        assert!(timeline.iter().all(|e| {
+            e.kind != FaultEventKind::Detect || e.node == 2
+        }));
+    }
+
+    #[test]
+    fn quarantined_server_is_immune_to_further_corruption() {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let mut c = seeded(3);
+        // Corrupt server 1 in rounds 0 and 1; after round 0 it is
+        // quarantined, so round 1's event finds no untrusted prover to
+        // subvert.
+        let plan = CorruptionPlan::single(7, 0, 1, CorruptKind::Inject)
+            .with_event(1, 1, CorruptKind::Inject);
+        let r0 = c.compute_query_verified(&q, EvalStrategy::Indexed, &plan);
+        assert_eq!(r0.detected.len(), 1);
+        let r1 = c.compute_query_verified(&q, EvalStrategy::Indexed, &plan);
+        assert!(r1.corrupted.is_empty(), "quarantine blocks the adversary");
+        assert!(r1.clean());
+    }
+}

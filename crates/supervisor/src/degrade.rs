@@ -84,6 +84,77 @@ impl Certificate {
     pub fn is_complete(&self) -> bool {
         self.missing_nodes.is_empty()
     }
+
+    /// Build a certificate for a run that lost `missing_facts` of
+    /// `total_facts` with `missing_nodes` unhealed — the only place
+    /// coverage is computed, so every issued certificate validates by
+    /// construction.
+    pub fn for_loss(
+        missing_nodes: Vec<usize>,
+        missing_facts: usize,
+        total_facts: usize,
+        clock: usize,
+    ) -> Certificate {
+        let coverage = if total_facts == 0 {
+            1.0
+        } else {
+            1.0 - missing_facts as f64 / total_facts as f64
+        };
+        Certificate {
+            missing_nodes,
+            missing_facts,
+            coverage,
+            as_of_clock: clock,
+        }
+    }
+
+    /// Validate the certificate's claimed coverage against the loss
+    /// arithmetic it is supposed to summarize. A certificate is *forged*
+    /// (and rejected) when its coverage is NaN/∞/outside `[0, 1]`,
+    /// disagrees with `1 − missing_facts / total_facts`, claims missing
+    /// facts without naming a missing node, or counts more missing facts
+    /// than the input holds. Returns the recomputed coverage on success —
+    /// callers should use the returned value, never the stored field.
+    pub fn validate(&self, total_facts: usize) -> Result<f64, String> {
+        if !self.coverage.is_finite() {
+            return Err(format!("coverage {} is not finite", self.coverage));
+        }
+        if !(0.0..=1.0).contains(&self.coverage) {
+            return Err(format!("coverage {} outside [0, 1]", self.coverage));
+        }
+        if self.missing_facts > total_facts {
+            return Err(format!(
+                "{} missing facts exceed the {} total",
+                self.missing_facts, total_facts
+            ));
+        }
+        if self.missing_facts > 0 && self.missing_nodes.is_empty() {
+            return Err("missing facts without a missing node".into());
+        }
+        let derived = if total_facts == 0 {
+            1.0
+        } else {
+            1.0 - self.missing_facts as f64 / total_facts as f64
+        };
+        if (self.coverage - derived).abs() > 1e-9 {
+            return Err(format!(
+                "claimed coverage {} disagrees with derived {}",
+                self.coverage, derived
+            ));
+        }
+        Ok(derived)
+    }
+
+    /// Does the certificate *validly* claim full coverage of
+    /// `total_facts`? Unlike trusting the stored `coverage == 1.0`, this
+    /// rederives coverage via [`Certificate::validate`] — a forged
+    /// certificate that over-claims (says `1.0` while facts are missing)
+    /// answers `false` here.
+    pub fn is_full_coverage(&self, total_facts: usize) -> bool {
+        matches!(self.validate(total_facts), Ok(c) if c == 1.0)
+            && self.missing_facts == 0
+            && self.missing_nodes.is_empty()
+    }
 }
 
 /// The supervisor's verdict on a run's answer.
@@ -163,6 +234,51 @@ mod tests {
         assert!(Certificate::complete(3).is_complete());
         let json = serde_json::to_string(&c).unwrap();
         assert!(json.contains("\"coverage\":0.75"));
+    }
+
+    #[test]
+    fn forged_overclaiming_certificate_is_rejected() {
+        // The forgery: 5 of 20 facts are gone, but the certificate
+        // claims full coverage. Trusting the stored field would accept
+        // it; the validated derivation does not.
+        let forged = Certificate {
+            missing_nodes: vec![2],
+            missing_facts: 5,
+            coverage: 1.0,
+            as_of_clock: 90,
+        };
+        assert!(forged.validate(20).is_err());
+        assert!(!forged.is_full_coverage(20));
+
+        // Honest loss certificates validate and report true coverage.
+        let honest = Certificate::for_loss(vec![2], 5, 20, 90);
+        assert_eq!(honest.validate(20).unwrap(), 0.75);
+        assert!(!honest.is_full_coverage(20));
+        assert!(Certificate::complete(3).is_full_coverage(20));
+        assert!(Certificate::for_loss(vec![], 0, 0, 0).is_full_coverage(0));
+    }
+
+    #[test]
+    fn malformed_coverages_are_rejected() {
+        let mut c = Certificate::for_loss(vec![1], 5, 20, 0);
+        c.coverage = f64::NAN;
+        assert!(c.validate(20).is_err());
+        c.coverage = f64::INFINITY;
+        assert!(c.validate(20).is_err());
+        c.coverage = -0.25;
+        assert!(c.validate(20).is_err());
+        c.coverage = 1.5;
+        assert!(c.validate(20).is_err());
+        // More missing than the input holds.
+        let c = Certificate::for_loss(vec![1], 30, 20, 0);
+        assert!(c.validate(20).is_err());
+        // Missing facts without a named missing node.
+        let c = Certificate::for_loss(vec![], 5, 20, 0);
+        assert!(c.validate(20).is_err());
+        // Stored coverage quietly nudged away from the derivation.
+        let mut c = Certificate::for_loss(vec![1], 5, 20, 0);
+        c.coverage = 0.80;
+        assert!(c.validate(20).is_err());
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   load is checked against the theory's own `O(m/p^{1/τ*})`
 //!   per-server bound — recovery costs one server-load, not a
 //!   recomputation.
+//! * [`mod@verify`] — the Byzantine control loop: rounds commit blind,
+//!   the trusted checker of `parlog-verify` audits committed answers on
+//!   a cadence, failed certificates quarantine the lying server with a
+//!   measured rounds-to-quarantine latency, and rollback + replay heals
+//!   the tainted rounds.
 //! * [`degrade`] — what happens when recovery is impossible within
 //!   budget: monotone queries return a *certified sound partial answer*
 //!   (a subset of the truth, with a coverage certificate naming the
@@ -44,6 +49,7 @@ pub mod detector;
 pub mod heal;
 pub mod retry;
 pub mod supervise;
+pub mod verify;
 
 pub use degrade::{Certificate, Degraded, QueryMode};
 pub use detector::PhiDetector;
@@ -51,6 +57,10 @@ pub use heal::{heal_hypercube_crash, HealError, MpcHealReport};
 pub use retry::DeadlineRetry;
 pub use supervise::{
     supervise, supervise_traced, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,
+};
+pub use verify::{
+    run_verified_rounds, run_verified_rounds_cq, ByzantineDetection, VerifiedRunReport,
+    VerifyPolicy,
 };
 
 /// Commonly used items.
@@ -61,5 +71,9 @@ pub mod prelude {
     pub use crate::retry::DeadlineRetry;
     pub use crate::supervise::{
         supervise, supervise_traced, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,
+    };
+    pub use crate::verify::{
+        run_verified_rounds, run_verified_rounds_cq, ByzantineDetection, VerifiedRunReport,
+        VerifyPolicy,
     };
 }

@@ -421,16 +421,13 @@ fn close_out(
     }
     let total: usize = shards.iter().map(Instance::len).sum();
     let missing_facts: usize = report.unhealed.iter().map(|&i| shards[i].len()).sum();
-    let certificate = Certificate {
-        missing_nodes: report.unhealed.clone(),
+    let certificate = Certificate::for_loss(
+        report.unhealed.clone(),
         missing_facts,
-        coverage: if total == 0 {
-            1.0
-        } else {
-            1.0 - missing_facts as f64 / total as f64
-        },
-        as_of_clock: report.final_clock,
-    };
+        total,
+        report.final_clock,
+    );
+    debug_assert!(certificate.validate(total).is_ok());
     if mode.degradable() {
         Degraded::Partial {
             answer: run.outputs(),

@@ -1,0 +1,359 @@
+//! The checkpointed verified-rounds driver: Byzantine auditing on a
+//! cadence, with rollback + replay healing and measured
+//! rounds-to-quarantine latency.
+//!
+//! [`parlog_mpc::verified`] verifies *every* computation round before it
+//! commits — zero detection latency, full per-round certificate cost.
+//! A deployment may not want to pay the checker on every round. This
+//! driver explores the trade: rounds commit **blind** (the fast path,
+//! answers and certificates parked in the round store), and every
+//! [`VerifyPolicy::verify_every`] rounds an **audit** replays the trusted
+//! checker over everything committed since the last checkpoint. A failed
+//! certificate raises `Detect` and `Quarantine` on the timeline — with
+//! the quarantine's `info` field carrying the *detection latency in
+//! rounds* (audit round minus corruption round) — then heals by rolling
+//! the tainted round back and re-executing the quarantined server's task
+//! honestly on its shard alone. The final answer store is therefore
+//! byte-identical to a fault-free run, at a latency cost the e23
+//! experiment measures against the cadence.
+
+use crate::degrade::QueryMode;
+use parlog_faults::CorruptionPlan;
+use parlog_relal::eval::EvalStrategy;
+use parlog_relal::instance::Instance;
+use parlog_relal::query::UnionQuery;
+use parlog_trace::{FaultEvent, FaultEventKind, TraceEvent, TraceHandle};
+use parlog_verify::checker::check_answer;
+use parlog_verify::{corrupt_answer, prove_ucq, snapshot, ServerCertificate};
+
+/// How often the trusted checker audits the committed rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyPolicy {
+    /// Audit every `verify_every` rounds (1 = verify-then-commit on
+    /// every round, zero detection latency; larger values amortize the
+    /// checker at the price of latency). The final round always audits,
+    /// so no corruption outlives the run.
+    pub verify_every: usize,
+}
+
+impl VerifyPolicy {
+    /// Audit on every round: the zero-latency policy.
+    pub fn every_round() -> VerifyPolicy {
+        VerifyPolicy { verify_every: 1 }
+    }
+}
+
+/// One detected Byzantine corruption: where it happened, when the audit
+/// caught it, and the gap between the two.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ByzantineDetection {
+    /// The lying server.
+    pub server: usize,
+    /// Round whose committed answer was corrupt.
+    pub corrupted_round: usize,
+    /// Round at whose audit the checker rejected the certificate.
+    pub detected_round: usize,
+    /// `detected_round − corrupted_round`: the rounds-to-quarantine
+    /// latency the verify cadence buys or costs.
+    pub latency: usize,
+}
+
+/// What a verified multi-round run did.
+#[derive(Debug, Clone)]
+pub struct VerifiedRunReport {
+    /// Rounds executed (one query per round).
+    pub rounds: usize,
+    /// Audits the policy triggered.
+    pub audits: usize,
+    /// Every corruption the checker caught, with its latency.
+    pub detections: Vec<ByzantineDetection>,
+    /// Servers quarantined by the end of the run.
+    pub quarantined: Vec<usize>,
+    /// Per-round cluster-wide answers (union over servers), after all
+    /// rollback + replay heals — equal to the fault-free answers.
+    pub answers: Vec<Instance>,
+    /// Total certificate bytes across all rounds and servers.
+    pub cert_bytes: usize,
+}
+
+impl VerifiedRunReport {
+    /// Worst observed rounds-to-quarantine latency (0 when nothing was
+    /// detected).
+    pub fn max_latency(&self) -> usize {
+        self.detections.iter().map(|d| d.latency).max().unwrap_or(0)
+    }
+}
+
+/// Run one query per round over fixed input shards, committing blind and
+/// auditing on the policy's cadence. `corruption` tampers with the
+/// configured `(round, server)` outputs after the honest prover ran —
+/// the Byzantine window the audits must close. Monotonicity is not
+/// assumed: the checker's verdict is sound for any [`QueryMode`], since
+/// certificates bind answers to snapshots rather than relying on
+/// subset closure (this is what lets the verified path cover the
+/// non-monotone rows of the fault matrix).
+pub fn run_verified_rounds(
+    queries: &[UnionQuery],
+    shards: &[Instance],
+    strategy: EvalStrategy,
+    corruption: &CorruptionPlan,
+    policy: VerifyPolicy,
+    trace: &TraceHandle,
+) -> VerifiedRunReport {
+    assert!(policy.verify_every >= 1, "audit cadence must be at least 1");
+    let p = shards.len();
+    let mut quarantined = vec![false; p];
+    let mut store: Vec<Vec<(Instance, ServerCertificate)>> = Vec::with_capacity(queries.len());
+    let mut detections = Vec::new();
+    let mut audits = 0usize;
+    let mut cert_bytes = 0usize;
+    let mut audited_through = 0usize;
+
+    for (r, u) in queries.iter().enumerate() {
+        let mut row = Vec::with_capacity(p);
+        for (s, shard) in shards.iter().enumerate() {
+            let (mut answer, mut cert) = prove_ucq(s, u, shard, strategy);
+            // A quarantined server's task runs on trusted survivors; the
+            // adversary has lost its foothold there.
+            if !quarantined[s] {
+                if let Some(kind) = corruption.event_for(r, s) {
+                    let e = corruption.entropy(r, s);
+                    corrupt_answer(&mut answer, &mut cert, u, kind, e);
+                    trace.record(TraceEvent::Fault(FaultEvent {
+                        vclock: r as f64,
+                        kind: FaultEventKind::Corrupt,
+                        node: s,
+                        info: e,
+                    }));
+                }
+            }
+            cert_bytes += cert.size_bytes();
+            row.push((answer, cert));
+        }
+        store.push(row);
+
+        let last_round = r + 1 == queries.len();
+        if (r + 1) % policy.verify_every != 0 && !last_round {
+            continue; // blind commit: the fast path between audits
+        }
+        audits += 1;
+        for rr in audited_through..=r {
+            let audited_query = &queries[rr];
+            for (s, shard) in shards.iter().enumerate() {
+                let (answer, cert) = &store[rr][s];
+                if check_answer(audited_query, shard, answer, cert).is_ok() {
+                    continue;
+                }
+                let latency = r - rr;
+                trace.record(TraceEvent::Fault(FaultEvent {
+                    vclock: r as f64,
+                    kind: FaultEventKind::Detect,
+                    node: s,
+                    info: snapshot(shard).short(),
+                }));
+                if !quarantined[s] {
+                    quarantined[s] = true;
+                    trace.record(TraceEvent::Fault(FaultEvent {
+                        vclock: r as f64,
+                        kind: FaultEventKind::Quarantine,
+                        node: s,
+                        info: latency as u64,
+                    }));
+                }
+                // Rollback + replay: the tainted round's task re-executed
+                // honestly on the server's shard alone.
+                store[rr][s] = prove_ucq(s, audited_query, shard, strategy);
+                trace.record(TraceEvent::Fault(FaultEvent {
+                    vclock: r as f64,
+                    kind: FaultEventKind::Heal,
+                    node: s,
+                    info: shard.len() as u64,
+                }));
+                detections.push(ByzantineDetection {
+                    server: s,
+                    corrupted_round: rr,
+                    detected_round: r,
+                    latency,
+                });
+            }
+        }
+        audited_through = r + 1;
+    }
+
+    let answers = store
+        .iter()
+        .map(|row| {
+            let mut union = Instance::new();
+            for (answer, _) in row {
+                union.extend_from(answer);
+            }
+            union
+        })
+        .collect();
+    VerifiedRunReport {
+        rounds: queries.len(),
+        audits,
+        detections,
+        quarantined: (0..p).filter(|&s| quarantined[s]).collect(),
+        answers,
+        cert_bytes,
+    }
+}
+
+/// Convenience: the same conjunctive query every round.
+pub fn run_verified_rounds_cq(
+    q: &parlog_relal::query::ConjunctiveQuery,
+    rounds: usize,
+    shards: &[Instance],
+    strategy: EvalStrategy,
+    corruption: &CorruptionPlan,
+    policy: VerifyPolicy,
+    trace: &TraceHandle,
+) -> VerifiedRunReport {
+    let _ = QueryMode::of(q); // any mode is fine — see run_verified_rounds
+    let queries = vec![UnionQuery::new(vec![q.clone()]); rounds];
+    run_verified_rounds(&queries, shards, strategy, corruption, policy, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_faults::CorruptKind;
+    use parlog_relal::fact::fact;
+    use parlog_relal::parser::parse_query;
+    use parlog_trace::MemSink;
+    use std::sync::Arc;
+
+    fn shards(p: usize) -> Vec<Instance> {
+        let mut out = vec![Instance::new(); p];
+        for i in 0..18u64 {
+            out[(i % p as u64) as usize].insert(fact("R", &[i, i + 1]));
+            out[(i % p as u64) as usize].insert(fact("S", &[i + 1, i + 2]));
+        }
+        out
+    }
+
+    fn q() -> parlog_relal::query::ConjunctiveQuery {
+        parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap()
+    }
+
+    #[test]
+    fn fault_free_run_detects_nothing() {
+        let sh = shards(3);
+        let rep = run_verified_rounds_cq(
+            &q(),
+            4,
+            &sh,
+            EvalStrategy::Indexed,
+            &CorruptionPlan::none(3),
+            VerifyPolicy { verify_every: 2 },
+            &TraceHandle::off(),
+        );
+        assert_eq!(rep.rounds, 4);
+        assert_eq!(rep.audits, 2);
+        assert!(rep.detections.is_empty());
+        assert!(rep.quarantined.is_empty());
+        assert!(rep.cert_bytes > 0);
+    }
+
+    #[test]
+    fn latency_equals_distance_to_the_next_audit() {
+        let sh = shards(3);
+        for (cadence, expected_latency) in [(1usize, 0usize), (3, 1), (6, 4)] {
+            let plan = CorruptionPlan::single(7, 1, 2, CorruptKind::Inject);
+            let rep = run_verified_rounds_cq(
+                &q(),
+                6,
+                &sh,
+                EvalStrategy::Indexed,
+                &plan,
+                VerifyPolicy {
+                    verify_every: cadence,
+                },
+                &TraceHandle::off(),
+            );
+            assert_eq!(rep.detections.len(), 1, "cadence {cadence}");
+            let d = &rep.detections[0];
+            assert_eq!((d.server, d.corrupted_round), (2, 1));
+            assert_eq!(d.latency, expected_latency, "cadence {cadence}");
+            assert_eq!(rep.max_latency(), expected_latency);
+            assert_eq!(rep.quarantined, vec![2]);
+        }
+    }
+
+    #[test]
+    fn healed_answers_match_the_faultfree_run() {
+        let sh = shards(3);
+        let clean = run_verified_rounds_cq(
+            &q(),
+            5,
+            &sh,
+            EvalStrategy::Indexed,
+            &CorruptionPlan::none(9),
+            VerifyPolicy::every_round(),
+            &TraceHandle::off(),
+        );
+        for kind in CorruptKind::ALL {
+            let plan = CorruptionPlan::single(9, 2, 0, kind).with_event(3, 1, kind);
+            let rep = run_verified_rounds_cq(
+                &q(),
+                5,
+                &sh,
+                EvalStrategy::Indexed,
+                &plan,
+                VerifyPolicy { verify_every: 2 },
+                &TraceHandle::off(),
+            );
+            assert_eq!(rep.detections.len(), 2, "{kind:?}");
+            assert_eq!(rep.answers, clean.answers, "{kind:?}: heal restores truth");
+        }
+    }
+
+    #[test]
+    fn timeline_orders_corrupt_detect_quarantine_heal() {
+        let sh = shards(3);
+        let sink = Arc::new(MemSink::new());
+        let plan = CorruptionPlan::single(5, 0, 1, CorruptKind::Mutate);
+        run_verified_rounds_cq(
+            &q(),
+            3,
+            &sh,
+            EvalStrategy::Indexed,
+            &plan,
+            VerifyPolicy { verify_every: 2 },
+            &TraceHandle::to(sink.clone()),
+        );
+        let tl = sink.timeline();
+        let pos = |k| tl.iter().position(|e| e.kind == k).unwrap();
+        assert!(pos(FaultEventKind::Corrupt) < pos(FaultEventKind::Detect));
+        assert!(pos(FaultEventKind::Detect) < pos(FaultEventKind::Quarantine));
+        assert!(pos(FaultEventKind::Quarantine) < pos(FaultEventKind::Heal));
+        // Quarantine's info is the measured latency (round 1 audit, round
+        // 0 corruption).
+        let quarantine = tl
+            .iter()
+            .find(|e| e.kind == FaultEventKind::Quarantine)
+            .unwrap();
+        assert_eq!(quarantine.info, 1);
+    }
+
+    #[test]
+    fn quarantine_blocks_later_corruption_without_reaudit_noise() {
+        let sh = shards(2);
+        let plan = CorruptionPlan::single(11, 0, 0, CorruptKind::Drop)
+            .with_event(2, 0, CorruptKind::Inject);
+        let rep = run_verified_rounds_cq(
+            &q(),
+            4,
+            &sh,
+            EvalStrategy::Indexed,
+            &plan,
+            VerifyPolicy::every_round(),
+            &TraceHandle::off(),
+        );
+        // Round 0's drop is caught instantly; round 2's event targets a
+        // quarantined server and never fires.
+        assert_eq!(rep.detections.len(), 1);
+        assert_eq!(rep.quarantined, vec![0]);
+    }
+}

@@ -153,6 +153,16 @@ pub enum FaultEventKind {
     /// The run closed refusing to answer (non-monotone query over a
     /// lost shard).
     Refuse,
+    /// Byzantine corruption fired: a message payload or a server's local
+    /// output was tampered with (`info` = corruption entropy / kind tag).
+    Corrupt,
+    /// The certificate checker rejected a server's answer (`info` = the
+    /// snapshot id's short form, binding the detection to the round's
+    /// content address).
+    Detect,
+    /// A detected-Byzantine server was quarantined: its answer discarded
+    /// and its task reassigned (`info` = detection latency in rounds).
+    Quarantine,
 }
 
 /// One timeline entry: what happened, to whom, when on the virtual

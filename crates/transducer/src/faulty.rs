@@ -67,6 +67,9 @@ pub struct FaultStats {
     pub recoveries: usize,
     /// Copies re-sent by the ack/retransmit protocol.
     pub retransmissions: usize,
+    /// Copies whose payload was tampered with in transit (Byzantine
+    /// corruption faults).
+    pub corrupted: usize,
     /// Acknowledgements sent (one per delivery in reliable mode).
     pub acks: usize,
     /// Messages processed by a deliberately slowed (straggler) node —

@@ -274,6 +274,14 @@ impl SimRun {
                     bytes,
                     ..CommCounters::default()
                 },
+                // A corrupted copy still travels the wire once; the
+                // tampering itself is reported on the fault timeline, not
+                // in the comm counters.
+                MessageFate::Corrupt(_) => CommCounters {
+                    sent: 1,
+                    bytes,
+                    ..CommCounters::default()
+                },
             })
         });
         match fate {
@@ -297,6 +305,27 @@ impl SimRun {
                     msg: fact,
                     attempts,
                 });
+            }
+            MessageFate::Corrupt(e) => {
+                // Byzantine tampering in transit: one argument is flipped
+                // by an entropy-derived nonzero delta, so the destination
+                // receives a well-formed but *wrong* fact. A zero-arity
+                // fact has nothing to flip and passes unchanged.
+                self.faults.stats.corrupted += 1;
+                let mut tampered = fact;
+                if !tampered.args.is_empty() {
+                    let idx = e as usize % tampered.args.len();
+                    tampered.args[idx].0 ^= (e | 1) & 0xFFFF;
+                }
+                self.trace.emit(|| {
+                    TraceEvent::Fault(FaultEvent {
+                        vclock: self.faults.clock as f64,
+                        kind: FaultEventKind::Corrupt,
+                        node: dest,
+                        info: e,
+                    })
+                });
+                self.enqueue(dest, from, tampered);
             }
         }
     }

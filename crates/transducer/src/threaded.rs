@@ -128,6 +128,20 @@ where
                                         stats.lock().delayed += 1;
                                         1
                                     }
+                                    parlog_faults::MessageFate::Corrupt(e) => {
+                                        // Byzantine tampering: deliver one
+                                        // copy with an entropy-flipped
+                                        // argument instead of the original.
+                                        stats.lock().corrupted += 1;
+                                        let mut t = f.clone();
+                                        if !t.args.is_empty() {
+                                            let idx = e as usize % t.args.len();
+                                            t.args[idx].0 ^= (e | 1) & 0xFFFF;
+                                        }
+                                        in_flight.fetch_add(1, Ordering::SeqCst);
+                                        s.send((id, t)).expect("receiver alive");
+                                        0
+                                    }
                                 },
                             };
                             for _ in 0..copies {

@@ -1,0 +1,144 @@
+//! Adversarial property tests for the trusted checker (PR 6):
+//! *any* single-tuple tampering — of the answer, of a witness, or of
+//! the bound shard — flips the checker's verdict from accept to reject.
+//!
+//! The adversary here is diligent: after every tampering the
+//! certificate's `answer_root` is recomputed, so the checker can never
+//! pass by comparing roots alone.
+
+use proptest::prelude::*;
+
+use parlog_faults::CorruptKind;
+use parlog_relal::eval::EvalStrategy;
+use parlog_relal::fact::{fact, Fact, Val};
+use parlog_relal::instance::Instance;
+use parlog_relal::parser::{parse_query, parse_union};
+use parlog_relal::query::UnionQuery;
+use parlog_verify::checker::check_answer;
+use parlog_verify::{corrupt_answer, prove_ucq, snapshot};
+
+fn db_strategy(max_facts: usize, domain: u64) -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0..domain, 0..domain, 0..2u64), 2..max_facts).prop_map(
+        |triples| {
+            Instance::from_facts(triples.into_iter().map(|(a, b, r)| {
+                if r == 0 {
+                    fact("R", &[a, b])
+                } else {
+                    fact("S", &[a, b])
+                }
+            }))
+        },
+    )
+}
+
+fn queries() -> Vec<UnionQuery> {
+    vec![
+        UnionQuery::new(vec![parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap()]),
+        parse_union("H(x) <- R(x,y); H(x) <- S(x,y)").unwrap(),
+        UnionQuery::new(vec![parse_query("H(x,y) <- R(x,y), not S(x,y)").unwrap()]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The seeded adversary (mutate / inject / drop, diligent root
+    /// recomputation) never slips a corruption past the checker,
+    /// whichever query shape and entropy it draws.
+    #[test]
+    fn seeded_adversary_always_flips_the_verdict(
+        db in db_strategy(20, 8),
+        entropy in 0u64..10_000,
+        kind_idx in 0usize..3,
+        query_idx in 0usize..3,
+    ) {
+        let u = &queries()[query_idx];
+        let (mut answer, mut cert) = prove_ucq(0, u, &db, EvalStrategy::Indexed);
+        prop_assert!(check_answer(u, &db, &answer, &cert).is_ok());
+        corrupt_answer(&mut answer, &mut cert, u, CorruptKind::ALL[kind_idx], entropy);
+        prop_assert!(
+            check_answer(u, &db, &answer, &cert).is_err(),
+            "corruption survived the checker"
+        );
+    }
+
+    /// Hand-rolled single-tuple tampering of the *answer*: adding any
+    /// fresh tuple or removing any present tuple is rejected, even with
+    /// the answer root recomputed.
+    #[test]
+    fn any_answer_tuple_flip_is_rejected(
+        db in db_strategy(20, 8),
+        pick in 0usize..64,
+        fresh_a in 100u64..200,
+        fresh_b in 100u64..200,
+    ) {
+        let u = &queries()[0];
+        let (answer, cert) = prove_ucq(0, u, &db, EvalStrategy::Indexed);
+
+        // Remove one tuple (when the answer has any).
+        if !answer.is_empty() {
+            let victim = answer.sorted_facts()[pick % answer.len()].clone();
+            let mut tampered = answer.clone();
+            tampered.remove(&victim);
+            let mut cert2 = cert.clone();
+            cert2.witnesses.retain(|w| w.fact != victim);
+            cert2.answer_root = snapshot(&tampered);
+            prop_assert!(check_answer(u, &db, &tampered, &cert2).is_err());
+        }
+
+        // Add one tuple the engine never derived (values ≥ 100 are
+        // outside the generated domain, so it cannot be a real answer).
+        let forged = Fact::new(answer.sorted_facts().first().map_or_else(
+            || parlog_relal::symbols::rel("H"),
+            |f| f.rel,
+        ), vec![Val(fresh_a), Val(fresh_b)]);
+        let mut tampered = answer.clone();
+        tampered.insert(forged);
+        let mut cert2 = cert.clone();
+        cert2.answer_root = snapshot(&tampered);
+        prop_assert!(check_answer(u, &db, &tampered, &cert2).is_err());
+    }
+
+    /// Tampering with a *witness* (rebinding one variable to a value
+    /// outside the data's domain, so the binding cannot accidentally be
+    /// another valid witness) is rejected: the valuation no longer
+    /// derives its fact or no longer satisfies the query on the shard.
+    #[test]
+    fn any_witness_tamper_is_rejected(
+        db in db_strategy(20, 8),
+        pick in 0usize..64,
+        fresh in 100u64..150,
+    ) {
+        let u = &queries()[0];
+        let (answer, mut cert) = prove_ucq(0, u, &db, EvalStrategy::Indexed);
+        if cert.witnesses.is_empty() {
+            return;
+        }
+        let i = pick % cert.witnesses.len();
+        let w = &mut cert.witnesses[i];
+        let var = w.valuation.iter().next().map(|(v, _)| v.clone()).unwrap();
+        w.valuation.bind(var, Val(fresh));
+        prop_assert!(check_answer(u, &db, &answer, &cert).is_err());
+    }
+
+    /// Presenting the answer against a *different shard* than the one
+    /// the certificate binds (one fact added or removed) is rejected by
+    /// the snapshot binding before any witness is even examined.
+    #[test]
+    fn any_shard_tamper_is_rejected(
+        db in db_strategy(20, 8),
+        pick in 0usize..64,
+    ) {
+        let u = &queries()[0];
+        let (answer, cert) = prove_ucq(0, u, &db, EvalStrategy::Indexed);
+
+        let mut grown = db.clone();
+        grown.insert(fact("R", &[77, 88]));
+        prop_assert!(check_answer(u, &grown, &answer, &cert).is_err());
+
+        let victim = db.sorted_facts()[pick % db.len()].clone();
+        let mut shrunk = db.clone();
+        shrunk.remove(&victim);
+        prop_assert!(check_answer(u, &shrunk, &answer, &cert).is_err());
+    }
+}
