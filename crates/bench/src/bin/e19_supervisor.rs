@@ -209,7 +209,7 @@ fn degradation() -> Degradation {
         &config,
     );
     let (refused, reason) = match &non.verdict {
-        Degraded::Refused { reason, .. } => (true, reason.clone()),
+        Degraded::Refused { reason, .. } => (true, reason.to_string()),
         _ => (false, String::new()),
     };
     assert!(refused, "non-monotone queries must refuse under shard loss");

@@ -258,7 +258,11 @@ fn main() {
             detected += 1;
             by_kind[seed as usize % CorruptKind::ALL.len()] += 1;
         }
-        if c.quarantined().iter().enumerate().all(|(i, &qd)| qd == (i == victim)) {
+        if c.quarantined()
+            .iter()
+            .enumerate()
+            .all(|(i, &qd)| qd == (i == victim))
+        {
             quarantined_exactly_victim += 1;
         }
         if c.union_all() == truth {
@@ -276,8 +280,14 @@ fn main() {
             .map(|(k, n)| (k.name().to_string(), n))
             .collect(),
     };
-    assert_eq!(detection.detected, SWEEPS, "a corruption slipped past the checker");
-    assert_eq!(detection.healed_to_truth, SWEEPS, "a heal failed to restore the truth");
+    assert_eq!(
+        detection.detected, SWEEPS,
+        "a corruption slipped past the checker"
+    );
+    assert_eq!(
+        detection.healed_to_truth, SWEEPS,
+        "a heal failed to restore the truth"
+    );
     println!(
         "{} / {} corruptions detected, {} healed back to the fault-free union",
         detection.detected, SWEEPS, detection.healed_to_truth
@@ -300,13 +310,22 @@ fn main() {
             VerifyPolicy { verify_every },
             &TraceHandle::off(),
         );
-        assert_eq!(report.detections.len(), 1, "cadence {verify_every}: undetected");
+        assert_eq!(
+            report.detections.len(),
+            1,
+            "cadence {verify_every}: undetected"
+        );
         let d = &report.detections[0];
         assert_eq!(d.server, 2);
         // Latency = distance from the corrupted round to the next audit.
         let expected = verify_every - 1 - (d.corrupted_round % verify_every);
         assert_eq!(d.latency, expected, "cadence {verify_every}");
-        lt.row(&[&verify_every, &d.corrupted_round, &d.detected_round, &d.latency]);
+        lt.row(&[
+            &verify_every,
+            &d.corrupted_round,
+            &d.detected_round,
+            &d.latency,
+        ]);
         latencies.push(LatencyRow {
             verify_every,
             corrupted_round: d.corrupted_round,

@@ -36,6 +36,20 @@
 //! to [`Verdict::Consistent`]. The unfixed program stays in the matrix as
 //! the regression witness.
 //!
+//! PR 7 adds the **partition** fault class. A *healing* split is within
+//! the model — messages crossing the cut are held at their sources and
+//! flushed on heal, i.e. "arbitrarily delayed but never lost" — so every
+//! CALM class must (and does) absorb it: the sweep's partition column is
+//! Consistent for F0–F2. A *permanent* split steps outside the model,
+//! and three dedicated rows machine-check what coordination does there:
+//! "coord-perm" (the counting barrier waits forever for end-of-data
+//! counts held behind the cut — [`Verdict::Deadlock`], the transducer
+//! regression witness), "mpc-part-unguarded" (the all-ack MPC
+//! coordination barrier deadlocks the same way), and "mpc-part-quorum"
+//! (the strict-majority gate of [`parlog_mpc::quorum`] commits on the
+//! majority side with a sound partial answer, blocks on the minority,
+//! and converges exactly once a healing split flushes — Consistent).
+//!
 //! PR 6 widens the threat model beyond omission: the **corrupt** fault
 //! class injects Byzantine (wrong-answer) behavior — in-flight payload
 //! tampering on the transducer substrate, per-server output tampering on
@@ -47,10 +61,13 @@
 //! its failed snapshot-bound certificate, quarantines it and heals —
 //! [`Verdict::Consistent`] again).
 
-use parlog_faults::{CorruptKind, CorruptionPlan, FaultClass, FaultPlan};
+use parlog_faults::{
+    CorruptKind, CorruptionPlan, FaultClass, FaultPlan, MpcFaultPlan, PartitionPlan,
+};
 use parlog_mpc::cluster::Cluster;
-use parlog_relal::eval::EvalStrategy;
+use parlog_mpc::quorum::{coordination_barrier, BarrierOutcome};
 use parlog_relal::eval::eval_query;
+use parlog_relal::eval::EvalStrategy;
 use parlog_relal::fact::fact;
 use parlog_relal::instance::Instance;
 use parlog_relal::parser::parse_query;
@@ -77,6 +94,12 @@ pub enum Verdict {
     SoundOnly,
     /// Some run produced a fact outside `Q(I)`.
     Fails,
+    /// Every seeded run *blocked*: the program waited on messages that a
+    /// permanent partition holds forever, quiescing with no answer at
+    /// all. Distinct from [`Verdict::SoundOnly`] (which still answers)
+    /// and from [`Verdict::Fails`] (which answers wrongly) — the classic
+    /// fate of an unguarded coordination barrier under a split.
+    Deadlock,
 }
 
 impl fmt::Display for Verdict {
@@ -85,6 +108,7 @@ impl fmt::Display for Verdict {
             Verdict::Consistent => "consistent",
             Verdict::SoundOnly => "sound-only",
             Verdict::Fails => "FAILS",
+            Verdict::Deadlock => "DEADLOCK",
         })
     }
 }
@@ -307,7 +331,8 @@ pub fn fault_matrix_with_seeds(seeds: &[u64]) -> FaultMatrix {
         let seed_cluster = || {
             let mut c = Cluster::new(p);
             for i in 0..12u64 {
-                c.local_mut((i % p as u64) as usize).insert(fact("R", &[i, i + 1]));
+                c.local_mut((i % p as u64) as usize)
+                    .insert(fact("R", &[i, i + 1]));
                 c.local_mut((i % p as u64) as usize)
                     .insert(fact("S", &[i + 1, i + 2]));
             }
@@ -366,6 +391,144 @@ pub fn fault_matrix_with_seeds(seeds: &[u64]) -> FaultMatrix {
             fault: FaultClass::Corrupt.name(),
             within_model: FaultClass::Corrupt.within_model(),
             verdict: verdict(verified_unsound, verified_exact),
+        });
+    }
+
+    // Permanent partitions — outside the model ("never lost" is violated
+    // when the heal never comes). Three dedicated rows:
+    //
+    // * "coord-perm" — the transducer counting barrier under a permanent
+    //   split. End-of-data counts crossing the cut are held forever, no
+    //   node's barrier ever opens, and the run quiesces with an *empty*
+    //   output: Deadlock, the transducer-side regression witness.
+    // * "mpc-part-unguarded" — the all-ack MPC coordination barrier:
+    //   the minority's acks are held behind the severed link, so the
+    //   gate can never be met — Deadlock.
+    // * "mpc-part-quorum" — the strict-majority gate: a majority-side
+    //   coordinator commits with the acks it can reach and the computed
+    //   answer stays a sound subset; a minority-side coordinator blocks
+    //   (no divergence); and under a *healing* split the held traffic
+    //   flushes and the committed answer converges exactly — Consistent.
+    {
+        let q = parse_query("H(x,y,z) <- E(x,y), E(y,z), not E(z,x)").unwrap();
+        let db = Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+            fact("E", &[3, 1]),
+            fact("E", &[2, 4]),
+        ]);
+        let shards = hash_distribution(&db, 3, 2);
+        let prog = CoordinatedBroadcast::new(q);
+        let mut all_deadlocked = true;
+        for &seed in seeds {
+            let plan = FaultPlan::partitioned(
+                seed,
+                PartitionPlan::permanent_split(0, &[(seed as usize) % 3]),
+            );
+            let (out, stats) =
+                run_with_faults(&prog, &shards, Ctx::aware(3), Schedule::Random(seed), &plan);
+            if !(out.is_empty() && stats.partitioned > 0) {
+                all_deadlocked = false;
+            }
+        }
+        rows.push(FaultMatrixRow {
+            program: "coordinated broadcast (permanent split)".to_string(),
+            class: "coord-perm",
+            fault: FaultClass::Partition.name(),
+            within_model: false,
+            verdict: if all_deadlocked {
+                Verdict::Deadlock
+            } else {
+                Verdict::Fails
+            },
+        });
+    }
+    {
+        let q = parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap();
+        let p = 3usize;
+        let seed_cluster = || {
+            let mut c = Cluster::new(p);
+            for i in 0..12u64 {
+                c.local_mut((i % p as u64) as usize)
+                    .insert(fact("R", &[i, i + 1]));
+                c.local_mut((i % p as u64) as usize)
+                    .insert(fact("S", &[i + 1, i + 2]));
+            }
+            c
+        };
+        let expected = {
+            let mut c = seed_cluster();
+            c.compute_query(&q, EvalStrategy::Indexed);
+            c.union_all()
+        };
+        let mut unguarded_deadlocks = true;
+        let mut quorum_consistent = true;
+        for &seed in seeds {
+            let minority = (seed as usize) % p;
+            let coordinator = (minority + 1) % p;
+            let perm = || MpcFaultPlan::partitioned(PartitionPlan::permanent_split(0, &[minority]));
+            // The unguarded all-ack gate can never be met: the minority's
+            // ack is held behind the severed link.
+            let mut c = seed_cluster().with_faults(perm());
+            if !matches!(
+                coordination_barrier(&mut c, coordinator, false, 6),
+                BarrierOutcome::Deadlocked { .. }
+            ) {
+                unguarded_deadlocks = false;
+            }
+            // Quorum gate, majority coordinator: commits, and the answer
+            // computed under the open split stays a sound subset.
+            let mut c = seed_cluster().with_faults(perm());
+            if !coordination_barrier(&mut c, coordinator, true, 6).committed() {
+                quorum_consistent = false;
+            }
+            c.compute_query(&q, EvalStrategy::Indexed);
+            if !c.union_all().is_subset_of(&expected) {
+                quorum_consistent = false;
+            }
+            // Quorum gate, minority coordinator: must block, not commit —
+            // two sides can never both open the barrier.
+            let mut c = seed_cluster().with_faults(perm());
+            if !matches!(
+                coordination_barrier(&mut c, minority, true, 6),
+                BarrierOutcome::QuorumLost { .. }
+            ) {
+                quorum_consistent = false;
+            }
+            // Healing split: the held traffic flushes, the barrier
+            // commits after the heal, and the answer converges exactly.
+            let mut c = seed_cluster().with_faults(MpcFaultPlan::partitioned(
+                PartitionPlan::split(0, 2, &[minority]),
+            ));
+            if !coordination_barrier(&mut c, minority, true, 8).committed() {
+                quorum_consistent = false;
+            }
+            c.compute_query(&q, EvalStrategy::Indexed);
+            if c.union_all() != expected {
+                quorum_consistent = false;
+            }
+        }
+        rows.push(FaultMatrixRow {
+            program: "all-ack coordination barrier".to_string(),
+            class: "mpc-part-unguarded",
+            fault: FaultClass::Partition.name(),
+            within_model: false,
+            verdict: if unguarded_deadlocks {
+                Verdict::Deadlock
+            } else {
+                Verdict::Fails
+            },
+        });
+        rows.push(FaultMatrixRow {
+            program: "quorum-gated coordination barrier".to_string(),
+            class: "mpc-part-quorum",
+            fault: FaultClass::Partition.name(),
+            within_model: false,
+            verdict: if quorum_consistent {
+                Verdict::Consistent
+            } else {
+                Verdict::Fails
+            },
         });
     }
 
@@ -572,10 +735,57 @@ mod tests {
     fn matrix_covers_every_cell_and_serializes() {
         let m = matrix();
         // Five transducer programs × every fault class, plus the two
-        // MPC corrupt rows (blind-commit UNSOUND witness + verified).
-        assert_eq!(m.rows.len(), 5 * FaultClass::ALL.len() + 2);
+        // MPC corrupt rows (blind-commit UNSOUND witness + verified),
+        // plus the three permanent-partition rows (coord-perm,
+        // mpc-part-unguarded, mpc-part-quorum).
+        assert_eq!(m.rows.len(), 5 * FaultClass::ALL.len() + 2 + 3);
         let json = serde_json::to_string(&m).unwrap();
         assert!(json.contains("\"verdict\""));
         assert!(json.contains("\"within_model\""));
+    }
+
+    #[test]
+    fn calm_classes_absorb_healing_partitions() {
+        // A healing split is within the model — held-then-flushed is
+        // just "arbitrarily delayed" — so coordination-freeness must
+        // absorb it outright, like reorder/duplicate/delay.
+        let m = matrix();
+        for class in ["F0", "F1", "F2"] {
+            let cell = m.cell(class, "partition").unwrap();
+            assert_eq!(cell.verdict, Verdict::Consistent, "{class} under partition");
+            assert!(cell.within_model, "{class}: healing splits are in-model");
+        }
+    }
+
+    #[test]
+    fn permanent_partition_deadlocks_coordination_and_quorum_survives() {
+        // The partition tentpole in three rows. The unguarded barriers —
+        // transducer counting barrier and MPC all-ack barrier — wait on
+        // messages a permanent split holds forever: Deadlock, the
+        // machine-checked regression witnesses. The strict-majority gate
+        // commits on the majority side, blocks on the minority, and
+        // converges exactly once a healing split flushes: Consistent.
+        let m = matrix();
+        assert_eq!(
+            m.cell("coord-perm", "partition").unwrap().verdict,
+            Verdict::Deadlock,
+            "the counting barrier must deadlock under a permanent split"
+        );
+        assert_eq!(
+            m.cell("mpc-part-unguarded", "partition").unwrap().verdict,
+            Verdict::Deadlock,
+            "the all-ack barrier must deadlock under a permanent split"
+        );
+        assert_eq!(
+            m.cell("mpc-part-quorum", "partition").unwrap().verdict,
+            Verdict::Consistent,
+            "the quorum gate must degrade instead of diverging"
+        );
+        for class in ["coord-perm", "mpc-part-unguarded", "mpc-part-quorum"] {
+            assert!(
+                !m.cell(class, "partition").unwrap().within_model,
+                "{class}: a split that never heals is outside the model"
+            );
+        }
     }
 }

@@ -24,10 +24,15 @@
 //!   correspondence table of Section 5, both machine-checked against the
 //!   paper in the test suite.
 //! * **Faults** — [`fault_matrix`] stress-tests the Section 5 strategies
-//!   under injected faults (reorder/duplicate/delay, loss, crashes) and
-//!   records a machine-checked verdict per cell: within-model faults are
-//!   absorbed by the CALM classes, everything else costs completeness
-//!   but never soundness.
+//!   under injected faults (reorder/duplicate/delay, loss, crashes,
+//!   partitions) and records a machine-checked verdict per cell:
+//!   within-model faults — including *healing* network partitions, whose
+//!   severed traffic is held at the source and flushed on heal — are
+//!   absorbed by the CALM classes; omission faults outside the model
+//!   cost completeness but never soundness; a *permanent* partition
+//!   deadlocks unguarded coordination (the machine-checked regression
+//!   witness) while the quorum-gated barrier degrades instead of
+//!   diverging.
 //! * **Supervision** — [`supervisor`] (re-exported from
 //!   `parlog-supervisor`) is the control plane above both substrates:
 //!   φ-accrual failure detection, deadline-bounded retry, shard
@@ -67,17 +72,26 @@ pub use parlog_mpc as mpc;
 pub use parlog_relal as relal;
 pub use parlog_supervisor as supervisor;
 pub use parlog_trace as trace;
-pub use parlog_verify as verify;
 pub use parlog_transducer as transducer;
+pub use parlog_verify as verify;
+
+pub use fault_matrix::{FaultMatrix, FaultMatrixRow, Verdict};
 
 /// Commonly used items from the whole workspace.
 pub mod prelude {
     pub use crate::calm::{classify, MonotonicityClass, Schema};
+    pub use crate::fault_matrix::{fault_matrix, FaultMatrix, Verdict};
     pub use crate::pc::{
         parallel_correct, parallel_correct_on, parallel_result, saturates, strongly_saturates,
     };
     pub use crate::queries;
     pub use crate::transfer::{covers, pc_transfers};
+    pub use parlog_faults::{FaultClass, FaultPlan, MessageFate, MpcFaultPlan, PartitionPlan};
+    pub use parlog_mpc::quorum::{coordination_barrier, BarrierOutcome};
     pub use parlog_relal::fact::Val;
     pub use parlog_relal::prelude::*;
+    pub use parlog_supervisor::degrade::{Certificate, Degraded, QueryMode, RefusalReason};
+    pub use parlog_supervisor::partition::{
+        accounted_nodes, classify_silence, has_quorum, round_trip_open, SilenceVerdict,
+    };
 }

@@ -58,11 +58,21 @@ pub enum FaultClass {
     /// tolerance says nothing about it; detection needs the
     /// `parlog-verify` certificate checker.
     Corrupt,
+    /// Network partition: the node set splits into blocks that cannot
+    /// exchange messages until the partition heals. Messages crossing a
+    /// severed link are **held at the source** and flushed on heal —
+    /// never lost — so a *healing* partition is an adversarial but
+    /// finite delay, squarely within the asynchronous model's
+    /// "arbitrarily delayed but never lost" assumption. What it stresses
+    /// is *coordination*: coordination-free (monotone) programs keep
+    /// making sound progress on every side, while coordination barriers
+    /// block until heal (and deadlock if the partition is permanent).
+    Partition,
 }
 
 impl FaultClass {
     /// All classes, in matrix order.
-    pub const ALL: [FaultClass; 7] = [
+    pub const ALL: [FaultClass; 8] = [
         FaultClass::Reorder,
         FaultClass::Duplicate,
         FaultClass::Delay,
@@ -70,15 +80,18 @@ impl FaultClass {
         FaultClass::CrashRecover,
         FaultClass::CrashStop,
         FaultClass::Corrupt,
+        FaultClass::Partition,
     ];
 
     /// Does the paper's asynchronous model already quantify over this
     /// fault (true), or does the fault violate a stated assumption
-    /// (false)?
+    /// (false)? A *healing* partition with hold-and-flush delivery is
+    /// within the model (finite delay, no loss); a permanent partition
+    /// would not be, but [`FaultPlan::for_class`] always heals.
     pub fn within_model(self) -> bool {
         matches!(
             self,
-            FaultClass::Reorder | FaultClass::Duplicate | FaultClass::Delay
+            FaultClass::Reorder | FaultClass::Duplicate | FaultClass::Delay | FaultClass::Partition
         )
     }
 
@@ -92,6 +105,7 @@ impl FaultClass {
             FaultClass::CrashRecover => "crash-recover",
             FaultClass::CrashStop => "crash-stop",
             FaultClass::Corrupt => "corrupt",
+            FaultClass::Partition => "partition",
         }
     }
 }
@@ -112,6 +126,16 @@ pub enum MessageFate {
     /// mutate (which argument, which bit flip) — the injector has no view
     /// of message payloads, so the substrate applies the mutation.
     Corrupt(u64),
+    /// The link is severed by an open partition epoch: the message is
+    /// **held at the source** and flushed when the epoch heals (at the
+    /// carried clock) — distinct from [`MessageFate::Drop`]: nothing is
+    /// lost. Decided by the topology-aware [`PartitionPlan`], not by the
+    /// injector's dice (the injector has no view of clock or endpoints).
+    Partitioned {
+        /// Virtual clock (transducer) or round (MPC) at which the
+        /// severing epoch heals and the held message is released.
+        until: usize,
+    },
 }
 
 /// How a crashed node comes back (or doesn't).
@@ -147,6 +171,218 @@ pub struct Straggler {
     /// Multiplicative slowdown (≥ 1.0): virtual time to absorb one unit
     /// of load, relative to a healthy server.
     pub slowdown: f64,
+}
+
+/// One partition epoch: between `start` (inclusive) and `heal`
+/// (exclusive) the node set is split into `blocks` that cannot exchange
+/// messages, plus optional asymmetric `one_way` severed links. Nodes
+/// not named in any block form one implicit residual block together.
+///
+/// Clocks are substrate-relative: the transducer runtimes compare
+/// against the virtual clock, the MPC cluster against the (attempt-
+/// counted) round index.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct PartitionEpoch {
+    /// First clock tick / round at which the links are severed.
+    pub start: usize,
+    /// Clock tick / round at which the partition heals and held
+    /// messages flush. `usize::MAX` means the partition never heals —
+    /// the deadlock/split-brain regression witness, outside the model's
+    /// no-loss assumption.
+    pub heal: usize,
+    /// Disjoint node blocks; traffic between different blocks is
+    /// severed in both directions. Unlisted nodes share one implicit
+    /// residual block.
+    pub blocks: Vec<Vec<usize>>,
+    /// Additional `(from, to)` links severed in that direction only —
+    /// asymmetric partitions where A can still hear B but not reply.
+    pub one_way: Vec<(usize, usize)>,
+}
+
+impl PartitionEpoch {
+    /// Does this epoch never heal?
+    pub fn is_permanent(&self) -> bool {
+        self.heal == usize::MAX
+    }
+
+    /// Is the epoch open at `clock`?
+    pub fn open_at(&self, clock: usize) -> bool {
+        self.start <= clock && clock < self.heal
+    }
+
+    /// Block index of `node` (listed blocks first, then the implicit
+    /// residual block).
+    fn block_of(&self, node: usize) -> usize {
+        self.blocks
+            .iter()
+            .position(|b| b.contains(&node))
+            .unwrap_or(self.blocks.len())
+    }
+
+    /// Is the directed link `from → to` severed while this epoch is
+    /// open?
+    pub fn severs(&self, from: usize, to: usize) -> bool {
+        self.block_of(from) != self.block_of(to) || self.one_way.contains(&(from, to))
+    }
+}
+
+/// A seeded, clock-scheduled sequence of split/heal [`PartitionEpoch`]s
+/// — the partition fault class for both substrates. Enforced at the
+/// single routing choke points (`send_copy` in the transducer runtimes,
+/// the communication phase in the MPC cluster): a message crossing a
+/// severed link gets [`MessageFate::Partitioned`], is parked at the
+/// source, and flushes when the severing epoch heals.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct PartitionPlan {
+    /// The scheduled epochs (may overlap; a link is severed while *any*
+    /// open epoch severs it, and a held message releases only once no
+    /// open epoch severs its link).
+    pub epochs: Vec<PartitionEpoch>,
+}
+
+impl PartitionPlan {
+    /// No partitions: the network is whole.
+    pub fn none() -> PartitionPlan {
+        PartitionPlan { epochs: Vec::new() }
+    }
+
+    /// One symmetric split: the nodes of `minority` are cut off from
+    /// everyone else between `start` and `heal`.
+    pub fn split(start: usize, heal: usize, minority: &[usize]) -> PartitionPlan {
+        assert!(start < heal, "epoch must be non-empty");
+        PartitionPlan {
+            epochs: vec![PartitionEpoch {
+                start,
+                heal,
+                blocks: vec![minority.to_vec()],
+                one_way: Vec::new(),
+            }],
+        }
+    }
+
+    /// One asymmetric epoch: only the directed link `from → to` is
+    /// severed — `to` can still reach `from`.
+    pub fn one_way(start: usize, heal: usize, from: usize, to: usize) -> PartitionPlan {
+        assert!(start < heal, "epoch must be non-empty");
+        PartitionPlan {
+            epochs: vec![PartitionEpoch {
+                start,
+                heal,
+                blocks: Vec::new(),
+                one_way: vec![(from, to)],
+            }],
+        }
+    }
+
+    /// A split that never heals — the regression witness for
+    /// coordination deadlock and split-brain hazards.
+    pub fn permanent_split(start: usize, minority: &[usize]) -> PartitionPlan {
+        PartitionPlan {
+            epochs: vec![PartitionEpoch {
+                start,
+                heal: usize::MAX,
+                blocks: vec![minority.to_vec()],
+                one_way: Vec::new(),
+            }],
+        }
+    }
+
+    /// A seeded random healing schedule over `n` nodes: 1–3 epochs,
+    /// each splitting a random nonempty proper subset for a bounded
+    /// duration within `horizon`, sometimes with an extra one-way
+    /// severed link. Always heals (suitable for convergence proptests);
+    /// fully determined by `seed`.
+    pub fn seeded(seed: u64, n: usize, horizon: usize) -> PartitionPlan {
+        assert!(n >= 2, "a partition needs at least two nodes");
+        let horizon = horizon.max(4);
+        let k = 1 + (mix64(seed) % 3) as usize;
+        let mut epochs = Vec::with_capacity(k);
+        for e in 0..k {
+            let h = mix64(seed ^ mix64(e as u64 + 1));
+            // A nonempty proper subset of 0..n via a nonzero, non-full
+            // membership bitmask.
+            let mask = 1 + (h % ((1u64 << n.min(63)) - 2));
+            let minority: Vec<usize> = (0..n).filter(|&i| mask >> i.min(63) & 1 == 1).collect();
+            let start = (mix64(h) % (horizon as u64 / 2)) as usize;
+            let dur = 1 + (mix64(h ^ 0x5eed) % (horizon as u64 / 2)) as usize;
+            let one_way = if mix64(h ^ 0xa5) % 3 == 0 {
+                let a = (mix64(h ^ 0xb6) % n as u64) as usize;
+                let b = (a + 1 + (mix64(h ^ 0xc7) % (n as u64 - 1)) as usize) % n;
+                vec![(a, b)]
+            } else {
+                Vec::new()
+            };
+            epochs.push(PartitionEpoch {
+                start,
+                heal: start + dur,
+                blocks: vec![minority],
+                one_way,
+            });
+        }
+        PartitionPlan { epochs }
+    }
+
+    /// Does this plan sever nothing?
+    pub fn is_benign(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Does any epoch never heal?
+    pub fn is_permanent(&self) -> bool {
+        self.epochs.iter().any(PartitionEpoch::is_permanent)
+    }
+
+    /// If the directed link `from → to` is severed at `clock`, the
+    /// clock at which the *last* severing epoch heals (the release time
+    /// for a held message); `None` when the link is usable.
+    pub fn severed(&self, clock: usize, from: usize, to: usize) -> Option<usize> {
+        self.epochs
+            .iter()
+            .filter(|e| e.open_at(clock) && e.severs(from, to))
+            .map(|e| e.heal)
+            .max()
+    }
+
+    /// Indices of the epochs open at `clock` (empty = network whole).
+    pub fn open_at(&self, clock: usize) -> Vec<usize> {
+        (0..self.epochs.len())
+            .filter(|&i| self.epochs[i].open_at(clock))
+            .collect()
+    }
+
+    /// The next clock strictly after `clock` at which an epoch starts
+    /// or heals — the scheduler's idle-clock jump target.
+    pub fn next_transition(&self, clock: usize) -> Option<usize> {
+        self.epochs
+            .iter()
+            .flat_map(|e| [e.start, e.heal])
+            .filter(|&t| t > clock && t != usize::MAX)
+            .min()
+    }
+
+    /// The set of nodes (out of `n`) reachable from `home` at `clock`
+    /// via directed multi-hop paths — the indirect-reachability closure
+    /// the supervisor probes. Always contains `home`.
+    pub fn reachable_from(&self, clock: usize, home: usize, n: usize) -> Vec<usize> {
+        let mut seen = vec![false; n];
+        let mut stack = vec![home];
+        seen[home] = true;
+        while let Some(u) = stack.pop() {
+            for (v, visited) in seen.iter_mut().enumerate() {
+                if !*visited && self.severed(clock, u, v).is_none() {
+                    *visited = true;
+                    stack.push(v);
+                }
+            }
+        }
+        (0..n).filter(|&i| seen[i]).collect()
+    }
+}
+
+impl Default for PartitionPlan {
+    fn default() -> PartitionPlan {
+        PartitionPlan::none()
+    }
 }
 
 /// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer used to
@@ -302,6 +538,8 @@ pub struct FaultPlan {
     pub stragglers: Vec<Straggler>,
     /// When set, the runtime runs its reliable (ack/retransmit) mode.
     pub retransmit: Option<RetransmitPolicy>,
+    /// Scheduled network partitions (virtual-clock epochs).
+    pub partition: Option<PartitionPlan>,
 }
 
 impl FaultPlan {
@@ -318,6 +556,15 @@ impl FaultPlan {
             crashes: Vec::new(),
             stragglers: Vec::new(),
             retransmit: None,
+            partition: None,
+        }
+    }
+
+    /// Network partition per `plan`, nothing else.
+    pub fn partitioned(seed: u64, plan: PartitionPlan) -> FaultPlan {
+        FaultPlan {
+            partition: Some(plan),
+            ..FaultPlan::none(seed)
         }
     }
 
@@ -408,12 +655,30 @@ impl FaultPlan {
                 FaultPlan::crash_stop(seed, (seed as usize) % 3, 4 + (seed as usize) % 5)
             }
             FaultClass::Corrupt => FaultPlan::corrupting(seed, 0.3),
+            // A healing split: node (seed % 3) is cut off early in the
+            // run and the partition heals a few dozen ticks later —
+            // long enough that held traffic piles up, short enough that
+            // runs terminate.
+            FaultClass::Partition => FaultPlan::partitioned(
+                seed,
+                PartitionPlan::split(
+                    2 + (seed as usize) % 3,
+                    24 + (seed as usize) % 17,
+                    &[(seed as usize) % 3],
+                ),
+            ),
         }
     }
 
     /// Add ack/retransmit (explicit coordination) to this plan.
     pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> FaultPlan {
         self.retransmit = Some(policy);
+        self
+    }
+
+    /// Add a partition schedule to this plan.
+    pub fn with_partition(mut self, plan: PartitionPlan) -> FaultPlan {
+        self.partition = Some(plan);
         self
     }
 
@@ -432,6 +697,7 @@ impl FaultPlan {
             && self.delay_prob == 0.0
             && self.corrupt_prob == 0.0
             && self.crashes.is_empty()
+            && self.partition.as_ref().is_none_or(PartitionPlan::is_benign)
     }
 
     /// Build the stateful injector that rolls this plan's dice.
@@ -523,6 +789,12 @@ pub struct MpcFaultPlan {
     /// system would escalate; the simulator treats budget exhaustion as
     /// a test failure).
     pub max_retries: u32,
+    /// Scheduled network partitions, with epoch clocks read as
+    /// **committed-round indices**: traffic whose source and
+    /// destination servers are in different blocks during an open epoch
+    /// is held at the source and flushed in the first round at or after
+    /// the heal.
+    pub partition: Option<PartitionPlan>,
 }
 
 impl MpcFaultPlan {
@@ -532,7 +804,22 @@ impl MpcFaultPlan {
             crashes: Vec::new(),
             stragglers: Vec::new(),
             max_retries: 3,
+            partition: None,
         }
+    }
+
+    /// Network partition per `plan` (round-indexed), nothing else.
+    pub fn partitioned(plan: PartitionPlan) -> MpcFaultPlan {
+        MpcFaultPlan {
+            partition: Some(plan),
+            ..MpcFaultPlan::none()
+        }
+    }
+
+    /// Add a partition schedule to this plan.
+    pub fn with_partition(mut self, plan: PartitionPlan) -> MpcFaultPlan {
+        self.partition = Some(plan);
+        self
     }
 
     /// Crash `server` during `round` (recovered by checkpoint/replay).
@@ -725,6 +1012,11 @@ mod tests {
                     assert!(matches!(plan.crashes[0].kind, CrashKind::Recover { .. }));
                 }
                 FaultClass::Corrupt => assert!(plan.corrupt_prob > 0.0),
+                FaultClass::Partition => {
+                    let p = plan.partition.as_ref().expect("partition plan");
+                    assert!(!p.is_benign());
+                    assert!(!p.is_permanent(), "matrix partitions must heal");
+                }
             }
         }
     }
@@ -734,10 +1026,97 @@ mod tests {
         assert!(FaultClass::Reorder.within_model());
         assert!(FaultClass::Duplicate.within_model());
         assert!(FaultClass::Delay.within_model());
+        assert!(FaultClass::Partition.within_model());
         assert!(!FaultClass::Loss.within_model());
         assert!(!FaultClass::CrashStop.within_model());
         assert!(!FaultClass::CrashRecover.within_model());
         assert!(!FaultClass::Corrupt.within_model());
+    }
+
+    #[test]
+    fn partition_split_severs_symmetrically_and_heals() {
+        let p = PartitionPlan::split(5, 10, &[0]);
+        assert!(p.severed(4, 0, 1).is_none(), "not yet open");
+        assert_eq!(p.severed(5, 0, 1), Some(10));
+        assert_eq!(p.severed(9, 1, 0), Some(10), "symmetric");
+        assert!(p.severed(9, 1, 2).is_none(), "same residual block");
+        assert!(p.severed(10, 0, 1).is_none(), "healed");
+        assert_eq!(p.open_at(7), vec![0]);
+        assert!(p.open_at(10).is_empty());
+        assert_eq!(p.next_transition(0), Some(5));
+        assert_eq!(p.next_transition(5), Some(10));
+        assert_eq!(p.next_transition(10), None);
+        assert!(!p.is_benign() && !p.is_permanent());
+    }
+
+    #[test]
+    fn one_way_partition_is_asymmetric() {
+        let p = PartitionPlan::one_way(0, 8, 2, 1);
+        assert_eq!(p.severed(3, 2, 1), Some(8));
+        assert!(p.severed(3, 1, 2).is_none(), "reverse link stays up");
+        // Reachability respects direction: 1 and 2 both reach everyone
+        // via... 2 cannot reach 1 directly but can via no intermediate
+        // hop here (3 nodes, only 2→1 cut, 2→0→1 is open).
+        assert_eq!(p.reachable_from(3, 2, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn permanent_split_never_heals() {
+        let p = PartitionPlan::permanent_split(2, &[1]);
+        assert!(p.is_permanent());
+        assert_eq!(p.severed(1_000_000, 1, 0), Some(usize::MAX));
+        assert_eq!(p.next_transition(0), Some(2), "start still transitions");
+        assert_eq!(p.next_transition(2), None, "heal never does");
+    }
+
+    #[test]
+    fn overlapping_epochs_release_at_the_last_heal() {
+        let p = PartitionPlan {
+            epochs: vec![
+                PartitionEpoch {
+                    start: 0,
+                    heal: 6,
+                    blocks: vec![vec![0]],
+                    one_way: Vec::new(),
+                },
+                PartitionEpoch {
+                    start: 4,
+                    heal: 12,
+                    blocks: vec![vec![0]],
+                    one_way: Vec::new(),
+                },
+            ],
+        };
+        assert_eq!(p.severed(2, 0, 1), Some(6));
+        assert_eq!(p.severed(5, 0, 1), Some(12), "max heal among open epochs");
+    }
+
+    #[test]
+    fn reachable_from_blocks_minority() {
+        let p = PartitionPlan::split(0, 10, &[0, 1]);
+        assert_eq!(p.reachable_from(5, 0, 5), vec![0, 1]);
+        assert_eq!(p.reachable_from(5, 3, 5), vec![2, 3, 4]);
+        assert_eq!(p.reachable_from(10, 3, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn seeded_partition_plans_are_deterministic_and_heal() {
+        for seed in 0..64u64 {
+            let a = PartitionPlan::seeded(seed, 4, 20);
+            let b = PartitionPlan::seeded(seed, 4, 20);
+            assert_eq!(a, b);
+            assert!(!a.is_benign());
+            assert!(!a.is_permanent(), "seed {seed}: proptest plans must heal");
+            for e in &a.epochs {
+                assert!(e.start < e.heal);
+                let m = &e.blocks[0];
+                assert!(!m.is_empty() && m.len() < 4, "nonempty proper subset");
+            }
+        }
+        assert_ne!(
+            PartitionPlan::seeded(1, 4, 20),
+            PartitionPlan::seeded(2, 4, 20)
+        );
     }
 
     #[test]

@@ -40,6 +40,22 @@
 //! replay, stragglers, and speculation all operate on the merged results
 //! and therefore work unchanged on both engines.
 //!
+//! ## Network partitions (hold-and-flush)
+//!
+//! With a [`PartitionPlan`] installed (via [`MpcFaultPlan::partitioned`]),
+//! epoch clocks are read as **committed-round indices**: while an epoch is
+//! open, a fact routed across a severed server link is *held at the
+//! source* instead of delivered — a new delivery fate distinct from loss.
+//! Held copies flush in the first communication round at or after the
+//! heal, so the model's "arbitrarily delayed but never lost" assumption
+//! is preserved: a healing partition is just a long delay, and loads
+//! during the partition understate the fault-free loads by exactly the
+//! held traffic (the availability trajectory experiment E24 measures).
+//! Because partitioned traffic needs real sources, the value-
+//! deterministic phases switch from collapsed single-source routing to
+//! per-holder routing whenever a plan is installed; deliveries are
+//! deduplicated per destination, so committed loads are identical.
+//!
 //! ## Speculative re-execution (backup tasks)
 //!
 //! With a [`SpeculationPolicy`] installed ([`Cluster::with_speculation`]),
@@ -51,7 +67,7 @@
 //! result); the effect is confined to `tail_time` and the
 //! [`SpeculationStats`] waste accounting.
 
-use parlog_faults::{MpcFaultPlan, SpeculationPolicy};
+use parlog_faults::{MpcFaultPlan, PartitionPlan, SpeculationPolicy};
 use parlog_relal::eval::{eval_query_with, EvalStrategy};
 use parlog_relal::fact::Fact;
 use parlog_relal::instance::Instance;
@@ -286,6 +302,69 @@ fn apply_deliveries(
     (next, received, bytes)
 }
 
+/// A message copy held at its source by an open partition epoch:
+/// `(source, destination, fact)`. Flushed — re-checked against the plan —
+/// in the first communication round at or after the severing epoch heals.
+type HeldCopy = (ServerId, ServerId, Fact);
+
+/// Everything the partitioned delivery path needs beyond the items:
+/// the round-indexed plan, the committed-round clock, the holds carried
+/// in from earlier rounds, and the buffer collecting what stays held.
+struct PartitionCtx<'a> {
+    plan: &'a PartitionPlan,
+    round: usize,
+    carried: &'a [HeldCopy],
+    held_out: &'a std::cell::RefCell<Vec<HeldCopy>>,
+}
+
+/// [`apply_deliveries`] under an open partition schedule. Copies whose
+/// `(src, dest)` link is severed this round are pushed to `held_out`
+/// instead of delivered (held, not lost — no load, no bytes); carried
+/// holds whose severing epochs have all closed flush first, counted as
+/// this round's load. The pass is idempotent per attempt — `held_out`
+/// is cleared on entry — so a crash-replayed attempt re-derives the
+/// exact same holds.
+fn apply_deliveries_partitioned(
+    p: usize,
+    items: &[(ServerId, &Fact)],
+    routings: Vec<Routing>,
+    ctx: &PartitionCtx<'_>,
+) -> (Vec<Instance>, Vec<usize>, u64) {
+    let mut next: Vec<Instance> = vec![Instance::new(); p];
+    let mut received = vec![0usize; p];
+    let mut bytes = 0u64;
+    let mut held = ctx.held_out.borrow_mut();
+    held.clear();
+    for (src, dest, f) in ctx.carried {
+        if ctx.plan.severed(ctx.round, *src, *dest).is_some() {
+            held.push((*src, *dest, f.clone()));
+        } else if next[*dest].insert(f.clone()) {
+            received[*dest] += 1;
+            bytes += fact_bytes(f);
+        }
+    }
+    for (&(src, f), routing) in items.iter().zip(routings) {
+        match routing {
+            Routing::Keep => {
+                next[src].insert(f.clone());
+            }
+            Routing::Send(dests) => {
+                for &dest in &dests {
+                    assert!(dest < p, "destination {dest} out of range for p={p}");
+                    if ctx.plan.severed(ctx.round, src, dest).is_some() {
+                        held.push((src, dest, f.clone()));
+                    } else if next[dest].insert(f.clone()) {
+                        received[dest] += 1;
+                        bytes += fact_bytes(f);
+                    }
+                }
+            }
+            Routing::Drop => {}
+        }
+    }
+    (next, received, bytes)
+}
+
 /// A simulated shared-nothing cluster of `p` servers.
 ///
 /// The local state of each server is an [`Instance`]. Rounds are driven by
@@ -301,6 +380,12 @@ pub struct Cluster {
     spec_stats: SpeculationStats,
     parallelism: usize,
     trace: TraceHandle,
+    /// Copies held at their source by an open partition epoch, awaiting
+    /// the first communication round at or after the heal.
+    held: Vec<HeldCopy>,
+    /// Edge-detection state for the partition timeline: which epochs
+    /// have emitted their `PartitionStart` and not yet their heal.
+    partition_open: Vec<bool>,
     /// Per-server quarantine flags set by the verify-then-commit round
     /// mode (`verified::compute_union_verified`): a quarantined server's
     /// local computation is no longer trusted — its task is re-executed
@@ -327,6 +412,8 @@ impl Cluster {
             spec_stats: SpeculationStats::default(),
             parallelism: 1,
             trace: TraceHandle::off(),
+            held: Vec::new(),
+            partition_open: Vec::new(),
             quarantined: vec![false; p],
             verified_rounds: 0,
         }
@@ -374,6 +461,7 @@ impl Cluster {
     /// so a replayed attempt can itself be crashed by listing the next
     /// index.
     pub fn with_faults(mut self, plan: MpcFaultPlan) -> Cluster {
+        self.partition_open = vec![false; plan.partition.as_ref().map_or(0, |p| p.epochs.len())];
         self.faults = plan;
         self
     }
@@ -583,18 +671,142 @@ impl Cluster {
     where
         F: Fn(&Fact) -> Vec<ServerId> + Sync,
     {
+        self.comm_round(None, true, move |_, f| Routing::Send(route(f)))
+    }
+
+    /// The shared communication-phase driver all four public phases
+    /// reduce to: build the `(source, fact)` item stream (optionally
+    /// including per-server `storage` shards), route it on the worker
+    /// pool, and commit the deliveries with checkpoint/replay.
+    ///
+    /// `collapse` marks a value-deterministic phase (destinations ignore
+    /// the holder), which routes each *distinct* fact once from a
+    /// pseudo-source — unless a partition plan is installed: partitioned
+    /// traffic needs real sources to know which holder a severed link
+    /// starves, so the driver switches to per-holder routing. Deliveries
+    /// are deduplicated per destination either way, so the committed
+    /// loads are identical.
+    fn comm_round<R>(
+        &mut self,
+        storage: Option<&[Instance]>,
+        collapse: bool,
+        route: R,
+    ) -> &RoundStats
+    where
+        R: Fn(ServerId, &Fact) -> Routing + Sync,
+    {
         let p = self.p();
         let threads = self.parallelism;
-        self.commit_round(move |local| {
-            // Collect the distinct facts across servers to route each once.
+        let round = self.rounds.len();
+        self.pump_partition_events(round);
+        let plan = self.faults.partition.clone();
+        let collapse = collapse && plan.is_none();
+        let carried = std::mem::take(&mut self.held);
+        let held_out = std::cell::RefCell::new(Vec::new());
+        self.commit_round(|local| {
             let mut all = Instance::new();
-            for inst in local {
-                all.extend_from(inst);
+            let items: Vec<(ServerId, &Fact)> = if collapse {
+                // Collect the distinct facts across servers (and
+                // storage) to route each exactly once.
+                for inst in local.iter().chain(storage.into_iter().flatten()) {
+                    all.extend_from(inst);
+                }
+                all.iter().map(|f| (0, f)).collect()
+            } else {
+                local
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(src, inst)| inst.iter().map(move |f| (src, f)))
+                    .chain(
+                        storage
+                            .into_iter()
+                            .flatten()
+                            .enumerate()
+                            .flat_map(|(src, inst)| inst.iter().map(move |f| (src, f))),
+                    )
+                    .collect()
+            };
+            let routings = route_chunked(&items, threads, &route);
+            match &plan {
+                None => apply_deliveries(p, &items, routings),
+                Some(plan) => apply_deliveries_partitioned(
+                    p,
+                    &items,
+                    routings,
+                    &PartitionCtx {
+                        plan,
+                        round,
+                        carried: &carried,
+                        held_out: &held_out,
+                    },
+                ),
             }
-            let items: Vec<(ServerId, &Fact)> = all.iter().map(|f| (0, f)).collect();
-            let routings = route_chunked(&items, threads, &|_, f| Routing::Send(route(f)));
-            apply_deliveries(p, &items, routings)
-        })
+        });
+        self.held = held_out.into_inner();
+        self.rounds.last().expect("round just committed")
+    }
+
+    /// Emit `PartitionStart` / `PartitionHeal` timeline events for every
+    /// epoch transition crossed by entering communication round `round`,
+    /// and flip the per-epoch edge-detection flags. The heal event's
+    /// `info` is the number of held copies whose links are usable again
+    /// — the flush the round is about to perform.
+    fn pump_partition_events(&mut self, round: usize) {
+        if self.partition_open.is_empty() {
+            return;
+        }
+        let vnow = self.vclock_now();
+        for i in 0..self.partition_open.len() {
+            let plan = self
+                .faults
+                .partition
+                .as_ref()
+                .expect("flags sized from plan");
+            let epoch = &plan.epochs[i];
+            let (open, heal) = (epoch.open_at(round), epoch.heal);
+            if open && !self.partition_open[i] {
+                self.partition_open[i] = true;
+                self.trace.record(TraceEvent::Fault(FaultEvent {
+                    vclock: vnow,
+                    kind: FaultEventKind::PartitionStart,
+                    node: i,
+                    info: if heal == usize::MAX {
+                        u64::MAX
+                    } else {
+                        heal as u64
+                    },
+                }));
+            } else if !open && self.partition_open[i] {
+                let released = self
+                    .held
+                    .iter()
+                    .filter(|(s, d, _)| plan.severed(round, *s, *d).is_none())
+                    .count();
+                self.partition_open[i] = false;
+                self.trace.record(TraceEvent::Fault(FaultEvent {
+                    vclock: vnow,
+                    kind: FaultEventKind::PartitionHeal,
+                    node: i,
+                    info: released as u64,
+                }));
+            }
+        }
+    }
+
+    /// Copies currently held at their source by an open partition epoch
+    /// — in flight, not lost; they flush in the first communication
+    /// round at or after their severing epochs heal.
+    pub fn held_by_partition(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Is the directed server link `from → to` severed by the installed
+    /// partition plan in communication round `round`?
+    pub fn link_severed(&self, round: usize, from: ServerId, to: ServerId) -> bool {
+        self.faults
+            .partition
+            .as_ref()
+            .is_some_and(|p| p.severed(round, from, to).is_some())
     }
 
     /// Like [`Cluster::communicate`], but destinations may depend on which
@@ -606,17 +818,7 @@ impl Cluster {
     where
         F: Fn(ServerId, &Fact) -> Vec<ServerId> + Sync,
     {
-        let p = self.p();
-        let threads = self.parallelism;
-        self.commit_round(move |local| {
-            let items: Vec<(ServerId, &Fact)> = local
-                .iter()
-                .enumerate()
-                .flat_map(|(src, inst)| inst.iter().map(move |f| (src, f)))
-                .collect();
-            let routings = route_chunked(&items, threads, &|src, f| Routing::Send(route(src, f)));
-            apply_deliveries(p, &items, routings)
-        })
+        self.comm_round(None, false, move |src, f| Routing::Send(route(src, f)))
     }
 
     /// Communication phase with per-fact keep/send/drop decisions — the
@@ -635,17 +837,7 @@ impl Cluster {
     where
         F: Fn(ServerId, &Fact) -> Routing + Sync,
     {
-        let p = self.p();
-        let threads = self.parallelism;
-        self.commit_round(move |local| {
-            let items: Vec<(ServerId, &Fact)> = local
-                .iter()
-                .enumerate()
-                .flat_map(|(src, inst)| inst.iter().map(move |f| (src, f)))
-                .collect();
-            let routings = route_chunked(&items, threads, &route);
-            apply_deliveries(p, &items, routings)
-        })
+        self.comm_round(None, false, route)
     }
 
     /// Computation phase applied per server with access to the server id.
@@ -723,17 +915,7 @@ impl Cluster {
         F: Fn(&Fact) -> Vec<ServerId> + Sync,
     {
         assert_eq!(storage.len(), self.p(), "one storage shard per server");
-        let p = self.p();
-        let threads = self.parallelism;
-        self.commit_round(move |local| {
-            let mut all = Instance::new();
-            for inst in local.iter().chain(storage.iter()) {
-                all.extend_from(inst);
-            }
-            let items: Vec<(ServerId, &Fact)> = all.iter().map(|f| (0, f)).collect();
-            let routings = route_chunked(&items, threads, &|_, f| Routing::Send(route(f)));
-            apply_deliveries(p, &items, routings)
-        })
+        self.comm_round(Some(storage), true, move |_, f| Routing::Send(route(f)))
     }
 
     /// **Computation phase**: replace every server's local instance with
@@ -894,6 +1076,7 @@ mod tests {
             crashes: vec![(0, 0), (1, 0), (2, 0), (3, 0)],
             stragglers: Vec::new(),
             max_retries: 2,
+            partition: None,
         };
         let mut c = seeded(2, &[fact("R", &[1, 2])]).with_faults(plan);
         c.communicate(|_| vec![0]);
@@ -1085,6 +1268,113 @@ mod tests {
             assert_eq!(a.received, b.received);
             assert_eq!(a.tail_time, b.tail_time);
         }
+    }
+
+    #[test]
+    fn partitioned_round_holds_at_source_and_flushes_on_heal() {
+        use parlog_faults::PartitionPlan;
+        // 12 facts hashed over 3 servers; server 2 is partitioned off
+        // for rounds [0, 2). Routing is the same hash every round, so
+        // after the heal round the cluster state must match fault-free.
+        let facts: Vec<Fact> = (0..12u64).map(|i| fact("R", &[i, i + 1])).collect();
+        // Shifted hash: every fact's destination is one server over from
+        // where `seeded` placed it, so round 0 is all cross traffic.
+        let route = |f: &Fact| vec![((f.args[0].0 + 1) % 3) as usize];
+        let run = |plan: MpcFaultPlan, rounds: usize| {
+            let mut c = seeded(3, &facts).with_faults(plan);
+            for _ in 0..rounds {
+                c.communicate(route);
+            }
+            c
+        };
+        let clean = run(MpcFaultPlan::none(), 3);
+        let part = run(
+            MpcFaultPlan::partitioned(PartitionPlan::split(0, 2, &[2])),
+            3,
+        );
+        assert_eq!(clean.union_all(), part.union_all(), "healed state is exact");
+        assert_eq!(part.held_by_partition(), 0, "every hold flushed");
+        // During the open epoch the partitioned rounds carry less load:
+        // the severed traffic is held, not delivered.
+        assert!(part.rounds()[0].total_comm < clean.rounds()[0].total_comm);
+        // Nothing was ever dropped: the union during the partition is a
+        // sound subset of the fault-free state.
+        let open = {
+            let mut c = seeded(3, &facts)
+                .with_faults(MpcFaultPlan::partitioned(PartitionPlan::split(0, 2, &[2])));
+            c.communicate(route);
+            c
+        };
+        assert!(open.union_all().is_subset_of(&clean.union_all()));
+        assert!(open.held_by_partition() > 0, "cross-block copies held");
+    }
+
+    #[test]
+    fn permanent_split_holds_forever_without_loss() {
+        use parlog_faults::PartitionPlan;
+        let facts: Vec<Fact> = (0..9u64).map(|i| fact("R", &[i, i])).collect();
+        let mut c = seeded(3, &facts).with_faults(MpcFaultPlan::partitioned(
+            PartitionPlan::permanent_split(0, &[0]),
+        ));
+        for _ in 0..4 {
+            c.communicate(|f| vec![((f.args[0].0 + 1) % 3) as usize]);
+        }
+        // The minority's cross-block traffic stays in flight for good…
+        assert!(c.held_by_partition() > 0);
+        assert!(c.link_severed(4, 0, 1) && c.link_severed(4, 1, 0));
+        // …and the live state plus the held copies account for every
+        // fact: held, not lost.
+        let live = c.union_all().len();
+        assert_eq!(live + c.held_by_partition(), facts.len());
+    }
+
+    #[test]
+    fn partition_replay_interplay_is_deterministic() {
+        use parlog_faults::PartitionPlan;
+        // A crash-replayed attempt inside a partitioned round must
+        // re-derive the same holds and commit the same loads as the
+        // crash-free partitioned run.
+        let facts: Vec<Fact> = (0..12u64).map(|i| fact("R", &[i, i + 1])).collect();
+        let run = |crashes: MpcFaultPlan| {
+            let plan = crashes.with_partition(PartitionPlan::split(0, 1, &[2]));
+            let mut c = seeded(3, &facts).with_faults(plan);
+            c.communicate(|f| vec![((f.args[0].0 + 1) % 3) as usize]);
+            c.communicate(|f| vec![((f.args[0].0 + 1) % 3) as usize]);
+            c
+        };
+        let plain = run(MpcFaultPlan::none());
+        let crashed = run(MpcFaultPlan::crash(0, 1));
+        assert_eq!(plain.union_all(), crashed.union_all());
+        assert_eq!(plain.rounds()[0].received, crashed.rounds()[0].received);
+        assert_eq!(plain.rounds()[1].received, crashed.rounds()[1].received);
+        assert_eq!(crashed.recovery().replays, 1);
+        assert_eq!(plain.held_by_partition(), 0);
+        assert_eq!(crashed.held_by_partition(), 0);
+    }
+
+    #[test]
+    fn per_holder_routing_commits_identical_loads_to_collapsed() {
+        use parlog_faults::PartitionPlan;
+        // An installed-but-never-open plan forces the per-holder item
+        // stream; the committed loads must match the collapsed path
+        // byte for byte (dedup makes the two accountings agree).
+        let facts: Vec<Fact> = (0..24u64).map(|i| fact("R", &[i, i * 7 % 13])).collect();
+        let route = |f: &Fact| vec![(f.args[1].0 % 4) as usize, (f.args[0].0 % 4) as usize];
+        let mut collapsed = seeded(4, &facts);
+        collapsed.communicate(route);
+        let mut perholder = seeded(4, &facts).with_faults(MpcFaultPlan::partitioned(
+            PartitionPlan::split(100, 101, &[0]),
+        ));
+        perholder.communicate(route);
+        assert_eq!(collapsed.union_all(), perholder.union_all());
+        assert_eq!(
+            collapsed.rounds()[0].received,
+            perholder.rounds()[0].received
+        );
+        assert_eq!(
+            collapsed.rounds()[0].total_comm,
+            perholder.rounds()[0].total_comm
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod datagen;
 pub mod hypercube;
 pub mod mapreduce;
 pub mod partition;
+pub mod quorum;
 pub mod ra_distributed;
 pub mod report;
 pub mod shares;
@@ -57,10 +58,11 @@ pub mod streaming;
 pub mod verified;
 
 pub use cluster::{Cluster, RoundStats};
-pub use verified::VerifiedRound;
 pub use hypercube::HypercubeAlgorithm;
+pub use quorum::{coordination_barrier, BarrierOutcome};
 pub use report::RunReport;
 pub use shares::Shares;
+pub use verified::VerifiedRound;
 
 /// Commonly used items.
 pub mod prelude {
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::algorithms::yannakakis::DistributedYannakakis;
     pub use crate::cluster::{Cluster, RoundStats};
     pub use crate::hypercube::HypercubeAlgorithm;
+    pub use crate::quorum::{coordination_barrier, BarrierOutcome};
     pub use crate::report::RunReport;
     pub use crate::shares::Shares;
 }

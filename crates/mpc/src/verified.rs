@@ -27,7 +27,8 @@ use parlog_relal::instance::Instance;
 use parlog_relal::query::{ConjunctiveQuery, UnionQuery};
 use parlog_trace::{FaultEvent, FaultEventKind, TraceEvent};
 use parlog_verify::checker::check_answer;
-use parlog_verify::{corrupt_answer, prove_ucq, snapshot, Rejection, SnapshotId};
+use parlog_verify::snapshot::snapshot;
+use parlog_verify::{corrupt_answer, prove_ucq, Rejection, SnapshotId};
 
 /// What one verify-then-commit round did: which servers were tampered
 /// with, which were detected (with the checker's rejection), which tasks
@@ -301,9 +302,9 @@ mod tests {
             pos(FaultEventKind::Heal).expect("Heal on timeline"),
         );
         assert!(co < de && de < qu && qu < he, "order: {timeline:?}");
-        assert!(timeline.iter().all(|e| {
-            e.kind != FaultEventKind::Detect || e.node == 2
-        }));
+        assert!(timeline
+            .iter()
+            .all(|e| { e.kind != FaultEventKind::Detect || e.node == 2 }));
     }
 
     #[test]
@@ -313,8 +314,11 @@ mod tests {
         // Corrupt server 1 in rounds 0 and 1; after round 0 it is
         // quarantined, so round 1's event finds no untrusted prover to
         // subvert.
-        let plan = CorruptionPlan::single(7, 0, 1, CorruptKind::Inject)
-            .with_event(1, 1, CorruptKind::Inject);
+        let plan = CorruptionPlan::single(7, 0, 1, CorruptKind::Inject).with_event(
+            1,
+            1,
+            CorruptKind::Inject,
+        );
         let r0 = c.compute_query_verified(&q, EvalStrategy::Indexed, &plan);
         assert_eq!(r0.detected.len(), 1);
         let r1 = c.compute_query_verified(&q, EvalStrategy::Indexed, &plan);

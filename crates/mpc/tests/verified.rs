@@ -23,7 +23,8 @@ use parlog_relal::parser::parse_query;
 use parlog_relal::query::UnionQuery;
 use parlog_trace::{FaultEventKind, MemSink, TraceHandle};
 use parlog_verify::checker::check_cluster;
-use parlog_verify::{prove_ucq, snapshot, to_json};
+use parlog_verify::snapshot::snapshot;
+use parlog_verify::{prove_ucq, to_json};
 use std::sync::Arc;
 
 const STRATEGIES: [EvalStrategy; 4] = [
@@ -34,17 +35,15 @@ const STRATEGIES: [EvalStrategy; 4] = [
 ];
 
 fn two_rel_db(max_facts: usize, domain: u64) -> impl Strategy<Value = Instance> {
-    prop::collection::vec((0..domain, 0..domain, 0..2u64), 1..max_facts).prop_map(
-        |triples| {
-            Instance::from_facts(triples.into_iter().map(|(a, b, r)| {
-                if r == 0 {
-                    fact("R", &[a, b])
-                } else {
-                    fact("S", &[a, b])
-                }
-            }))
-        },
-    )
+    prop::collection::vec((0..domain, 0..domain, 0..2u64), 1..max_facts).prop_map(|triples| {
+        Instance::from_facts(triples.into_iter().map(|(a, b, r)| {
+            if r == 0 {
+                fact("R", &[a, b])
+            } else {
+                fact("S", &[a, b])
+            }
+        }))
+    })
 }
 
 fn seeded_cluster(db: &Instance, p: usize, threads: usize) -> Cluster {
@@ -184,7 +183,10 @@ fn detect_quarantine_heal_visible_on_the_timeline() {
     // Detect binds the rejection to the *input* shard's content address
     // (the shard as it stood when the round was proved, before the
     // healed answers were committed into it).
-    let detect = tl.iter().find(|e| e.kind == FaultEventKind::Detect).unwrap();
+    let detect = tl
+        .iter()
+        .find(|e| e.kind == FaultEventKind::Detect)
+        .unwrap();
     assert_eq!(detect.node, 1);
     assert_eq!(detect.info, shard1_root.short());
 }

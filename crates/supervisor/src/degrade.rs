@@ -23,6 +23,7 @@
 
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
+use std::fmt;
 
 /// Whether a query's answers survive input shrinkage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -67,6 +68,19 @@ pub struct Certificate {
     /// Virtual-clock time the certificate was issued — the answer is
     /// complete w.r.t. everything delivered up to here.
     pub as_of_clock: usize,
+    /// Nodes whose shards the answer *does* draw on. Must be disjoint
+    /// from `missing_nodes`: a certificate claiming coverage of a shard
+    /// it also reports missing is forged. Empty means "unspecified"
+    /// (pre-partition certificates carry no coverage roster).
+    pub covered_nodes: Vec<usize>,
+    /// Partition epochs (indices into the installed [`PartitionPlan`])
+    /// still open when the certificate was issued. While any epoch is
+    /// open, messages may be held at their sources, so *full coverage
+    /// is uncertifiable* — [`Certificate::validate`] rejects a
+    /// full-coverage claim carrying a non-empty epoch list.
+    ///
+    /// [`PartitionPlan`]: parlog_faults::PartitionPlan
+    pub open_epochs: Vec<usize>,
 }
 
 impl Certificate {
@@ -77,6 +91,8 @@ impl Certificate {
             missing_facts: 0,
             coverage: 1.0,
             as_of_clock: clock,
+            covered_nodes: Vec::new(),
+            open_epochs: Vec::new(),
         }
     }
 
@@ -105,7 +121,25 @@ impl Certificate {
             missing_facts,
             coverage,
             as_of_clock: clock,
+            covered_nodes: Vec::new(),
+            open_epochs: Vec::new(),
         }
+    }
+
+    /// Name the nodes whose shards the answer draws on. The roster must
+    /// stay disjoint from `missing_nodes` — [`Certificate::validate`]
+    /// rejects the overlap as a forgery.
+    pub fn with_covered(mut self, covered_nodes: Vec<usize>) -> Certificate {
+        self.covered_nodes = covered_nodes;
+        self
+    }
+
+    /// Record the partition epochs still open at issue time. A
+    /// certificate carrying a non-empty list can never validly claim
+    /// full coverage: held messages may still be in flight.
+    pub fn with_open_epochs(mut self, open_epochs: Vec<usize>) -> Certificate {
+        self.open_epochs = open_epochs;
+        self
     }
 
     /// Validate the certificate's claimed coverage against the loss
@@ -113,9 +147,30 @@ impl Certificate {
     /// (and rejected) when its coverage is NaN/∞/outside `[0, 1]`,
     /// disagrees with `1 − missing_facts / total_facts`, claims missing
     /// facts without naming a missing node, or counts more missing facts
-    /// than the input holds. Returns the recomputed coverage on success —
+    /// than the input holds. Partition-scoped forgeries are rejected
+    /// too: a `covered_nodes` roster overlapping `missing_nodes` (the
+    /// certificate claims coverage of a shard it also reports lost), or
+    /// a full-coverage claim issued while a partition epoch is still
+    /// open (held messages may be in flight, so completeness is
+    /// uncertifiable). Returns the recomputed coverage on success —
     /// callers should use the returned value, never the stored field.
     pub fn validate(&self, total_facts: usize) -> Result<f64, String> {
+        if let Some(&node) = self
+            .covered_nodes
+            .iter()
+            .find(|n| self.missing_nodes.contains(n))
+        {
+            return Err(format!(
+                "claimed coverage of node {node} overlaps the missing set"
+            ));
+        }
+        if self.missing_facts == 0 && self.missing_nodes.is_empty() && !self.open_epochs.is_empty()
+        {
+            return Err(format!(
+                "full coverage claimed while partition epoch(s) {:?} are open",
+                self.open_epochs
+            ));
+        }
         if !self.coverage.is_finite() {
             return Err(format!("coverage {} is not finite", self.coverage));
         }
@@ -157,6 +212,76 @@ impl Certificate {
     }
 }
 
+/// Why a non-monotone answer is withheld — the typed refusal contract.
+///
+/// The `Display` form is the human-readable sentence reports carry; the
+/// variants let callers branch on the cause (and decide, e.g., to retry
+/// after a partition heals rather than give up on a lost shard).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub enum RefusalReason {
+    /// Shards are permanently lost (crashed, unhealed) and the query is
+    /// non-monotone: an answer over the surviving subset could contain
+    /// retracted facts.
+    NonMonotoneLoss {
+        /// The unhealed nodes whose shards are gone.
+        missing_nodes: Vec<usize>,
+        /// Fraction of the input the surviving shards cover.
+        coverage: f64,
+    },
+    /// A partition epoch is still open: the unreachable side's facts are
+    /// held, not lost, so the refusal is *temporary* — retry after the
+    /// heal.
+    PartitionOpen {
+        /// The open epoch indices.
+        epochs: Vec<usize>,
+        /// Nodes currently unreachable from the supervisor's home.
+        unreachable: Vec<usize>,
+    },
+    /// The supervisor's side of a split cannot account for a strict
+    /// majority of the cluster: committing anything non-monotone here
+    /// risks diverging from the other side, so it blocks.
+    QuorumLost {
+        /// Nodes the supervisor can account for (reach over the
+        /// network), including itself.
+        accounted: usize,
+        /// Cluster size.
+        total: usize,
+    },
+}
+
+impl fmt::Display for RefusalReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefusalReason::NonMonotoneLoss {
+                missing_nodes,
+                coverage,
+            } => write!(
+                f,
+                "non-monotone query: shards of node(s) {:?} are lost and unhealed, \
+                 so any answer computed from the surviving {:.0}% of the input \
+                 could contain retracted facts",
+                missing_nodes,
+                coverage * 100.0
+            ),
+            RefusalReason::PartitionOpen {
+                epochs,
+                unreachable,
+            } => write!(
+                f,
+                "non-monotone query under an open partition: epoch(s) {epochs:?} \
+                 sever node(s) {unreachable:?}, whose facts are held in flight — \
+                 refusing until the partition heals and quorum returns"
+            ),
+            RefusalReason::QuorumLost { accounted, total } => write!(
+                f,
+                "non-monotone query without quorum: only {accounted} of {total} \
+                 nodes are accountable from this side of the split — blocking \
+                 instead of diverging"
+            ),
+        }
+    }
+}
+
 /// The supervisor's verdict on a run's answer.
 #[derive(Debug, Clone)]
 pub enum Degraded {
@@ -175,7 +300,7 @@ pub enum Degraded {
     /// exists, so none is given.
     Refused {
         /// Why the answer is withheld.
-        reason: String,
+        reason: RefusalReason,
         /// What was missing when the refusal was issued.
         certificate: Certificate,
     },
@@ -229,6 +354,8 @@ mod tests {
             missing_facts: 5,
             coverage: 0.75,
             as_of_clock: 90,
+            covered_nodes: vec![0, 1, 3],
+            open_epochs: Vec::new(),
         };
         assert!(!c.is_complete());
         assert!(Certificate::complete(3).is_complete());
@@ -246,6 +373,8 @@ mod tests {
             missing_facts: 5,
             coverage: 1.0,
             as_of_clock: 90,
+            covered_nodes: Vec::new(),
+            open_epochs: Vec::new(),
         };
         assert!(forged.validate(20).is_err());
         assert!(!forged.is_full_coverage(20));
@@ -282,12 +411,68 @@ mod tests {
     }
 
     #[test]
+    fn partition_scoped_forgeries_are_rejected() {
+        // Forgery 1: the certificate claims coverage of node 2 while
+        // also reporting node 2's shard missing.
+        let overlap = Certificate::for_loss(vec![2], 5, 20, 90).with_covered(vec![0, 1, 2]);
+        let err = overlap.validate(20).unwrap_err();
+        assert!(err.contains("overlaps"), "got: {err}");
+
+        // Forgery 2: full coverage claimed while a partition epoch is
+        // still open — held messages may be in flight, so completeness
+        // is uncertifiable.
+        let premature = Certificate::complete(90).with_open_epochs(vec![0]);
+        let err = premature.validate(20).unwrap_err();
+        assert!(err.contains("partition epoch"), "got: {err}");
+        assert!(!premature.is_full_coverage(20));
+
+        // The honest counterparts pass: a disjoint roster, and a
+        // partial certificate issued during an open epoch.
+        let honest = Certificate::for_loss(vec![2], 5, 20, 90).with_covered(vec![0, 1, 3]);
+        assert_eq!(honest.validate(20).unwrap(), 0.75);
+        let degraded_open = Certificate::for_loss(vec![2], 5, 20, 90).with_open_epochs(vec![0]);
+        assert!(degraded_open.validate(20).is_ok());
+        assert!(!degraded_open.is_full_coverage(20));
+        // And a heal-complete certificate with no open epochs still
+        // claims full coverage validly.
+        assert!(Certificate::complete(90).is_full_coverage(20));
+    }
+
+    #[test]
+    fn refusal_reasons_render_their_contract() {
+        let loss = RefusalReason::NonMonotoneLoss {
+            missing_nodes: vec![1],
+            coverage: 0.75,
+        };
+        assert!(loss.to_string().contains("non-monotone"));
+        assert!(loss.to_string().contains("75%"));
+        let part = RefusalReason::PartitionOpen {
+            epochs: vec![0],
+            unreachable: vec![2, 3],
+        };
+        assert!(part.to_string().contains("until the partition heals"));
+        let quorum = RefusalReason::QuorumLost {
+            accounted: 1,
+            total: 4,
+        };
+        assert!(quorum.to_string().contains("1 of 4"));
+        assert!(quorum.to_string().contains("blocking"));
+        // The typed reasons serialize for reports.
+        assert!(serde_json::to_string(&part)
+            .unwrap()
+            .contains("PartitionOpen"));
+    }
+
+    #[test]
     fn degraded_accessors() {
         let inst = Instance::new();
         assert!(Degraded::Exact(inst.clone()).answer().is_some());
         assert!(Degraded::Exact(inst.clone()).certificate().is_none());
         let refused = Degraded::Refused {
-            reason: "shard 1 lost".into(),
+            reason: RefusalReason::NonMonotoneLoss {
+                missing_nodes: vec![1],
+                coverage: 0.5,
+            },
             certificate: Certificate::complete(0),
         };
         assert!(refused.answer().is_none());

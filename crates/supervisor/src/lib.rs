@@ -27,6 +27,12 @@
 //!   a cadence, failed certificates quarantine the lying server with a
 //!   measured rounds-to-quarantine latency, and rollback + replay heals
 //!   the tainted rounds.
+//! * [`partition`] — crash-vs-partition discrimination: φ suspicion is
+//!   cross-checked against an indirect-reachability probe matrix, so a
+//!   partitioned-but-alive node's shard is never re-replicated
+//!   (split-brain fenced off), and every heal is quorum-gated — a
+//!   monitor that cannot account for a strict majority blocks instead
+//!   of diverging.
 //! * [`degrade`] — what happens when recovery is impossible within
 //!   budget: monotone queries return a *certified sound partial answer*
 //!   (a subset of the truth, with a coverage certificate naming the
@@ -47,13 +53,17 @@
 pub mod degrade;
 pub mod detector;
 pub mod heal;
+pub mod partition;
 pub mod retry;
 pub mod supervise;
 pub mod verify;
 
-pub use degrade::{Certificate, Degraded, QueryMode};
+pub use degrade::{Certificate, Degraded, QueryMode, RefusalReason};
 pub use detector::PhiDetector;
 pub use heal::{heal_hypercube_crash, HealError, MpcHealReport};
+pub use partition::{
+    accounted_nodes, classify_silence, has_quorum, round_trip_open, SilenceVerdict,
+};
 pub use retry::DeadlineRetry;
 pub use supervise::{
     supervise, supervise_traced, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,
@@ -65,9 +75,12 @@ pub use verify::{
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::degrade::{Certificate, Degraded, QueryMode};
+    pub use crate::degrade::{Certificate, Degraded, QueryMode, RefusalReason};
     pub use crate::detector::PhiDetector;
     pub use crate::heal::{heal_hypercube_crash, HealError, MpcHealReport};
+    pub use crate::partition::{
+        accounted_nodes, classify_silence, has_quorum, round_trip_open, SilenceVerdict,
+    };
     pub use crate::retry::DeadlineRetry;
     pub use crate::supervise::{
         supervise, supervise_traced, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,

@@ -1,0 +1,182 @@
+//! Crash-vs-partition discrimination and quorum accounting.
+//!
+//! A φ-accrual detector sees only *silence* — and silence has two very
+//! different causes. A **crashed** node is gone: its shard must be
+//! re-replicated to a survivor or the answer degrades. A
+//! **partitioned-but-alive** node is fine: its messages (and its probe
+//! responses) are held behind a severed link and will flush on heal.
+//! Treating the second like the first is the classic split-brain
+//! mistake: the supervisor re-replicates a shard whose original owner
+//! is still running, two nodes now own it, and after the heal the
+//! system has diverged.
+//!
+//! This module supplies the supervisor's cross-check. The φ suspicion
+//! is confronted with an **indirect-reachability probe matrix**: which
+//! nodes can the supervisor's home node still exchange messages with,
+//! routing over any path the [`PartitionPlan`] leaves open (multi-hop,
+//! both directions — an asymmetric one-way severance also blocks the
+//! round trip)? The verdicts ([`classify_silence`]):
+//!
+//! * the node answers a (possibly relayed) probe → **false suspicion**;
+//! * the network cannot explain the silence — the round trip is open —
+//!   and the node stays silent → **dead**: heal is safe;
+//! * the round trip is severed → the silence proves nothing. The node
+//!   is **unaccountable**: it may be alive on the other side, so the
+//!   heal is *fenced off* ([`FaultEventKind::SplitBrainAverted`] when
+//!   it is in fact alive).
+//!
+//! Heals are additionally **quorum-gated** ([`has_quorum`]): a
+//! supervisor that cannot account for a strict majority of the cluster
+//! may itself be the minority side of a split, and a minority must
+//! block rather than act — otherwise both sides heal "the other side's
+//! crash" and every shard ends up double-owned. Accounting counts
+//! round-trip network reachability, not liveness: a crashed node whose
+//! links are open is *accounted for* (its silence is evidence), while a
+//! partitioned node is not (its silence is noise).
+//!
+//! [`FaultEventKind::SplitBrainAverted`]: parlog_trace::FaultEventKind::SplitBrainAverted
+
+use parlog_faults::PartitionPlan;
+
+/// Can `a` and `b` exchange a message at `clock`, routing over any
+/// multi-hop path the plan leaves open, in *both* directions? With no
+/// plan installed the network is whole and the answer is always yes.
+pub fn round_trip_open(
+    plan: Option<&PartitionPlan>,
+    clock: usize,
+    a: usize,
+    b: usize,
+    n: usize,
+) -> bool {
+    match plan {
+        None => true,
+        Some(p) => {
+            p.reachable_from(clock, a, n).contains(&b) && p.reachable_from(clock, b, n).contains(&a)
+        }
+    }
+}
+
+/// The nodes `home` can *account for* at `clock`: itself plus every
+/// node with an open round trip. Liveness is deliberately ignored — a
+/// crashed node with open links is accountable (probing it yields
+/// evidence), a partitioned node is not.
+pub fn accounted_nodes(
+    plan: Option<&PartitionPlan>,
+    clock: usize,
+    home: usize,
+    n: usize,
+) -> Vec<usize> {
+    (0..n)
+        .filter(|&v| v == home || round_trip_open(plan, clock, home, v, n))
+        .collect()
+}
+
+/// Does `home` account for a strict majority of the cluster at `clock`?
+/// The gate every heal (and every non-monotone commit) must pass: a
+/// minority side blocks instead of acting.
+pub fn has_quorum(plan: Option<&PartitionPlan>, clock: usize, home: usize, n: usize) -> bool {
+    2 * accounted_nodes(plan, clock, home, n).len() > n
+}
+
+/// What a silent, φ-suspected node's silence actually means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SilenceVerdict {
+    /// The round trip is open and the node still answers: the suspicion
+    /// was a false positive (slow, not dead).
+    Alive,
+    /// The round trip is open, so the network cannot explain the
+    /// silence — the node is dead. Healing its shard is safe.
+    Dead,
+    /// The round trip is severed: the silence is explained by the
+    /// partition and proves nothing about the node. The heal must be
+    /// fenced off — the node may be alive on the other side.
+    Unaccountable,
+}
+
+/// Classify a suspected node's silence by cross-checking the suspicion
+/// against the reachability matrix. `answers` is the ground observation
+/// of the confirm probe: whether the node responded (which it can only
+/// do when it is up *and* the round trip is open).
+pub fn classify_silence(
+    plan: Option<&PartitionPlan>,
+    clock: usize,
+    home: usize,
+    node: usize,
+    n: usize,
+    answers: bool,
+) -> SilenceVerdict {
+    if !round_trip_open(plan, clock, home, node, n) {
+        return SilenceVerdict::Unaccountable;
+    }
+    if answers {
+        SilenceVerdict::Alive
+    } else {
+        SilenceVerdict::Dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_network_accounts_for_everyone() {
+        assert!(round_trip_open(None, 5, 0, 3, 4));
+        assert_eq!(accounted_nodes(None, 5, 1, 4), vec![0, 1, 2, 3]);
+        assert!(has_quorum(None, 5, 0, 4));
+        assert_eq!(
+            classify_silence(None, 5, 0, 2, 4, false),
+            SilenceVerdict::Dead
+        );
+        assert_eq!(
+            classify_silence(None, 5, 0, 2, 4, true),
+            SilenceVerdict::Alive
+        );
+    }
+
+    #[test]
+    fn symmetric_split_fences_the_other_block() {
+        let plan = PartitionPlan::split(0, 100, &[3, 4]);
+        // Majority side: accounts for itself, not the minority.
+        assert_eq!(accounted_nodes(Some(&plan), 10, 0, 5), vec![0, 1, 2]);
+        assert!(has_quorum(Some(&plan), 10, 0, 5));
+        // Minority side has no quorum.
+        assert_eq!(accounted_nodes(Some(&plan), 10, 3, 5), vec![3, 4]);
+        assert!(!has_quorum(Some(&plan), 10, 3, 5));
+        // A silent cross-block node is unaccountable — never "dead".
+        assert_eq!(
+            classify_silence(Some(&plan), 10, 0, 4, 5, false),
+            SilenceVerdict::Unaccountable
+        );
+        // A silent same-block node with open links is genuinely dead.
+        assert_eq!(
+            classify_silence(Some(&plan), 10, 0, 1, 5, false),
+            SilenceVerdict::Dead
+        );
+        // After the heal everyone is accountable again.
+        assert_eq!(accounted_nodes(Some(&plan), 100, 0, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            classify_silence(Some(&plan), 100, 0, 4, 5, false),
+            SilenceVerdict::Dead
+        );
+    }
+
+    #[test]
+    fn one_way_severance_blocks_the_round_trip() {
+        // Only 0 → 2 is severed; 2 → 0 is open. A round trip still
+        // cannot complete directly… but may route via 1 if the plan
+        // leaves 0 → 1 → 2 open (one-way links sever a single edge).
+        let plan = PartitionPlan::one_way(0, 100, 0, 2);
+        assert!(
+            round_trip_open(Some(&plan), 10, 0, 2, 3),
+            "multi-hop relay via node 1 restores the round trip"
+        );
+        // With only two nodes there is no relay: the trip is broken.
+        let plan2 = PartitionPlan::one_way(0, 100, 0, 1);
+        assert!(!round_trip_open(Some(&plan2), 10, 0, 1, 2));
+        assert_eq!(
+            classify_silence(Some(&plan2), 10, 0, 1, 2, false),
+            SilenceVerdict::Unaccountable
+        );
+    }
+}

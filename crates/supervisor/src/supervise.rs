@@ -25,14 +25,27 @@
 //! 4. **Degrade.** If a dead node stays unhealed, the supervisor closes
 //!    the run with a [`Degraded`] verdict: monotone queries get the
 //!    sound partial answer plus a coverage [`Certificate`]; non-monotone
-//!    queries are refused.
+//!    queries are refused with a typed [`RefusalReason`].
+//! 5. **Partition discipline.** φ sees only silence, and silence has two
+//!    causes. Before confirming a suspect dead, the supervisor
+//!    cross-checks the suspicion against the reachability matrix of the
+//!    installed partition schedule ([`crate::partition`]): a suspect
+//!    whose round trip to the monitor's home is severed is
+//!    *unaccountable* — it may be alive on the other side, so its heal
+//!    is fenced off (`SplitBrainAverted` when it is in fact alive) and
+//!    its shard keeps its original owner. Confirmed heals are
+//!    additionally **quorum-gated**: a monitor that cannot account for a
+//!    strict majority of the cluster blocks (`QuorumLost`) instead of
+//!    acting on a minority view.
 //!
-//! When the network quiesces while a crash is still undetected, the
-//! supervisor keeps probing on its own clock (`quiescent_probe_budget`
-//! extra rounds) — failure detection must not depend on data traffic.
+//! When the network quiesces while a crash is still undetected (or an
+//! alive node is still unreachable), the supervisor keeps probing on its
+//! own clock (`quiescent_probe_budget` extra rounds) — failure detection
+//! must not depend on data traffic.
 
-use crate::degrade::{Certificate, Degraded, QueryMode};
+use crate::degrade::{Certificate, Degraded, QueryMode, RefusalReason};
 use crate::detector::PhiDetector;
+use crate::partition::{accounted_nodes, has_quorum, round_trip_open};
 use parlog_faults::{mix64, FaultPlan};
 use parlog_relal::instance::Instance;
 use parlog_trace::{FaultEvent, FaultEventKind, TraceEvent, TraceHandle};
@@ -58,6 +71,10 @@ pub struct SupervisorConfig {
     /// Abandon a heal when detection came later than this many ticks
     /// after the crash — the answer would be too stale to certify fresh.
     pub heal_deadline: usize,
+    /// The node the monitor is co-located with: reachability (and hence
+    /// quorum) is judged from this vantage point, so a monitor homed in
+    /// the minority block of a split correctly loses quorum.
+    pub monitor_home: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -68,6 +85,7 @@ impl Default for SupervisorConfig {
             quiescent_probe_budget: 64,
             max_heals: usize::MAX,
             heal_deadline: usize::MAX,
+            monitor_home: 0,
         }
     }
 }
@@ -100,10 +118,19 @@ pub struct SupervisorReport {
     pub heartbeats_observed: usize,
     /// Responses lost to the fault plan's message loss.
     pub heartbeats_lost: usize,
+    /// Responses held behind a severed partition link (parked, not
+    /// lost — they flush on heal, but the monitor is deaf until then).
+    pub heartbeats_held: usize,
     /// Times any node's φ crossed the threshold.
     pub suspicions: usize,
     /// Suspicions cleared by a confirm probe (the node was alive).
     pub false_suspicions: usize,
+    /// Suspects whose silence the partition explained: the heal was
+    /// fenced off while the node was in fact alive on the other side.
+    pub split_brain_averted: usize,
+    /// Confirmed-dead nodes whose heal was blocked because the monitor
+    /// could not account for a strict majority of the cluster.
+    pub quorum_losses: usize,
     /// Confirmed failures, in detection order.
     pub detections: Vec<Detection>,
     /// Shards re-replicated.
@@ -112,6 +139,11 @@ pub struct SupervisorReport {
     pub heal_load: usize,
     /// Dead nodes left unhealed (these drive degradation).
     pub unhealed: Vec<usize>,
+    /// Shard-ownership registry: `owners[i]` is the node currently
+    /// owning node `i`'s durable shard. Identity until a heal reassigns
+    /// an entry — a fenced (partitioned-but-alive) node's entry is never
+    /// touched, so each shard has exactly one owner at all times.
+    pub owners: Vec<usize>,
     /// Monitor clock when the run closed.
     pub final_clock: usize,
 }
@@ -164,6 +196,9 @@ struct Monitor<'a> {
     plan: &'a FaultPlan,
     report: SupervisorReport,
     healed: Vec<bool>,
+    /// Nodes whose suspicion the partition currently explains: their
+    /// heal is fenced off until the round trip reopens.
+    fenced: Vec<bool>,
     probe_idx: usize,
     now: usize,
     trace: &'a TraceHandle,
@@ -178,11 +213,21 @@ impl Monitor<'_> {
         program: &P,
         run: &mut SimRun,
     ) -> bool {
+        let n = run.n();
+        let home = self.config.monitor_home;
+        let pp = self.plan.partition.as_ref();
         self.report.probes += 1;
-        for node in 0..run.n() {
+        for node in 0..n {
             if !run.health(node).is_up() {
                 continue; // a down node cannot answer
             }
+            if !round_trip_open(pp, self.now, home, node, n) {
+                // The response is parked behind the severed link — it
+                // flushes on heal, but the monitor is deaf until then.
+                self.report.heartbeats_held += 1;
+                continue;
+            }
+            self.fenced[node] = false; // round trip open again: resume
             if probe_lost(self.plan, node, self.probe_idx) {
                 self.report.heartbeats_lost += 1;
             } else {
@@ -202,6 +247,27 @@ impl Monitor<'_> {
                     info: (self.det.phi(s, self.now) * 1000.0) as u64,
                 })
             });
+            if !round_trip_open(pp, self.now, home, s, n) {
+                // The partition explains the silence: the suspect may be
+                // alive on the other side, and re-replicating its shard
+                // would leave it owned twice after the heal. Fence the
+                // heal; the cleared detector retries once the round trip
+                // reopens.
+                if !self.fenced[s] && run.health(s).is_up() {
+                    self.report.split_brain_averted += 1;
+                    self.trace.emit(|| {
+                        TraceEvent::Fault(FaultEvent {
+                            vclock: self.now as f64,
+                            kind: FaultEventKind::SplitBrainAverted,
+                            node: s,
+                            info: run.shard(s).len() as u64,
+                        })
+                    });
+                }
+                self.fenced[s] = true;
+                self.det.clear(s, self.now);
+                continue;
+            }
             if run.health(s).is_up() {
                 // Confirm probe answered: slow, not dead.
                 self.report.false_suspicions += 1;
@@ -243,17 +309,36 @@ impl Monitor<'_> {
                 healed_to: None,
                 heal_load: 0,
             };
-            if self.report.heals < self.config.max_heals && latency <= self.config.heal_deadline {
+            let quorum_ok = has_quorum(pp, self.now, home, n);
+            if !quorum_ok {
+                // The monitor's own side cannot account for a strict
+                // majority — it may be the minority of a split, so it
+                // blocks the heal instead of diverging.
+                self.report.quorum_losses += 1;
+                self.trace.emit(|| {
+                    TraceEvent::Fault(FaultEvent {
+                        vclock: self.now as f64,
+                        kind: FaultEventKind::QuorumLost,
+                        node: s,
+                        info: accounted_nodes(pp, self.now, home, n).len() as u64,
+                    })
+                });
+            }
+            if quorum_ok
+                && self.report.heals < self.config.max_heals
+                && latency <= self.config.heal_deadline
+            {
                 let survivor = run
                     .live_nodes()
                     .into_iter()
-                    .filter(|&i| i != s)
+                    .filter(|&i| i != s && round_trip_open(pp, self.now, home, i, n))
                     .min_by_key(|&i| run.shard(i).len());
                 if let Some(to) = survivor {
                     let load = run.adopt_shard(program, s, to);
                     self.report.heals += 1;
                     self.report.heal_load += load;
                     self.healed[s] = true;
+                    self.report.owners[s] = to;
                     detection.healed = true;
                     detection.healed_to = Some(to);
                     detection.heal_load = load;
@@ -326,10 +411,20 @@ pub fn supervise_traced<P: TransducerProgram + ?Sized>(
         plan,
         report: SupervisorReport::default(),
         healed: vec![false; n],
+        fenced: vec![false; n],
         probe_idx: 0,
         now: 0,
         trace,
     };
+    mon.report.owners = (0..n).collect();
+    if plan.partition.is_some() {
+        // Count cluster formation as the zeroth heartbeat: a node
+        // severed before it ever answered a probe must still accrue
+        // suspicion, or the partition would render it invisible.
+        for i in 0..n {
+            mon.det.arrival(i, 0);
+        }
+    }
     let mut next_probe = 0usize;
     let budget = 10_000_000usize;
     let mut steps = 0usize;
@@ -362,11 +457,25 @@ pub fn supervise_traced<P: TransducerProgram + ?Sized>(
         }
         // Data plane quiescent. Keep the detector's clock running while
         // down nodes remain undetected — a crash that silences the
-        // network must still be noticed.
+        // network must still be noticed — or while alive nodes are still
+        // unreachable and not yet fenced, so a split that opened late is
+        // still classified before close-out.
         let mut healed_something = false;
         for _ in 0..config.quiescent_probe_budget {
-            let undetected = (0..n).any(|i| !run.health(i).is_up() && !mon.det.is_dead(i));
-            if !undetected {
+            let unresolved = (0..n).any(|i| {
+                let undetected_down = !run.health(i).is_up() && !mon.det.is_dead(i);
+                let unreached = plan.partition.is_some()
+                    && run.health(i).is_up()
+                    && !round_trip_open(
+                        plan.partition.as_ref(),
+                        mon.now,
+                        config.monitor_home,
+                        i,
+                        n,
+                    );
+                (undetected_down || unreached) && !mon.fenced[i]
+            });
+            if !unresolved {
                 break;
             }
             mon.now += config.probe_every;
@@ -385,7 +494,7 @@ pub fn supervise_traced<P: TransducerProgram + ?Sized>(
     mon.report.unhealed = (0..n)
         .filter(|&i| !run.health(i).is_up() && !mon.healed[i])
         .collect();
-    let verdict = close_out(&run, shards, mode, &mon.report, trace);
+    let verdict = close_out(&run, shards, mode, &mon.report, plan, config, trace);
     SupervisedRun {
         verdict,
         report: mon.report,
@@ -393,15 +502,50 @@ pub fn supervise_traced<P: TransducerProgram + ?Sized>(
     }
 }
 
-/// Issue the final verdict from the run's outputs and the unhealed set.
+/// Issue the final verdict from the run's outputs, the unhealed set,
+/// and the network state at close.
 fn close_out(
     run: &SimRun,
     shards: &[Instance],
     mode: QueryMode,
     report: &SupervisorReport,
+    plan: &FaultPlan,
+    config: &SupervisorConfig,
     trace: &TraceHandle,
 ) -> Degraded {
-    if report.unhealed.is_empty() {
+    let n = shards.len();
+    let home = config.monitor_home;
+    let pp = plan.partition.as_ref();
+    let fc = report.final_clock;
+    let open_epochs: Vec<usize> = pp.map(|p| p.open_at(fc)).unwrap_or_default();
+    // Alive nodes the monitor cannot round-trip to at close: severed,
+    // not lost — their held traffic flushes if the epoch ever heals, but
+    // right now the answer cannot draw on them.
+    let mut cut: Vec<usize> = (0..n)
+        .filter(|&i| {
+            run.health(i).is_up()
+                && !report.unhealed.contains(&i)
+                && !round_trip_open(pp, fc, home, i, n)
+        })
+        .collect();
+    let held = run.held_by_partition();
+    if cut.is_empty() && held > 0 {
+        // One-way epochs can park copies without cutting any round trip
+        // (a relay path keeps probes flowing). Name the severed-link
+        // endpoints instead, so the certificate never over-claims.
+        if let Some(p) = pp {
+            cut = (0..n)
+                .filter(|&i| {
+                    i != home
+                        && run.health(i).is_up()
+                        && !report.unhealed.contains(&i)
+                        && (0..n)
+                            .any(|j| p.severed(fc, i, j).is_some() || p.severed(fc, j, i).is_some())
+                })
+                .collect();
+        }
+    }
+    if report.unhealed.is_empty() && cut.is_empty() && held == 0 {
         return Degraded::Exact(run.outputs());
     }
     let close_kind = if mode.degradable() {
@@ -409,10 +553,10 @@ fn close_out(
     } else {
         FaultEventKind::Refuse
     };
-    for &node in &report.unhealed {
+    for &node in report.unhealed.iter().chain(cut.iter()) {
         trace.emit(|| {
             TraceEvent::Fault(FaultEvent {
-                vclock: report.final_clock as f64,
+                vclock: fc as f64,
                 kind: close_kind,
                 node,
                 info: shards[node].len() as u64,
@@ -420,13 +564,14 @@ fn close_out(
         });
     }
     let total: usize = shards.iter().map(Instance::len).sum();
-    let missing_facts: usize = report.unhealed.iter().map(|&i| shards[i].len()).sum();
-    let certificate = Certificate::for_loss(
-        report.unhealed.clone(),
-        missing_facts,
-        total,
-        report.final_clock,
-    );
+    let mut missing_nodes: Vec<usize> = report.unhealed.iter().chain(cut.iter()).copied().collect();
+    missing_nodes.sort_unstable();
+    missing_nodes.dedup();
+    let missing_facts: usize = missing_nodes.iter().map(|&i| shards[i].len()).sum();
+    let covered_nodes: Vec<usize> = (0..n).filter(|i| !missing_nodes.contains(i)).collect();
+    let certificate = Certificate::for_loss(missing_nodes, missing_facts, total, fc)
+        .with_covered(covered_nodes)
+        .with_open_epochs(open_epochs.clone());
     debug_assert!(certificate.validate(total).is_ok());
     if mode.degradable() {
         Degraded::Partial {
@@ -434,14 +579,25 @@ fn close_out(
             certificate,
         }
     } else {
+        let accounted = accounted_nodes(pp, fc, home, n).len();
+        let reason = if 2 * accounted <= n {
+            RefusalReason::QuorumLost {
+                accounted,
+                total: n,
+            }
+        } else if !open_epochs.is_empty() && !cut.is_empty() {
+            RefusalReason::PartitionOpen {
+                epochs: open_epochs,
+                unreachable: cut,
+            }
+        } else {
+            RefusalReason::NonMonotoneLoss {
+                missing_nodes: certificate.missing_nodes.clone(),
+                coverage: certificate.coverage,
+            }
+        };
         Degraded::Refused {
-            reason: format!(
-                "non-monotone query: shards of node(s) {:?} are lost and unhealed, \
-                 so any answer computed from the surviving {:.0}% of the input \
-                 could contain retracted facts",
-                certificate.missing_nodes,
-                certificate.coverage * 100.0
-            ),
+            reason,
             certificate,
         }
     }
@@ -578,9 +734,197 @@ mod tests {
         else {
             panic!("non-monotone + unhealed must refuse, got {:?}", out.verdict);
         };
-        assert!(reason.contains("non-monotone"));
+        assert!(matches!(reason, RefusalReason::NonMonotoneLoss { .. }));
+        assert!(reason.to_string().contains("non-monotone"));
         assert_eq!(certificate.missing_nodes, vec![1]);
         assert!(out.verdict.answer().is_none(), "no answer is surfaced");
+    }
+
+    #[test]
+    fn partitioned_alive_node_is_fenced_never_healed() {
+        use parlog_faults::PartitionPlan;
+        use parlog_trace::MemSink;
+        use std::sync::Arc;
+
+        // Node 3 is alive but cut off forever. A naive supervisor would
+        // confirm it dead and re-replicate its shard — split-brain. Ours
+        // must fence the heal and degrade instead.
+        let (p, shards, expected) = setup();
+        let plan = FaultPlan::partitioned(5, PartitionPlan::permanent_split(0, &[3]));
+        let sink = Arc::new(MemSink::new());
+        let out = supervise_traced(
+            &p,
+            &shards,
+            Ctx::oblivious(),
+            Schedule::Random(5),
+            &plan,
+            QueryMode::Monotone,
+            &SupervisorConfig::default(),
+            &TraceHandle::to(sink.clone()),
+        );
+        assert_eq!(
+            out.report.heals, 0,
+            "a live shard must never be re-replicated"
+        );
+        assert!(
+            out.report.split_brain_averted > 0,
+            "the fence must be exercised"
+        );
+        assert_eq!(
+            out.report.owners,
+            vec![0, 1, 2, 3],
+            "ownership unchanged: exactly one owner per shard"
+        );
+        assert!(
+            out.report.heartbeats_held > 0,
+            "probes were parked, not dropped"
+        );
+        assert!(
+            out.fault_stats.partitioned > 0,
+            "the split bit the data plane too"
+        );
+        let timeline = sink.timeline();
+        assert!(timeline
+            .iter()
+            .any(|e| e.kind == FaultEventKind::SplitBrainAverted && e.node == 3));
+        assert!(
+            !timeline.iter().any(|e| e.kind == FaultEventKind::Heal),
+            "no heal may fire: {timeline:?}"
+        );
+        // Monotone: a sound partial answer with a partition-scoped
+        // certificate naming the severed shard and the open epoch.
+        let Degraded::Partial {
+            answer,
+            certificate,
+        } = &out.verdict
+        else {
+            panic!("expected a certified partial answer, got {:?}", out.verdict);
+        };
+        assert!(answer.is_subset_of(&expected), "partial answers stay sound");
+        assert_ne!(answer, &expected, "severed traffic must cost derivations");
+        assert_eq!(certificate.missing_nodes, vec![3]);
+        assert_eq!(certificate.covered_nodes, vec![0, 1, 2]);
+        assert_eq!(certificate.open_epochs, vec![0]);
+        let total: usize = shards.iter().map(Instance::len).sum();
+        assert!(certificate.validate(total).is_ok());
+        assert!(!certificate.is_full_coverage(total));
+    }
+
+    #[test]
+    fn healing_partition_supervises_to_the_exact_answer() {
+        use parlog_faults::PartitionPlan;
+
+        // The same split, but it heals: held traffic flushes, the fenced
+        // node rejoins, and the verdict is exact — no heal ever fired.
+        let (p, shards, expected) = setup();
+        let plan = FaultPlan::partitioned(5, PartitionPlan::split(0, 40, &[3]));
+        let out = supervise(
+            &p,
+            &shards,
+            Ctx::oblivious(),
+            Schedule::Random(5),
+            &plan,
+            QueryMode::Monotone,
+            &SupervisorConfig::default(),
+        );
+        assert!(
+            out.verdict.is_exact(),
+            "heal + flush must restore exactness"
+        );
+        assert_eq!(out.verdict.answer().unwrap(), &expected);
+        assert_eq!(
+            out.report.heals, 0,
+            "the network healed itself; no shard moved"
+        );
+        assert_eq!(out.report.owners, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn crash_on_the_majority_side_heals_while_the_split_stays_fenced() {
+        use parlog_faults::PartitionPlan;
+
+        // Node 1 crashes on the monitor's (majority) side while node 3
+        // is partitioned-alive: the crash is healed to a *reachable*
+        // survivor, the severed shard keeps its original owner.
+        let (p, shards, _) = setup();
+        let plan =
+            FaultPlan::crash_stop(2, 1, 6).with_partition(PartitionPlan::permanent_split(0, &[3]));
+        let out = supervise(
+            &p,
+            &shards,
+            Ctx::oblivious(),
+            Schedule::Random(2),
+            &plan,
+            QueryMode::Monotone,
+            &SupervisorConfig::default(),
+        );
+        assert_eq!(out.report.heals, 1);
+        let d = &out.report.detections[0];
+        assert_eq!(d.node, 1);
+        let to = d.healed_to.expect("the crash must heal");
+        assert!(
+            to == 0 || to == 2,
+            "the adopter must be a reachable survivor, not the severed node, got {to}"
+        );
+        assert_eq!(out.report.owners[1], to);
+        assert_eq!(out.report.owners[3], 3, "the fenced shard keeps its owner");
+        // Exactly one owner per shard, and nobody owns the severed one
+        // but its original holder.
+        assert_eq!(out.report.owners.len(), 4);
+        assert_eq!(
+            out.report.owners.iter().filter(|&&o| o == 3).count(),
+            1,
+            "node 3 owns exactly its own shard"
+        );
+    }
+
+    #[test]
+    fn minority_monitor_blocks_heals_and_refuses_with_quorum_lost() {
+        use parlog_faults::PartitionPlan;
+
+        // The monitor is homed at node 3, inside the 2-of-4 minority
+        // block. Node 2 — same side, reachable — crashes. The monitor
+        // confirms the death but cannot act: 2 accounted of 4 is no
+        // majority, so the heal blocks and the non-monotone close-out
+        // refuses with the typed quorum reason.
+        let (p, shards, _) = setup();
+        let plan = FaultPlan::crash_stop(9, 2, 4)
+            .with_partition(PartitionPlan::permanent_split(0, &[2, 3]));
+        let config = SupervisorConfig {
+            monitor_home: 3,
+            ..SupervisorConfig::default()
+        };
+        let out = supervise(
+            &p,
+            &shards,
+            Ctx::oblivious(),
+            Schedule::Random(9),
+            &plan,
+            QueryMode::NonMonotone,
+            &config,
+        );
+        assert!(out.report.quorum_losses > 0, "the gate must have fired");
+        assert_eq!(out.report.heals, 0, "a minority must not act");
+        assert_eq!(out.report.owners, vec![0, 1, 2, 3]);
+        let Degraded::Refused {
+            reason,
+            certificate,
+        } = &out.verdict
+        else {
+            panic!(
+                "minority non-monotone close must refuse, got {:?}",
+                out.verdict
+            );
+        };
+        assert_eq!(
+            *reason,
+            RefusalReason::QuorumLost {
+                accounted: 2,
+                total: 4
+            }
+        );
+        assert!(reason.to_string().contains("blocking"));
+        assert!(!certificate.open_epochs.is_empty());
     }
 
     #[test]

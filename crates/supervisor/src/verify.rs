@@ -24,7 +24,8 @@ use parlog_relal::instance::Instance;
 use parlog_relal::query::UnionQuery;
 use parlog_trace::{FaultEvent, FaultEventKind, TraceEvent, TraceHandle};
 use parlog_verify::checker::check_answer;
-use parlog_verify::{corrupt_answer, prove_ucq, snapshot, ServerCertificate};
+use parlog_verify::snapshot::snapshot;
+use parlog_verify::{corrupt_answer, prove_ucq, ServerCertificate};
 
 /// How often the trusted checker audits the committed rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -340,8 +341,11 @@ mod tests {
     #[test]
     fn quarantine_blocks_later_corruption_without_reaudit_noise() {
         let sh = shards(2);
-        let plan = CorruptionPlan::single(11, 0, 0, CorruptKind::Drop)
-            .with_event(2, 0, CorruptKind::Inject);
+        let plan = CorruptionPlan::single(11, 0, 0, CorruptKind::Drop).with_event(
+            2,
+            0,
+            CorruptKind::Inject,
+        );
         let rep = run_verified_rounds_cq(
             &q(),
             4,

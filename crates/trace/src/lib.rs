@@ -163,6 +163,21 @@ pub enum FaultEventKind {
     /// A detected-Byzantine server was quarantined: its answer discarded
     /// and its task reassigned (`info` = detection latency in rounds).
     Quarantine,
+    /// A partition epoch opened: the node set split into blocks that
+    /// cannot exchange messages (`node` = epoch index, `info` = the
+    /// scheduled heal clock, `u64::MAX` if permanent).
+    PartitionStart,
+    /// A partition epoch healed: held messages flush (`node` = epoch
+    /// index, `info` = copies released from the source-side holds).
+    PartitionHeal,
+    /// A quorum-gated operation found its reachable set short of a
+    /// strict majority and blocked/degraded instead of proceeding
+    /// (`node` = the observer, `info` = reachable-set size).
+    QuorumLost,
+    /// The supervisor suppressed a heal because the silent node is
+    /// partitioned-but-alive, not crashed — re-replicating its shard
+    /// would have double-owned it (`node` = the spared node).
+    SplitBrainAverted,
 }
 
 /// One timeline entry: what happened, to whom, when on the virtual

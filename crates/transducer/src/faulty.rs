@@ -76,6 +76,9 @@ pub struct FaultStats {
     /// each one stalled its node's progress (threaded runtime only;
     /// the simulator accounts stragglers in MPC tail time instead).
     pub straggler_stalls: usize,
+    /// Copies held at the source because a partition epoch severed
+    /// their link; flushed on heal (never lost).
+    pub partitioned: usize,
 }
 
 impl FaultStats {
@@ -89,12 +92,13 @@ impl FaultStats {
     /// shape, for cross-validating an attached sink against the
     /// injector's own books. Fields the injector does not track
     /// (`sent`, `delivered`, `bytes`) stay zero; copies destroyed by a
-    /// crash land in `wasted`.
+    /// crash land in `wasted`; partition holds land in `delayed` (a
+    /// hold-and-flush is a delay on the wire).
     pub fn as_comm_counters(&self) -> parlog_trace::CommCounters {
         parlog_trace::CommCounters {
             dropped: self.dropped as u64,
             duplicated: self.duplicated as u64,
-            delayed: self.delayed as u64,
+            delayed: (self.delayed + self.partitioned) as u64,
             reordered: self.reordered as u64,
             retransmitted: self.retransmissions as u64,
             acks: self.acks as u64,
@@ -166,6 +170,35 @@ impl<M: Clone> FaultState<M> {
             None => MessageFate::Deliver,
             Some(inj) => inj.fate(),
         }
+    }
+
+    /// The installed partition schedule, if any.
+    pub fn partition(&self) -> Option<&parlog_faults::PartitionPlan> {
+        self.plan().and_then(|p| p.partition.as_ref())
+    }
+
+    /// If an open partition epoch severs `from → to` at the current
+    /// clock, the heal clock at which a held copy releases. Checked
+    /// *before* the injector's dice: a severed link delivers nothing,
+    /// so there is no fate to roll.
+    pub fn severed(&self, from: usize, to: usize) -> Option<usize> {
+        self.partition()
+            .and_then(|p| p.severed(self.clock, from, to))
+    }
+
+    /// Park one copy held by a partition until the severing epoch
+    /// heals. `usize::MAX` releases never fire (permanent partition):
+    /// the copy stays parked but does not count as pending work, so a
+    /// deadlocked run can still quiesce and be observed.
+    pub fn hold_partitioned(&mut self, from: usize, dest: usize, msg: M, until: usize) {
+        self.stats.partitioned += 1;
+        self.delayed.push(ParkedMsg {
+            release: until,
+            dest,
+            from,
+            msg,
+            attempts: 0,
+        });
     }
 
     /// Where to insert into a buffer of length `len`; `None` = back.
@@ -253,6 +286,7 @@ impl<M: Clone> FaultState<M> {
             .iter()
             .chain(self.retrans.iter())
             .map(|m| m.release)
+            .filter(|&r| r != usize::MAX)
             .min();
         let recovery = self
             .health
@@ -279,7 +313,7 @@ impl<M: Clone> FaultState<M> {
         let clock = self.clock;
         let mut due: Vec<ParkedMsg<M>> = Vec::new();
         self.delayed.retain(|m| {
-            if m.release <= clock {
+            if m.release <= clock && m.release != usize::MAX {
                 due.push(m.clone());
                 false
             } else {
@@ -300,9 +334,11 @@ impl<M: Clone> FaultState<M> {
         due
     }
 
-    /// Is any fault-side work pending?
+    /// Is any fault-side work pending? Copies held by a *permanent*
+    /// partition (release `usize::MAX`) will never move again and do
+    /// not count — a deadlocked run must still be able to quiesce.
     pub fn idle(&self) -> bool {
-        self.delayed.is_empty() && self.retrans.is_empty()
+        self.delayed.iter().all(|m| m.release == usize::MAX) && self.retrans.is_empty()
     }
 }
 
@@ -401,6 +437,48 @@ mod tests {
         assert_eq!(fs.retrans.len(), 1, "sender-side record to node 1 survives");
         assert_eq!(fs.stats.lost_in_crash, 2);
         assert_eq!(fs.health[1], Health::Stopped);
+    }
+
+    #[test]
+    fn partition_holds_flush_on_heal() {
+        let mut fs: FaultState<u32> = FaultState::inert(3);
+        fs.install(&FaultPlan::partitioned(
+            1,
+            parlog_faults::PartitionPlan::split(0, 6, &[0]),
+        ));
+        assert_eq!(fs.severed(0, 1), Some(6));
+        assert_eq!(fs.severed(1, 2), None, "same side stays connected");
+        fs.hold_partitioned(0, 1, 42, 6);
+        assert!(!fs.idle());
+        assert_eq!(fs.next_event(), Some(6));
+        fs.clock = 6;
+        assert_eq!(fs.severed(0, 1), None, "healed");
+        let due = fs.take_due();
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].msg, 42);
+        assert_eq!(fs.stats.partitioned, 1);
+        assert_eq!(fs.stats.retransmissions, 0, "a flush is not a retransmit");
+        assert_eq!(
+            fs.stats.as_comm_counters().delayed,
+            1,
+            "holds project onto the delayed counter"
+        );
+    }
+
+    #[test]
+    fn permanent_holds_never_release_and_do_not_block_quiescence() {
+        let mut fs: FaultState<u32> = FaultState::inert(2);
+        fs.install(&FaultPlan::partitioned(
+            2,
+            parlog_faults::PartitionPlan::permanent_split(0, &[0]),
+        ));
+        assert_eq!(fs.severed(0, 1), Some(usize::MAX));
+        fs.hold_partitioned(0, 1, 9, usize::MAX);
+        assert!(fs.idle(), "permanently held copies are not pending work");
+        assert_eq!(fs.next_event(), None);
+        fs.clock = 1_000_000;
+        assert!(fs.take_due().is_empty(), "a MAX release never fires");
+        assert_eq!(fs.delayed.len(), 1, "the copy stays parked, not lost");
     }
 
     #[test]

@@ -50,6 +50,13 @@ fn seen_rel() -> RelId {
     rel("‡SEEN")
 }
 
+/// Barrier acknowledgements `‡ACK(sender)`: node `sender` announces its
+/// counting barrier has opened. The quorum-gated variant commits only
+/// once a strict majority of nodes (itself included) has announced.
+fn ack_rel() -> RelId {
+    rel("‡ACK")
+}
+
 /// The per-sender sequence tag of a data fact.
 fn fact_tag(f: &Fact) -> u64 {
     let mut h = mix64(0xc0_0bd1 ^ u64::from(f.rel.0));
@@ -68,6 +75,12 @@ pub struct CoordinatedBroadcast {
     /// historically unsound-under-duplication behavior, kept as a
     /// regression witness.
     idempotent: bool,
+    /// Quorum-gate the commit: a node that reaches its barrier
+    /// broadcasts an ack and outputs only once a strict majority of
+    /// nodes has acked. Under a partition no side commits on split data
+    /// — the minority (and a majority still missing data) *blocks*
+    /// instead of diverging, and held acks flush on heal.
+    quorum: bool,
 }
 
 impl CoordinatedBroadcast {
@@ -80,6 +93,7 @@ impl CoordinatedBroadcast {
             query: Arc::new(query),
             name: "coordinated-broadcast".into(),
             idempotent: false,
+            quorum: false,
         }
     }
 
@@ -92,7 +106,29 @@ impl CoordinatedBroadcast {
             query: Arc::new(query),
             name: "coordinated-broadcast-seq".into(),
             idempotent: true,
+            quorum: false,
         }
+    }
+
+    /// The partition-safe barrier: idempotent delivery *plus* a
+    /// majority-ack commit gate. A node that reaches its barrier
+    /// broadcasts `‡ACK(id)` and commits its output only once a strict
+    /// majority of the network (itself included) has acked — so under a
+    /// partition the minority side blocks instead of diverging, and
+    /// after heal the flushed acks let every side commit the same
+    /// answer.
+    pub fn quorum_gated<Q: QueryFunction + 'static>(query: Q) -> CoordinatedBroadcast {
+        CoordinatedBroadcast {
+            query: Arc::new(query),
+            name: "coordinated-broadcast-quorum".into(),
+            idempotent: true,
+            quorum: true,
+        }
+    }
+
+    /// Distinct nodes whose barrier-open ack this node has recorded.
+    fn ack_count(node: &NodeState) -> usize {
+        node.aux.relation(ack_rel()).count()
     }
 
     fn received_count(node: &NodeState, from: usize) -> u64 {
@@ -125,10 +161,29 @@ impl CoordinatedBroadcast {
         })
     }
 
-    fn try_output(&self, node: &mut NodeState, ctx: &Ctx) {
-        if self.barrier_reached(node, ctx) {
+    /// Open the barrier if complete, then commit — directly, or through
+    /// the majority-ack gate. Returns control traffic to broadcast (the
+    /// node's own ack, the first time its barrier opens).
+    fn try_output(&self, node: &mut NodeState, ctx: &Ctx) -> Broadcast {
+        if !self.barrier_reached(node, ctx) {
+            return Vec::new();
+        }
+        if !self.quorum {
             let result = self.query.eval(&node.local);
             node.output_all(&result);
+            return Vec::new();
+        }
+        let n = ctx.all.expect("program requires All");
+        let own = Fact::new(ack_rel(), vec![Val(node.id as u64)]);
+        let fresh = node.aux.insert(own.clone());
+        if 2 * Self::ack_count(node) > n {
+            let result = self.query.eval(&node.local);
+            node.output_all(&result);
+        }
+        if fresh {
+            vec![own]
+        } else {
+            Vec::new()
         }
     }
 }
@@ -148,13 +203,15 @@ impl TransducerProgram for CoordinatedBroadcast {
             eod_rel(),
             vec![Val(node.id as u64), Val(out.len() as u64)],
         ));
-        // A single-node network is already complete.
-        self.try_output(node, ctx);
+        // A single-node network is already complete (and is its own
+        // majority), so the barrier may open right here.
+        out.extend(self.try_output(node, ctx));
         out
     }
 
     fn on_fact(&self, node: &mut NodeState, from: usize, fact: &Fact, ctx: &Ctx) -> Broadcast {
-        if fact.rel == eod_rel() {
+        if fact.rel == eod_rel() || fact.rel == ack_rel() {
+            // Control traffic: never advances a sender's data count.
             node.aux.insert(fact.clone());
         } else {
             let fresh = !self.idempotent
@@ -167,8 +224,7 @@ impl TransducerProgram for CoordinatedBroadcast {
             }
             node.local.insert(fact.clone());
         }
-        self.try_output(node, ctx);
-        Vec::new()
+        self.try_output(node, ctx)
     }
 }
 
@@ -293,6 +349,66 @@ mod tests {
                 assert_eq!(run_to_quiescence(&p, &dist, seed), expected);
             }
         }
+    }
+
+    #[test]
+    fn quorum_gated_barrier_exact_on_benign_runs() {
+        let db = graph();
+        let q = open_triangle_query();
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = CoordinatedBroadcast::quorum_gated(q);
+        for dist in [
+            ideal_distribution(&db, 3),
+            single_node_distribution(&db, 3),
+            hash_distribution(&db, 3, 7),
+            hash_distribution(&db, 4, 8),
+        ] {
+            for seed in 0..3 {
+                assert_eq!(run_to_quiescence(&p, &dist, seed), expected);
+            }
+        }
+        // Single node: its own ack is already a strict majority.
+        let out = run_heartbeats_only(&p, &ideal_distribution(&db, 1), Ctx::aware(1));
+        assert_eq!(
+            out,
+            parlog_relal::eval::eval_query(&open_triangle_query(), &db)
+        );
+    }
+
+    #[test]
+    fn quorum_gated_barrier_converges_after_partition_heals() {
+        use crate::scheduler::run_with_faults;
+        use parlog_faults::{FaultPlan, PartitionPlan};
+        let db = graph();
+        let q = open_triangle_query();
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let dist = hash_distribution(&db, 3, 2);
+        for seed in 1..=3u64 {
+            let plan =
+                FaultPlan::partitioned(seed, PartitionPlan::split(0, 30 + seed as usize, &[0]));
+            let p = CoordinatedBroadcast::quorum_gated(q.clone());
+            let (out, stats) =
+                run_with_faults(&p, &dist, Ctx::aware(3), Schedule::Random(seed), &plan);
+            assert!(stats.partitioned > 0, "seed {seed}: the split must bite");
+            assert_eq!(out, expected, "seed {seed}: flushed acks commit exactly");
+        }
+    }
+
+    #[test]
+    fn quorum_gated_barrier_blocks_instead_of_diverging_under_permanent_split() {
+        use crate::scheduler::run_with_faults;
+        use parlog_faults::{FaultPlan, PartitionPlan};
+        let db = graph();
+        let q = open_triangle_query();
+        let dist = hash_distribution(&db, 3, 2);
+        let plan = FaultPlan::partitioned(9, PartitionPlan::permanent_split(0, &[0]));
+        let p = CoordinatedBroadcast::quorum_gated(q);
+        let (out, stats) = run_with_faults(&p, &dist, Ctx::aware(3), Schedule::Random(9), &plan);
+        assert!(stats.partitioned > 0, "the split must bite");
+        // Neither side may commit an answer computed over split data: a
+        // non-monotone commit without full data would be *wrong*, so
+        // blocking (empty output) is the only safe behavior.
+        assert!(out.is_empty(), "no side may commit on split data");
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub struct SimRun {
     /// Fault-injection state; inert (a pure pass-through) unless a
     /// [`FaultPlan`] is installed.
     faults: FaultState<Fact>,
+    /// Which partition epochs were open at the last pump — transition
+    /// edges emit `PartitionStart` / `PartitionHeal` trace events.
+    partition_open: Vec<bool>,
     /// Observability handle; off (free) by default.
     trace: TraceHandle,
     ctx: Ctx,
@@ -96,6 +99,7 @@ impl SimRun {
             sent: vec![fxset(); n],
             shards: shards.to_vec(),
             faults: FaultState::inert(n),
+            partition_open: Vec::new(),
             trace: TraceHandle::off(),
             ctx,
             delivered: 0,
@@ -136,6 +140,28 @@ impl SimRun {
     /// recovery against this clock.
     pub fn clock(&self) -> usize {
         self.faults.clock
+    }
+
+    /// The installed partition schedule, if any.
+    pub fn partition(&self) -> Option<&parlog_faults::PartitionPlan> {
+        self.faults.partition()
+    }
+
+    /// Is the directed link `from → to` severed by an open partition
+    /// epoch at the current clock?
+    pub fn link_severed(&self, from: usize, to: usize) -> bool {
+        self.faults.severed(from, to).is_some()
+    }
+
+    /// Copies currently held at sources because their link is severed
+    /// by an open partition epoch (parked until heal; parked forever
+    /// under a permanent split).
+    pub fn held_by_partition(&self) -> usize {
+        self.faults
+            .delayed
+            .iter()
+            .filter(|m| m.release == usize::MAX || self.faults.severed(m.from, m.dest).is_some())
+            .count()
     }
 
     /// Node ids currently able to take transitions.
@@ -204,6 +230,8 @@ impl SimRun {
     /// others. With a benign plan this is the identity.
     pub fn install_plan(&mut self, plan: &FaultPlan) {
         self.faults.install(plan);
+        self.partition_open = vec![false; plan.partition.as_ref().map_or(0, |p| p.epochs.len())];
+        self.pump_partition_events();
         for dest in 0..self.n() {
             let copies = std::mem::take(&mut self.buffers[dest]);
             for (from, fact) in copies {
@@ -230,6 +258,23 @@ impl SimRun {
     /// lossy, duplicated, delayed, retransmitted — passes through here.
     /// `attempts` is 0 for first sends and counts retransmissions.
     fn send_copy(&mut self, from: usize, dest: usize, fact: Fact, attempts: u32) {
+        if let Some(until) = self.faults.severed(from, dest) {
+            // An open partition epoch severs this link: the copy is held
+            // *at the source* — never lost — and flushed back through
+            // this router when the epoch heals (where the destination's
+            // health and any later epoch are re-checked). Distinct from
+            // `Drop`: the model's no-loss assumption is preserved.
+            self.trace.emit(|| {
+                TraceEvent::Comm(CommCounters {
+                    sent: 1,
+                    delayed: 1,
+                    bytes: fact_bytes(&fact),
+                    ..CommCounters::default()
+                })
+            });
+            self.faults.hold_partitioned(from, dest, fact, until);
+            return;
+        }
         if !self.faults.health[dest].is_up() {
             // The destination is down; the copy is lost in transit. In
             // reliable mode the sender's ack timeout will fire and it
@@ -282,6 +327,15 @@ impl SimRun {
                     bytes,
                     ..CommCounters::default()
                 },
+                // Unreachable from the injector's dice (partitions are
+                // decided by the topology-aware severed check above),
+                // but a hold is a delay on the wire.
+                MessageFate::Partitioned { .. } => CommCounters {
+                    sent: 1,
+                    delayed: 1,
+                    bytes,
+                    ..CommCounters::default()
+                },
             })
         });
         match fate {
@@ -327,6 +381,9 @@ impl SimRun {
                 });
                 self.enqueue(dest, from, tampered);
             }
+            MessageFate::Partitioned { until } => {
+                self.faults.hold_partitioned(from, dest, fact, until);
+            }
         }
     }
 
@@ -349,10 +406,60 @@ impl SimRun {
         }
     }
 
+    /// Emit `PartitionStart` / `PartitionHeal` on epoch open/close
+    /// edges observed at the current clock. `node` carries the epoch
+    /// index; a start's `info` is the scheduled heal clock
+    /// (`u64::MAX` = permanent), a heal's `info` is the number of held
+    /// copies released by that heal.
+    fn pump_partition_events(&mut self) {
+        if self.partition_open.is_empty() {
+            return;
+        }
+        let clock = self.faults.clock;
+        for e in 0..self.partition_open.len() {
+            let (open, heal) = match self.faults.partition() {
+                Some(p) => (p.epochs[e].open_at(clock), p.epochs[e].heal),
+                None => return,
+            };
+            if open && !self.partition_open[e] {
+                self.partition_open[e] = true;
+                self.trace.emit(|| {
+                    TraceEvent::Fault(FaultEvent {
+                        vclock: clock as f64,
+                        kind: FaultEventKind::PartitionStart,
+                        node: e,
+                        info: if heal == usize::MAX {
+                            u64::MAX
+                        } else {
+                            heal as u64
+                        },
+                    })
+                });
+            } else if !open && self.partition_open[e] {
+                self.partition_open[e] = false;
+                let released = self
+                    .faults
+                    .delayed
+                    .iter()
+                    .filter(|m| m.release == heal)
+                    .count();
+                self.trace.emit(|| {
+                    TraceEvent::Fault(FaultEvent {
+                        vclock: clock as f64,
+                        kind: FaultEventKind::PartitionHeal,
+                        node: e,
+                        info: released as u64,
+                    })
+                });
+            }
+        }
+    }
+
     /// Fire due crash events, restart due recoveries, release due parked
     /// copies. Called before every delivery choice and at drain
     /// boundaries.
     fn pump<P: TransducerProgram + ?Sized>(&mut self, program: &P) {
+        self.pump_partition_events();
         let clock = self.faults.clock as f64;
         for (idx, event) in self.faults.due_crashes() {
             self.faults.apply_crash(idx, event);
@@ -823,6 +930,52 @@ mod tests {
         let shards = vec![Instance::from_facts([fact("R", &[5])])];
         let out = run_to_quiescence(&Echo, &shards, 3);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn healing_partition_converges_to_fault_free_output() {
+        // Hold-and-flush preserves the no-loss assumption: a monotone
+        // broadcast under any healing split ends byte-identical to the
+        // fault-free run — a partition is just an adversarial delay.
+        use crate::programs::monotone::MonotoneBroadcast;
+        let q = parlog_relal::parser::parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let db = Instance::from_facts((0..20u64).map(|i| fact("E", &[i, i + 1])));
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = MonotoneBroadcast::new(q);
+        let shards = crate::distribution::hash_distribution(&db, 4, 3);
+        for seed in [1u64, 2, 3] {
+            let plan =
+                FaultPlan::partitioned(seed, parlog_faults::PartitionPlan::split(0, 40, &[0, 1]));
+            let mut run = SimRun::new(&p, &shards, Ctx::oblivious());
+            run.run_faulty(&p, Schedule::Random(seed), Some(&plan));
+            assert_eq!(run.outputs(), expected, "seed {seed}");
+            assert!(run.fault_stats().partitioned > 0, "the split must bite");
+            assert_eq!(run.held_by_partition(), 0, "everything flushed on heal");
+        }
+    }
+
+    #[test]
+    fn permanent_split_quiesces_with_held_messages_and_sound_sides() {
+        // A split that never heals: the run still quiesces (held copies
+        // are not pending work), each side's output is a sound subset,
+        // and the held copies are parked — not lost.
+        use crate::programs::monotone::MonotoneBroadcast;
+        let q = parlog_relal::parser::parse_query("H(x,z) <- E(x,y), E(y,z)").unwrap();
+        let db = Instance::from_facts((0..20u64).map(|i| fact("E", &[i, i + 1])));
+        let expected = parlog_relal::eval::eval_query(&q, &db);
+        let p = MonotoneBroadcast::new(q);
+        let shards = crate::distribution::hash_distribution(&db, 4, 3);
+        let plan =
+            FaultPlan::partitioned(7, parlog_faults::PartitionPlan::permanent_split(0, &[0]));
+        let mut run = SimRun::new(&p, &shards, Ctx::oblivious());
+        run.run_faulty(&p, Schedule::Random(7), Some(&plan));
+        let out = run.outputs();
+        assert!(out.is_subset_of(&expected), "sound on every side");
+        assert_ne!(out, expected, "a permanent split must lose derivations");
+        assert!(run.held_by_partition() > 0, "copies are held, not dropped");
+        assert_eq!(run.fault_stats().dropped, 0, "partition is not loss");
+        assert!(run.link_severed(0, 1) && run.link_severed(1, 0));
+        assert!(!run.link_severed(1, 2));
     }
 
     #[test]

@@ -65,9 +65,10 @@ where
     }
     if let Some(p) = plan {
         assert!(
-            p.crashes.is_empty() && p.retransmit.is_none(),
-            "the threaded runtime injects message faults only; \
-             crash and retransmit plans need the simulator"
+            p.crashes.is_empty() && p.retransmit.is_none() && p.partition.is_none(),
+            "the threaded runtime injects message faults only; crash, \
+             retransmit and partition plans need the simulator (partition \
+             epochs are timed against its virtual clock)"
         );
     }
     let injector = Arc::new(Mutex::new(plan.map(|p| p.injector())));
@@ -142,6 +143,11 @@ where
                                         s.send((id, t)).expect("receiver alive");
                                         0
                                     }
+                                    // Unreachable: partition fates come
+                                    // from the simulator's topology check,
+                                    // never from the injector's dice (and
+                                    // partition plans are rejected above).
+                                    parlog_faults::MessageFate::Partitioned { .. } => 1,
                                 },
                             };
                             for _ in 0..copies {

@@ -40,7 +40,8 @@ fn mutate_fact(f: &Fact, entropy: u64) -> Fact {
     } else {
         // Zero-arity facts carry no arguments to flip; corrupt by
         // "deriving" a sibling relation instead — still a wrong answer.
-        t.args.push(parlog_relal::fact::Val(mix64(entropy) & 0xFFFF));
+        t.args
+            .push(parlog_relal::fact::Val(mix64(entropy) & 0xFFFF));
     }
     t
 }

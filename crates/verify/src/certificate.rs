@@ -355,7 +355,11 @@ mod tests {
             fact("S", &[7, 3]),
         ]);
         let reference = prove_cq(0, &q, &db, EvalStrategy::Naive);
-        for s in [EvalStrategy::Indexed, EvalStrategy::Wcoj, EvalStrategy::Auto] {
+        for s in [
+            EvalStrategy::Indexed,
+            EvalStrategy::Wcoj,
+            EvalStrategy::Auto,
+        ] {
             let got = prove_cq(0, &q, &db, s);
             assert_eq!(got, reference, "{s:?}");
             assert_eq!(

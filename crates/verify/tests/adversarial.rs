@@ -15,20 +15,19 @@ use parlog_relal::instance::Instance;
 use parlog_relal::parser::{parse_query, parse_union};
 use parlog_relal::query::UnionQuery;
 use parlog_verify::checker::check_answer;
-use parlog_verify::{corrupt_answer, prove_ucq, snapshot};
+use parlog_verify::snapshot::snapshot;
+use parlog_verify::{corrupt_answer, prove_ucq};
 
 fn db_strategy(max_facts: usize, domain: u64) -> impl Strategy<Value = Instance> {
-    prop::collection::vec((0..domain, 0..domain, 0..2u64), 2..max_facts).prop_map(
-        |triples| {
-            Instance::from_facts(triples.into_iter().map(|(a, b, r)| {
-                if r == 0 {
-                    fact("R", &[a, b])
-                } else {
-                    fact("S", &[a, b])
-                }
-            }))
-        },
-    )
+    prop::collection::vec((0..domain, 0..domain, 0..2u64), 2..max_facts).prop_map(|triples| {
+        Instance::from_facts(triples.into_iter().map(|(a, b, r)| {
+            if r == 0 {
+                fact("R", &[a, b])
+            } else {
+                fact("S", &[a, b])
+            }
+        }))
+    })
 }
 
 fn queries() -> Vec<UnionQuery> {
