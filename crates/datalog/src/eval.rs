@@ -82,7 +82,27 @@ pub fn eval_program(p: &Program, edb: &Instance) -> Result<Instance, ProgramErro
 /// the Wcoj path evaluates each delta variant with the delta atom's
 /// variables as the outermost trie levels. All strategies produce the
 /// same fixpoint.
+///
+/// When a maintained view for `(p, strategy)` is installed on `edb` (see
+/// [`crate::maintain::materialize`]), the fixpoint is refreshed from the
+/// instance's delta log instead of recomputed.
 pub fn eval_program_with(
+    p: &Program,
+    edb: &Instance,
+    strategy: EvalStrategy,
+) -> Result<Instance, ProgramError> {
+    if let Some(out) = crate::maintain::try_refresh(p, edb, strategy) {
+        return Ok(out);
+    }
+    let mut db = eval_program_with_adom(p, edb, strategy)?;
+    cleanup(&mut db, &[]);
+    Ok(db)
+}
+
+/// The from-scratch fixpoint *including* the `ADom` helper facts — the
+/// state the incremental maintainer ([`crate::maintain`]) tracks. Delta
+/// helper relations are stripped; `ADom` stays.
+pub(crate) fn eval_program_with_adom(
     p: &Program,
     edb: &Instance,
     strategy: EvalStrategy,
@@ -209,7 +229,16 @@ pub fn eval_program_with(
         }
     }
 
-    cleanup(&mut db, &delta_rels);
+    // Strip only the delta helper relations; `ADom` is part of the
+    // maintained state and the caller removes it.
+    let stale: Vec<Fact> = db
+        .iter()
+        .filter(|f| delta_rels.contains(&f.rel))
+        .cloned()
+        .collect();
+    for f in stale {
+        db.remove(&f);
+    }
     Ok(db)
 }
 

@@ -44,10 +44,12 @@ pub mod analysis;
 pub mod coordination;
 pub mod eval;
 pub mod invention;
+pub mod maintain;
 pub mod program;
 pub mod wellfounded;
 
 pub use eval::{eval_program, eval_program_naive, eval_program_with};
+pub use maintain::{materialize, try_refresh, view_stats, MaterializedView, ViewStats};
 pub use program::{Program, ProgramError, Stratification};
 
 /// Commonly used items.
@@ -55,6 +57,7 @@ pub mod prelude {
     pub use crate::analysis::{is_connected, is_semi_connected, is_semi_positive};
     pub use crate::eval::{eval_program, eval_program_naive, eval_program_with};
     pub use crate::invention::{InventionProgram, InventionRule};
+    pub use crate::maintain::{materialize, try_refresh, view_stats, ViewStats};
     pub use crate::program::{parse_program, Program, Stratification};
     pub use crate::wellfounded::{well_founded, TruthValue, WellFoundedModel};
 }

@@ -20,10 +20,10 @@
 //! (hash-partition on the key, then stream each group); tests assert both
 //! the outputs and the measured memory profiles.
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, Routing};
 use crate::partition::{seed_cluster, HashPartitioner, InitialPartition};
 use parlog_relal::fact::{Fact, Val};
-use parlog_relal::fastmap::fxmap;
+use parlog_relal::fastmap::{fxmap, FxSet};
 use parlog_relal::instance::Instance;
 use parlog_relal::symbols::RelId;
 
@@ -334,6 +334,253 @@ where
     }
 }
 
+/// A live streamed computation maintained across delta rounds.
+///
+/// [`run_streamed`] reseeds and reshuffles the *entire* database on every
+/// call. A `DeltaStreamSession` keeps the cluster (and its hash
+/// partition) alive between updates: each [`DeltaStreamSession::push`]
+/// routes only the delta — inserted facts are hash-partitioned to their
+/// group's owner, deleted facts are dropped at their holder, everything
+/// else is `Keep`-retained for free — and only the affected groups are
+/// re-streamed. Outputs are reference-counted per emitting group, so a
+/// retraction by one group does not steal a fact another group still
+/// emits.
+///
+/// The delta round goes through the same communication driver as every
+/// other phase, so fault plans, checkpoint/replay recovery, partition
+/// hold-and-flush and `with_parallelism` all apply unchanged; the
+/// maintained output stays equal to re-running [`run_streamed`] (or its
+/// two-pass variant) on the accumulated database.
+pub struct DeltaStreamSession<R, F>
+where
+    R: StreamingReducer,
+    F: FnMut() -> R,
+{
+    cluster: Cluster,
+    rels: Vec<(RelId, Vec<usize>)>,
+    make_reducer: F,
+    h: HashPartitioner,
+    passes: u8,
+    /// Deduplicated output of each live group, by group key.
+    group_out: parlog_relal::fastmap::FxMap<Vec<Val>, Vec<Fact>>,
+    /// How many groups currently emit each output fact.
+    out_counts: parlog_relal::fastmap::FxMap<Fact, i64>,
+    output: Instance,
+    peak_state: usize,
+    max_group: usize,
+    rounds_pushed: u64,
+}
+
+impl<R, F> DeltaStreamSession<R, F>
+where
+    R: StreamingReducer,
+    F: FnMut() -> R,
+{
+    /// Open a session over `db` with a freshly seeded `p`-server cluster
+    /// (single-pass reducers; see [`DeltaStreamSession::new_two_pass`]).
+    pub fn new(
+        db: &Instance,
+        rels: &[(RelId, Vec<usize>)],
+        make_reducer: F,
+        p: usize,
+        seed: u64,
+    ) -> DeltaStreamSession<R, F> {
+        Self::with_cluster(Cluster::new(p), db, rels, make_reducer, seed, 1)
+    }
+
+    /// Open a session whose reducers stream every group twice per
+    /// evaluation (the register-automata multi-pass model).
+    pub fn new_two_pass(
+        db: &Instance,
+        rels: &[(RelId, Vec<usize>)],
+        make_reducer: F,
+        p: usize,
+        seed: u64,
+    ) -> DeltaStreamSession<R, F> {
+        Self::with_cluster(Cluster::new(p), db, rels, make_reducer, seed, 2)
+    }
+
+    /// Open a session on a preconfigured (empty) cluster — the way to run
+    /// delta rounds under fault plans, tracing or bounded parallelism.
+    pub fn with_cluster(
+        mut cluster: Cluster,
+        db: &Instance,
+        rels: &[(RelId, Vec<usize>)],
+        make_reducer: F,
+        seed: u64,
+        passes: u8,
+    ) -> DeltaStreamSession<R, F> {
+        assert!(passes == 1 || passes == 2, "reducers run one or two passes");
+        let p = cluster.p();
+        seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
+        let h = HashPartitioner::new(seed, p);
+        let mut session = DeltaStreamSession {
+            cluster,
+            rels: rels.to_vec(),
+            make_reducer,
+            h,
+            passes,
+            group_out: fxmap(),
+            out_counts: fxmap(),
+            output: Instance::new(),
+            peak_state: 0,
+            max_group: 0,
+            rounds_pushed: 0,
+        };
+        let route_h = session.h.clone();
+        let rels_owned = session.rels.clone();
+        session.cluster.communicate(move |f| {
+            match key_for(&rels_owned, f) {
+                Some(k) => vec![route_h.bucket_of(&k)],
+                None => Vec::new(),
+            }
+        });
+        // Evaluate every group once to prime the maintained output.
+        let keys: Vec<Vec<Val>> = {
+            let mut ks: Vec<Vec<Val>> = (0..p)
+                .flat_map(|s| {
+                    session
+                        .cluster
+                        .local(s)
+                        .iter()
+                        .filter_map(|f| key_for(&session.rels, f))
+                })
+                .collect();
+            ks.sort();
+            ks.dedup();
+            ks
+        };
+        for k in keys {
+            session.reeval_group(&k);
+        }
+        session
+    }
+
+    /// Apply one batch of base-data changes: route the delta through a
+    /// single communication round (`Send` for inserts, `Drop` for
+    /// deletes, `Keep` for the rest) and re-stream only the groups the
+    /// delta touches. Deleting a fact the session never held is a no-op.
+    /// Returns the maintained output.
+    pub fn push(&mut self, inserts: &[Fact], deletes: &[Fact]) -> &Instance {
+        let ins: FxSet<Fact> = inserts.iter().cloned().collect();
+        let del: FxSet<Fact> = deletes.iter().cloned().collect();
+        // New facts enter at a deterministic staging server (their
+        // owner routes them in the delta round like any holder would).
+        let p = self.cluster.p();
+        for (i, f) in inserts.iter().enumerate() {
+            self.cluster.local_mut(i % p).insert(f.clone());
+        }
+        let route_h = self.h.clone();
+        let rels_owned = self.rels.clone();
+        self.cluster.reshuffle(move |_, f| {
+            if del.contains(f) {
+                return Routing::Drop;
+            }
+            if ins.contains(f) {
+                return match key_for(&rels_owned, f) {
+                    Some(k) => Routing::Send(vec![route_h.bucket_of(&k)]),
+                    None => Routing::Drop,
+                };
+            }
+            Routing::Keep
+        });
+        self.rounds_pushed += 1;
+        let mut touched: Vec<Vec<Val>> = inserts
+            .iter()
+            .chain(deletes.iter())
+            .filter_map(|f| key_for(&self.rels, f))
+            .collect();
+        touched.sort();
+        touched.dedup();
+        for k in touched {
+            self.reeval_group(&k);
+        }
+        &self.output
+    }
+
+    /// Re-stream one group on its owning server and fold the difference
+    /// into the maintained output.
+    fn reeval_group(&mut self, k: &[Val]) {
+        let owner = self.h.bucket_of(k);
+        let mut facts: Vec<Fact> = self
+            .cluster
+            .local(owner)
+            .iter()
+            .filter(|f| key_for(&self.rels, f).as_deref() == Some(k))
+            .cloned()
+            .collect();
+        facts.sort();
+        let mut fresh: Vec<Fact> = Vec::new();
+        if !facts.is_empty() {
+            self.max_group = self.max_group.max(facts.len());
+            let mut reducer = (self.make_reducer)();
+            for _ in 0..self.passes {
+                reducer.begin_group(k);
+                for f in &facts {
+                    fresh.extend(reducer.consume(f));
+                    self.peak_state = self.peak_state.max(reducer.state_size());
+                }
+                fresh.extend(reducer.end_group());
+            }
+            fresh.sort();
+            fresh.dedup();
+        }
+        let stale = self.group_out.remove(k).unwrap_or_default();
+        for f in &stale {
+            let c = self.out_counts.get_mut(f).expect("counted output");
+            *c -= 1;
+            if *c == 0 {
+                self.out_counts.remove(f);
+                self.output.remove(f);
+            }
+        }
+        for f in &fresh {
+            let c = self.out_counts.entry(f.clone()).or_insert(0);
+            *c += 1;
+            if *c == 1 {
+                self.output.insert(f.clone());
+            }
+        }
+        if !fresh.is_empty() {
+            self.group_out.insert(k.to_vec(), fresh);
+        }
+    }
+
+    /// The maintained output (equal to re-running the full streamed
+    /// operator on the accumulated database).
+    pub fn output(&self) -> &Instance {
+        &self.output
+    }
+
+    /// The session's report in [`run_streamed`] terms; peaks are over the
+    /// session's whole lifetime.
+    pub fn report(&self) -> StreamReport {
+        StreamReport {
+            output: self.output.clone(),
+            peak_state: self.peak_state,
+            max_group: self.max_group,
+        }
+    }
+
+    /// Delta rounds pushed so far.
+    pub fn rounds_pushed(&self) -> u64 {
+        self.rounds_pushed
+    }
+
+    /// The underlying cluster (loads, rounds, recovery stats).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+/// The group key of `f` under the per-relation key positions, `None` for
+/// relations outside the streamed set.
+fn key_for(rels: &[(RelId, Vec<usize>)], f: &Fact) -> Option<Vec<Val>> {
+    rels.iter()
+        .find(|(r, _)| *r == f.rel)
+        .map(|(_, ps)| ps.iter().map(|&i| f.args[i]).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,5 +674,194 @@ mod tests {
         );
         assert!(report.output.is_empty());
         assert_eq!(report.peak_state, 0);
+    }
+
+    /// Every key holds exactly one fact: groups of size one must still
+    /// open, stream and close correctly in both one- and two-pass modes.
+    #[test]
+    fn single_fact_groups_stream_correctly() {
+        let mut db = Instance::new();
+        for i in 0..8u64 {
+            db.insert(fact("R", &[i, 100 + i]));
+        }
+        db.insert(fact("S", &[103, 0]));
+        let rels = [(rel("R"), vec![1]), (rel("S"), vec![0])];
+        let semi = run_streamed_two_pass(
+            &db,
+            &rels,
+            || SemijoinReducer::new(rel("R"), rel("S"), rel("Semi")),
+            3,
+            5,
+        );
+        // Only key 103 holds both sides; the seven R-only and one S-only
+        // singleton groups must come and go without emitting.
+        assert_eq!(semi.output.sorted_facts(), vec![fact("Semi", &[3, 103])]);
+        assert_eq!(semi.max_group, 2);
+    }
+
+    /// Facts from different relations whose key positions extract the
+    /// same key vector must land in ONE group, not one group per
+    /// relation — the reducer sees both sides interleaved.
+    #[test]
+    fn key_collision_across_relations_shares_one_group() {
+        // R is keyed on position 1, S on position 0; the value 7 appears
+        // in both, plus as a non-key value that must NOT collide.
+        let db = Instance::from_facts([
+            fact("R", &[7, 7]),
+            fact("R", &[2, 7]),
+            fact("S", &[7, 7]),
+            fact("R", &[7, 9]), // key 9, not 7, despite the leading 7
+        ]);
+        let rels = [(rel("R"), vec![1]), (rel("S"), vec![0])];
+        let report = run_streamed_two_pass(
+            &db,
+            &rels,
+            || SemijoinReducer::new(rel("R"), rel("S"), rel("Semi")),
+            2,
+            11,
+        );
+        assert_eq!(
+            report.output.sorted_facts(),
+            vec![fact("Semi", &[2, 7]), fact("Semi", &[7, 7])]
+        );
+        // Both R facts and the S fact streamed as a single group of 3.
+        assert_eq!(report.max_group, 3);
+    }
+
+    /// A delta session's maintained output must equal a full re-stream
+    /// of the accumulated database after every push.
+    #[test]
+    fn delta_session_matches_full_restream_join() {
+        let rels = [(rel("R"), vec![1]), (rel("S"), vec![0])];
+        let mk = || JoinReducer::new(rel("R"), rel("S"), rel("J"), vec![0]);
+        let mut db = Instance::new();
+        for i in 0..20u64 {
+            db.insert(fact("R", &[i, i % 4]));
+            db.insert(fact("S", &[i % 4, 50 + i]));
+        }
+        let mut session = DeltaStreamSession::new(&db, &rels, mk, 4, 9);
+        assert_eq!(*session.output(), run_streamed(&db, &rels, mk, 4, 9).output);
+        let batches: Vec<(Vec<Fact>, Vec<Fact>)> = vec![
+            (vec![fact("R", &[100, 0]), fact("S", &[5, 500])], vec![]),
+            (vec![fact("R", &[101, 5])], vec![fact("S", &[0, 50])]),
+            (vec![], vec![fact("R", &[100, 0]), fact("R", &[0, 0])]),
+            // Deleting an absent fact is a no-op.
+            (vec![fact("S", &[2, 52])], vec![fact("R", &[999, 999])]),
+        ];
+        for (ins, del) in batches {
+            for f in &ins {
+                db.insert(f.clone());
+            }
+            for f in &del {
+                db.remove(f);
+            }
+            session.push(&ins, &del);
+            assert_eq!(*session.output(), run_streamed(&db, &rels, mk, 4, 9).output);
+        }
+        assert_eq!(session.rounds_pushed(), 4);
+    }
+
+    /// Same equivalence for two-pass reducers, and under a straggler
+    /// fault plan with bounded worker parallelism: faults may reorder
+    /// and slow the delta rounds but never change the maintained output.
+    #[test]
+    fn delta_session_two_pass_under_faults_matches_restream() {
+        use parlog_faults::MpcFaultPlan;
+        let rels = [(rel("R"), vec![1]), (rel("S"), vec![0])];
+        let mk = || SemijoinReducer::new(rel("R"), rel("S"), rel("Semi"));
+        let mut db = Instance::new();
+        for i in 0..30u64 {
+            db.insert(fact("R", &[i, i % 6]));
+        }
+        db.insert(fact("S", &[1, 0]));
+        db.insert(fact("S", &[4, 0]));
+        let cluster = Cluster::new(4)
+            .with_faults(MpcFaultPlan::none().with_straggler(2, 4.0))
+            .with_parallelism(2);
+        let mut session = DeltaStreamSession::with_cluster(cluster, &db, &rels, mk, 13, 2);
+        let batches: Vec<(Vec<Fact>, Vec<Fact>)> = vec![
+            (vec![fact("S", &[2, 0])], vec![fact("S", &[1, 0])]),
+            (vec![fact("R", &[40, 2])], vec![fact("R", &[2, 2])]),
+            (vec![], vec![fact("S", &[2, 0])]),
+        ];
+        for (ins, del) in batches {
+            for f in &ins {
+                db.insert(f.clone());
+            }
+            for f in &del {
+                db.remove(f);
+            }
+            session.push(&ins, &del);
+            assert_eq!(
+                *session.output(),
+                run_streamed_two_pass(&db, &rels, mk, 4, 13).output,
+                "maintained output diverged under faults"
+            );
+        }
+    }
+
+    /// Deleting every fact of a group retracts all of its output and
+    /// drops the group; re-inserting brings it back.
+    #[test]
+    fn emptied_groups_retract_their_output() {
+        let rels = [(rel("R"), vec![1]), (rel("S"), vec![0])];
+        let mk = || JoinReducer::new(rel("R"), rel("S"), rel("J"), vec![0]);
+        let db = Instance::from_facts([
+            fact("R", &[1, 5]),
+            fact("S", &[5, 8]),
+            fact("R", &[2, 6]),
+            fact("S", &[6, 9]),
+        ]);
+        let mut session = DeltaStreamSession::new(&db, &rels, mk, 2, 3);
+        assert_eq!(session.output().len(), 2);
+        session.push(&[], &[fact("R", &[1, 5]), fact("S", &[5, 8])]);
+        assert_eq!(session.output().sorted_facts(), vec![fact("J", &[2, 6, 9])]);
+        session.push(&[fact("R", &[1, 5]), fact("S", &[5, 8])], &[]);
+        assert_eq!(
+            session.output().sorted_facts(),
+            vec![fact("J", &[1, 5, 8]), fact("J", &[2, 6, 9])]
+        );
+    }
+
+    /// A reducer that emits one marker fact per nonempty group.
+    struct MarkerReducer {
+        seen: bool,
+    }
+    impl StreamingReducer for MarkerReducer {
+        fn begin_group(&mut self, _key: &[Val]) {
+            self.seen = false;
+        }
+        fn consume(&mut self, _fact: &Fact) -> Vec<Fact> {
+            self.seen = true;
+            Vec::new()
+        }
+        fn end_group(&mut self) -> Vec<Fact> {
+            if self.seen {
+                vec![fact("Marker", &[0])]
+            } else {
+                Vec::new()
+            }
+        }
+        fn state_size(&self) -> usize {
+            1
+        }
+    }
+
+    /// Output facts are refcounted across groups: when two groups emit
+    /// the same fact, retracting one group's support must keep the fact
+    /// until the other group stops emitting it too.
+    #[test]
+    fn shared_output_facts_are_refcounted_across_groups() {
+        let rels = [(rel("R"), vec![0])];
+        let db = Instance::from_facts([fact("R", &[1]), fact("R", &[2])]);
+        let mut session =
+            DeltaStreamSession::new(&db, &rels, || MarkerReducer { seen: false }, 2, 17);
+        assert_eq!(session.output().sorted_facts(), vec![fact("Marker", &[0])]);
+        // Empty group 1; group 2 still supports the marker.
+        session.push(&[], &[fact("R", &[1])]);
+        assert_eq!(session.output().sorted_facts(), vec![fact("Marker", &[0])]);
+        // Empty group 2 as well; now the marker must retract.
+        session.push(&[], &[fact("R", &[2])]);
+        assert!(session.output().is_empty());
     }
 }

@@ -176,7 +176,7 @@ pub fn contains_neg_bounded(
     sub: &ConjunctiveQuery,
     sup: &ConjunctiveQuery,
     extra_values: usize,
-) -> Result<(), crate::instance::Instance> {
+) -> Result<(), Box<crate::instance::Instance>> {
     use crate::eval::eval_query;
     use crate::fact::Val;
     use crate::instance::Instance;
@@ -240,7 +240,7 @@ pub fn contains_neg_bounded(
                 .map(|(_, f)| f.clone()),
         );
         if !eval_query(sub, &instance).is_subset_of(&eval_query(sup, &instance)) {
-            return Err(instance);
+            return Err(Box::new(instance));
         }
     }
     Ok(())

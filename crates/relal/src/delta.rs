@@ -1,0 +1,136 @@
+//! Per-instance delta logs: the ordered record of every successful
+//! insert/delete, keyed by the mutation epoch.
+//!
+//! The log is what turns the instance from a batch store into an
+//! incremental one: consumers that cached derived state (tries, maintained
+//! Datalog fixpoints, routed MPC shards) remember the epoch they last saw
+//! and ask [`DeltaLog::since`] for exactly the mutations that happened
+//! after it, instead of re-reading the world. The log is bounded — once a
+//! consumer falls further behind than [`DeltaLog::capacity`] entries, it
+//! gets `None` and must fall back to a full rebuild, which is always
+//! correct (the log is an optimization channel, never the source of
+//! truth).
+
+use crate::fact::Fact;
+
+/// The two kinds of instance mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// The fact was inserted (it was not previously present).
+    Insert,
+    /// The fact was removed (it was previously present).
+    Delete,
+}
+
+/// One successful mutation: the epoch the instance moved *to*, the
+/// operation, and the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaEntry {
+    /// The instance epoch immediately after this mutation was applied.
+    pub epoch: u64,
+    /// Insert or delete.
+    pub op: DeltaOp,
+    /// The mutated fact.
+    pub fact: Fact,
+}
+
+/// A bounded, ordered log of [`DeltaEntry`]s.
+#[derive(Debug, Clone)]
+pub struct DeltaLog {
+    entries: Vec<DeltaEntry>,
+    /// Highest epoch whose entry has been truncated away (0 = nothing
+    /// truncated). `since(e)` is answerable iff `e >= truncated_to`.
+    truncated_to: u64,
+    capacity: usize,
+}
+
+/// Default number of retained entries — enough for every realistic
+/// refresh cadence while keeping the log's memory bounded.
+pub const DEFAULT_LOG_CAPACITY: usize = 1 << 14;
+
+impl Default for DeltaLog {
+    fn default() -> DeltaLog {
+        DeltaLog::with_capacity(DEFAULT_LOG_CAPACITY)
+    }
+}
+
+impl DeltaLog {
+    /// An empty log retaining at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> DeltaLog {
+        DeltaLog {
+            entries: Vec::new(),
+            truncated_to: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record a mutation that moved the instance to `epoch`. Entries must
+    /// be appended in strictly increasing epoch order.
+    pub fn push(&mut self, epoch: u64, op: DeltaOp, fact: Fact) {
+        debug_assert!(self.entries.last().is_none_or(|e| e.epoch < epoch));
+        self.entries.push(DeltaEntry { epoch, op, fact });
+        if self.entries.len() > self.capacity {
+            let drop = self.entries.len() - self.capacity;
+            self.truncated_to = self.entries[drop - 1].epoch;
+            self.entries.drain(..drop);
+        }
+    }
+
+    /// All mutations after epoch `e`, oldest first — or `None` if the log
+    /// has truncated past `e` (the caller must fall back to a full
+    /// rebuild). `Some(&[])` means the caller is already current.
+    pub fn since(&self, e: u64) -> Option<&[DeltaEntry]> {
+        if e < self.truncated_to {
+            return None;
+        }
+        let start = self.entries.partition_point(|d| d.epoch <= e);
+        Some(&self.entries[start..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::fact;
+
+    #[test]
+    fn since_slices_by_epoch() {
+        let mut log = DeltaLog::default();
+        log.push(1, DeltaOp::Insert, fact("R", &[1]));
+        log.push(2, DeltaOp::Insert, fact("R", &[2]));
+        log.push(3, DeltaOp::Delete, fact("R", &[1]));
+        assert_eq!(log.since(0).unwrap().len(), 3);
+        assert_eq!(log.since(2).unwrap().len(), 1);
+        assert_eq!(log.since(2).unwrap()[0].op, DeltaOp::Delete);
+        assert_eq!(log.since(3).unwrap().len(), 0);
+        assert_eq!(log.since(99).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn truncation_forces_full_rebuild() {
+        let mut log = DeltaLog::with_capacity(2);
+        log.push(1, DeltaOp::Insert, fact("R", &[1]));
+        log.push(2, DeltaOp::Insert, fact("R", &[2]));
+        log.push(3, DeltaOp::Insert, fact("R", &[3]));
+        // Epoch-1 entry was dropped: a reader at epoch 0 can no longer
+        // catch up from the log.
+        assert!(log.since(0).is_none());
+        assert!(log.since(1).is_some());
+        assert_eq!(log.since(1).unwrap().len(), 2);
+    }
+}

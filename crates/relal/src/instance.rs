@@ -5,26 +5,56 @@
 //! subinstances `I|C` (Lemma 5.7), domain-distinct/disjoint extensions, and
 //! connected **components** (Lemma 5.11: an instance decomposes into
 //! subinstances with pairwise disjoint active domains).
+//!
+//! ## Incremental bookkeeping
+//!
+//! Every successful mutation bumps the global **epoch**, records the
+//! mutated relation's **per-relation epoch**, and appends an entry to the
+//! bounded [`DeltaLog`]. Derived state keyed by an epoch (the LSM trie
+//! cache here, maintained Datalog fixpoints in `parlog-datalog`, routed
+//! MPC shards in `parlog-mpc`) catches up by replaying
+//! [`Instance::delta_since`] instead of rebuilding from scratch; a
+//! truncated log (`None`) is the signal to fall back to a full rebuild.
 
+use crate::delta::{DeltaEntry, DeltaLog, DeltaOp};
 use crate::fact::{Fact, Val};
 use crate::fastmap::{fxmap, fxset, FxMap, FxSet};
+use crate::lsm::TrieLayers;
 use crate::symbols::RelId;
 use crate::trie::TrieRel;
+use std::any::Any;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-/// The per-epoch trie cache: `(relation, column permutation) → trie`.
-type TrieCache = FxMap<(RelId, Vec<usize>), Arc<TrieRel>>;
+/// The trie cache: `(relation, column permutation) → LSM layers`.
+type TrieCache = FxMap<(RelId, Vec<usize>), TrieLayers>;
+
+/// Registry of maintained derived results (e.g. materialized Datalog
+/// fixpoints), keyed by an opaque consumer-chosen token. Stored as `Any`
+/// so this crate stays agnostic of what the consumers maintain.
+type ViewRegistry = FxMap<u64, Box<dyn Any + Send>>;
+
+/// Lock a cache mutex, recovering from poisoning: the caches hold only
+/// rebuildable derived state, so a panic mid-update at worst leaves a
+/// stale entry behind — which the epoch check then refreshes — and must
+/// not abort every later caller.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A finite set of facts, indexed by relation for efficient evaluation.
 ///
 /// Alongside the hash-set storage, the instance lazily builds and caches
-/// sorted columnar tries ([`TrieRel`], one per `(relation, column
-/// permutation)`) for the worst-case-optimal evaluator
-/// ([`crate::eval::eval_query_wcoj`]). The cache is keyed by an **epoch**
-/// that every successful mutation bumps, so tries are built once per
-/// epoch and never observe stale facts. The cache is invisible to
-/// equality, serialization and cloning.
+/// sorted columnar tries ([`TrieRel`], as [`TrieLayers`] LSM stacks, one
+/// per `(relation, column permutation)`) for the worst-case-optimal
+/// evaluator ([`crate::eval::eval_query_wcoj`]). Mutations never evict
+/// cache entries: each entry remembers the epoch it is current as of, and
+/// a read of a stale entry replays the delta log ([`TrieLayers::advance`])
+/// — appending a small run / tombstones — instead of rebuilding. Entries
+/// of relations other than the mutated one stay valid verbatim. The
+/// cache is invisible to equality and serialization, and clones share the
+/// (immutable, `Arc`'d) runs.
 #[derive(Default)]
 pub struct Instance {
     by_rel: FxMap<RelId, FxSet<Fact>>,
@@ -32,8 +62,18 @@ pub struct Instance {
     /// Bumped on every *successful* insert/remove (duplicate inserts and
     /// absent removes leave it unchanged, like `len`).
     epoch: u64,
-    /// Cached tries for the current epoch.
+    /// Per-relation last-mutation epoch: a cache entry for `r` built at
+    /// epoch `e` is current iff `rel_epochs[r] <= e`.
+    rel_epochs: FxMap<RelId, u64>,
+    /// Bounded ordered log of successful mutations.
+    log: DeltaLog,
+    /// Cached trie layers, refreshed on read via the delta log.
     tries: Mutex<TrieCache>,
+    /// Maintained derived results (see [`Instance::view_take`]).
+    views: Mutex<ViewRegistry>,
+    /// Number of full trie builds performed by this instance (diagnostic:
+    /// incremental refreshes and warm clones keep this flat).
+    builds: AtomicU64,
 }
 
 impl Instance {
@@ -53,15 +93,16 @@ impl Instance {
 
     /// Insert a fact; returns `true` if it was not already present.
     pub fn insert(&mut self, f: Fact) -> bool {
-        let fresh = self.by_rel.entry(f.rel).or_default().insert(f);
+        let fresh = self.by_rel.entry(f.rel).or_default().insert(f.clone());
         if fresh {
             self.len += 1;
-            self.invalidate_tries();
+            self.note_mutation(DeltaOp::Insert, f);
         }
         fresh
     }
 
-    /// Remove a fact; returns `true` if it was present.
+    /// Remove a fact; returns `true` if it was present. An absent remove
+    /// is a no-op: epoch, delta log and registered views are untouched.
     pub fn remove(&mut self, f: &Fact) -> bool {
         let removed = self
             .by_rel
@@ -70,7 +111,7 @@ impl Instance {
             .unwrap_or(false);
         if removed {
             self.len -= 1;
-            self.invalidate_tries();
+            self.note_mutation(DeltaOp::Delete, f.clone());
         }
         removed
     }
@@ -80,31 +121,118 @@ impl Instance {
         self.epoch
     }
 
-    /// Drop every cached trie and bump the epoch (`&mut self`, so no
-    /// other thread can hold the lock — `get_mut` never blocks).
-    fn invalidate_tries(&mut self) {
+    /// The epoch of `rel`'s most recent mutation (0 if never mutated).
+    pub fn rel_epoch(&self, rel: RelId) -> u64 {
+        self.rel_epochs.get(&rel).copied().unwrap_or(0)
+    }
+
+    /// All successful mutations after epoch `e`, oldest first — `None` if
+    /// the bounded log has truncated past `e` (fall back to a rebuild).
+    pub fn delta_since(&self, e: u64) -> Option<&[DeltaEntry]> {
+        self.log.since(e)
+    }
+
+    /// Number of entries currently retained in the delta log.
+    pub fn delta_log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Record a successful mutation: bump the global and per-relation
+    /// epochs and append to the delta log. Cached tries are *not*
+    /// dropped — stale entries replay the log on next read, and entries
+    /// of other relations remain exactly valid.
+    fn note_mutation(&mut self, op: DeltaOp, f: Fact) {
         self.epoch += 1;
-        let tries = self.tries.get_mut().expect("trie cache lock poisoned");
-        if !tries.is_empty() {
-            tries.clear();
+        self.rel_epochs.insert(f.rel, self.epoch);
+        self.log.push(self.epoch, op, f);
+    }
+
+    /// Refresh (or create) the cache entry for `(rel, perm)` inside an
+    /// already-locked cache, replaying the delta log if stale.
+    fn refresh_entry<'c>(
+        &self,
+        cache: &'c mut TrieCache,
+        rel: RelId,
+        perm: &[usize],
+    ) -> &'c mut TrieLayers {
+        use std::collections::hash_map::Entry;
+        match cache.entry((rel, perm.to_vec())) {
+            Entry::Occupied(o) => {
+                let layers = o.into_mut();
+                if layers.built_epoch < self.rel_epoch(rel) {
+                    match self.log.since(layers.built_epoch) {
+                        Some(deltas) => {
+                            if layers.advance(deltas, self, rel, perm, self.epoch) {
+                                self.builds.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => {
+                            *layers = TrieLayers::build_full(self, rel, perm, self.epoch);
+                            self.builds.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                } else {
+                    // Entry is current for `rel`; stamp it forward so
+                    // later refreshes replay only genuinely new deltas.
+                    layers.built_epoch = self.epoch;
+                }
+                layers
+            }
+            Entry::Vacant(v) => {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                v.insert(TrieLayers::build_full(self, rel, perm, self.epoch))
+            }
         }
     }
 
-    /// The sorted columnar trie of `rel` under the column permutation
-    /// `perm`, built on first use and cached until the next mutation.
+    /// The LSM trie layers of `rel` under the column permutation `perm`,
+    /// built on first use and incrementally refreshed from the delta log
+    /// on later mutations. Cheap to clone (runs are `Arc`'d).
+    pub fn trie_layers(&self, rel: RelId, perm: &[usize]) -> TrieLayers {
+        let mut cache = lock_recover(&self.tries);
+        self.refresh_entry(&mut cache, rel, perm).clone()
+    }
+
+    /// The sorted columnar trie of `rel` under `perm` as a **single run**
+    /// (compacting the layers if needed) — the pre-LSM API, kept for
+    /// callers that want one flat trie.
     pub fn trie(&self, rel: RelId, perm: &[usize]) -> Arc<TrieRel> {
-        let mut cache = self.tries.lock().expect("trie cache lock poisoned");
-        if let Some(t) = cache.get(&(rel, perm.to_vec())) {
-            return Arc::clone(t);
+        let mut cache = lock_recover(&self.tries);
+        let layers = self.refresh_entry(&mut cache, rel, perm);
+        if layers.run_count() == 1 && !layers.has_tombstones() {
+            return Arc::clone(&layers.runs()[0]);
         }
-        let t = Arc::new(TrieRel::build(self, rel, perm));
-        cache.insert((rel, perm.to_vec()), Arc::clone(&t));
-        t
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        *layers = TrieLayers::build_full(self, rel, perm, self.epoch);
+        Arc::clone(&layers.runs()[0])
     }
 
     /// Number of tries currently cached (test/diagnostic hook).
     pub fn cached_tries(&self) -> usize {
-        self.tries.lock().expect("trie cache lock poisoned").len()
+        lock_recover(&self.tries).len()
+    }
+
+    /// Number of full trie builds this instance has performed
+    /// (test/diagnostic hook; warm clones and delta refreshes stay flat).
+    pub fn trie_builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Take a maintained view out of the registry (put it back with
+    /// [`Instance::view_put`] after refreshing). Take-out semantics keep
+    /// the registry lock short and make re-entrant evaluation safe.
+    pub fn view_take(&self, key: u64) -> Option<Box<dyn Any + Send>> {
+        lock_recover(&self.views).remove(&key)
+    }
+
+    /// Store a maintained view under `key` (see [`Instance::view_take`]).
+    pub fn view_put(&self, key: u64, view: Box<dyn Any + Send>) {
+        lock_recover(&self.views).insert(key, view);
+    }
+
+    /// Number of registered maintained views (test/diagnostic hook).
+    pub fn views_len(&self) -> usize {
+        lock_recover(&self.views).len()
     }
 
     /// Does the instance contain the fact?
@@ -273,23 +401,30 @@ impl Instance {
     }
 }
 
-/// Clones carry the facts and the epoch but start with an empty trie
-/// cache (tries are rebuilt on demand; sharing them across clones would
-/// tie the clones' mutation bookkeeping together for no benefit).
+/// Clones carry the facts, the epochs, the delta log **and the trie
+/// cache**: tries are immutable `Arc`'d runs refreshed by epoch checks,
+/// so a clone answers WCOJ queries warm, without rebuilding anything.
+/// Registered views are not carried (they hold consumer-specific state
+/// behind `Any`, which is not clonable); consumers re-register on the
+/// clone if they want maintained results there.
 impl Clone for Instance {
     fn clone(&self) -> Instance {
         Instance {
             by_rel: self.by_rel.clone(),
             len: self.len,
             epoch: self.epoch,
-            tries: Mutex::new(fxmap()),
+            rel_epochs: self.rel_epochs.clone(),
+            log: self.log.clone(),
+            tries: Mutex::new(lock_recover(&self.tries).clone()),
+            views: Mutex::new(fxmap()),
+            builds: AtomicU64::new(0),
         }
     }
 }
 
 /// Serialized as the sorted fact list — deterministic (hash-map iteration
-/// order never leaks) and oblivious to the trie cache and epoch, which
-/// are process-local bookkeeping.
+/// order never leaks) and oblivious to the trie cache, delta log and
+/// epochs, which are process-local bookkeeping.
 impl serde::Serialize for Instance {
     fn json(&self, out: &mut String) {
         self.sorted_facts().json(out);
@@ -335,6 +470,7 @@ impl fmt::Display for Instance {
 mod tests {
     use super::*;
     use crate::fact::fact;
+    use crate::symbols::rel;
 
     fn abc() -> Instance {
         Instance::from_facts([fact("R", &[1, 2]), fact("R", &[2, 3]), fact("S", &[7, 7])])
@@ -421,5 +557,111 @@ mod tests {
     fn components_of_connected_instance_is_single() {
         let i = Instance::from_facts([fact("E", &[1, 2]), fact("E", &[2, 3]), fact("E", &[3, 1])]);
         assert_eq!(i.components().len(), 1);
+    }
+
+    /// Regression (over-broad invalidation): mutating relation `R` must
+    /// not evict the cached trie of untouched relation `S`.
+    #[test]
+    fn foreign_insert_leaves_other_relations_tries_cached() {
+        let mut i = abc();
+        let s_trie = i.trie(rel("S"), &[0, 1]);
+        assert_eq!(i.cached_tries(), 1);
+        let builds_before = i.trie_builds();
+        i.insert(fact("R", &[9, 9]));
+        // The cache entry survives the foreign mutation...
+        assert_eq!(i.cached_tries(), 1);
+        // ...and re-reading S costs no rebuild and yields the same run.
+        let s_again = i.trie(rel("S"), &[0, 1]);
+        assert!(Arc::ptr_eq(&s_trie, &s_again));
+        assert_eq!(i.trie_builds(), builds_before);
+    }
+
+    /// The mutated relation's own entry refreshes via the delta log: an
+    /// insert appends a tail run instead of forcing a full rebuild.
+    #[test]
+    fn own_relation_refreshes_incrementally() {
+        let mut i = abc();
+        let _ = i.trie(rel("R"), &[0, 1]);
+        let builds_before = i.trie_builds();
+        i.insert(fact("R", &[3, 4]));
+        let layers = i.trie_layers(rel("R"), &[0, 1]);
+        assert_eq!(layers.run_count(), 2);
+        assert_eq!(i.trie_builds(), builds_before);
+        i.remove(&fact("R", &[1, 2]));
+        let layers = i.trie_layers(rel("R"), &[0, 1]);
+        assert!(layers.has_tombstones());
+    }
+
+    /// Regression (poisoned trie cache aborted all callers): a caught
+    /// panic while the cache lock is held must leave the instance usable.
+    #[test]
+    fn poisoned_trie_cache_recovers() {
+        let i = abc();
+        let _ = i.trie(rel("R"), &[0, 1]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = i.tries.lock().unwrap();
+            panic!("simulated panic mid-build");
+        }));
+        assert!(r.is_err());
+        // Every cache entry is still readable and refreshable.
+        assert_eq!(i.cached_tries(), 1);
+        let t = i.trie(rel("R"), &[0, 1]);
+        assert_eq!(t.rows(), 2);
+        let _ = i.trie(rel("S"), &[0, 1]);
+        assert_eq!(i.cached_tries(), 2);
+    }
+
+    /// Regression (poisoned view registry): same recovery contract.
+    #[test]
+    fn poisoned_view_registry_recovers() {
+        let i = abc();
+        i.view_put(7, Box::new(42u32));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = i.views.lock().unwrap();
+            panic!("simulated panic mid-refresh");
+        }));
+        assert!(r.is_err());
+        assert_eq!(i.views_len(), 1);
+        let v = i.view_take(7).unwrap();
+        assert_eq!(*v.downcast::<u32>().unwrap(), 42);
+    }
+
+    /// Regression (cold clones): a clone shares the Arc'd runs and
+    /// answers trie reads without a single rebuild.
+    #[test]
+    fn clone_shares_cached_tries() {
+        let mut i = abc();
+        let orig = i.trie(rel("R"), &[0, 1]);
+        let c = i.clone();
+        assert!(c.cached_tries() > 0);
+        let cloned = c.trie(rel("R"), &[0, 1]);
+        assert!(Arc::ptr_eq(&orig, &cloned));
+        assert_eq!(c.trie_builds(), 0);
+        // Divergence after the clone stays independent.
+        i.insert(fact("R", &[8, 8]));
+        assert_eq!(c.trie(rel("R"), &[0, 1]).rows(), 2);
+        assert_eq!(i.trie_layers(rel("R"), &[0, 1]).run_count(), 2);
+    }
+
+    /// Absent removes are complete no-ops: epoch, delta log and views all
+    /// stay untouched.
+    #[test]
+    fn absent_remove_touches_nothing() {
+        let mut i = abc();
+        i.view_put(1, Box::new(0u8));
+        let (e, n, v) = (i.epoch(), i.delta_log_len(), i.views_len());
+        assert!(!i.remove(&fact("R", &[99, 99])));
+        assert!(!i.remove(&fact("Z", &[1])));
+        assert_eq!(i.epoch(), e);
+        assert_eq!(i.delta_log_len(), n);
+        assert_eq!(i.views_len(), v);
+        // A present remove logs exactly one delete entry.
+        assert!(i.remove(&fact("S", &[7, 7])));
+        assert_eq!(i.epoch(), e + 1);
+        assert_eq!(i.delta_log_len(), n + 1);
+        let d = i.delta_since(e).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].op, DeltaOp::Delete);
+        assert_eq!(d[0].fact, fact("S", &[7, 7]));
     }
 }

@@ -57,11 +57,13 @@
 pub mod algebra;
 pub mod atom;
 pub mod containment;
+pub mod delta;
 pub mod eval;
 pub mod fact;
 pub mod fastmap;
 pub mod hypergraph;
 pub mod instance;
+pub mod lsm;
 pub mod minimal;
 pub mod opcount;
 pub mod packing;
@@ -74,6 +76,7 @@ pub mod trie;
 pub mod valuation;
 
 pub use atom::{Atom, Term, Var};
+pub use delta::{DeltaEntry, DeltaLog, DeltaOp};
 pub use fact::{Fact, Val};
 pub use instance::Instance;
 pub use query::{ConjunctiveQuery, QueryError, UnionQuery};
@@ -84,6 +87,7 @@ pub use valuation::Valuation;
 pub mod prelude {
     pub use crate::atom::{Atom, Term, Var};
     pub use crate::containment::{contains, equivalent, homomorphism};
+    pub use crate::delta::{DeltaEntry, DeltaLog, DeltaOp};
     pub use crate::eval::{
         eval_query, eval_query_with, eval_union, eval_union_with, satisfying_valuations,
         EvalStrategy,

@@ -15,19 +15,25 @@
 //!   under a fixed column permutation, column-major. A trie node at depth
 //!   `d` is a contiguous row range `[lo, hi)`; its children are the
 //!   distinct values of column `d` within that range, found by galloping
-//!   / binary-search [`TrieRel::seek_ge`]. Built once per
-//!   [`Instance`] epoch and cached (see [`Instance::trie`]).
+//!   / binary-search [`TrieRel::seek_ge`]. Cached per `(relation,
+//!   permutation)` as an LSM stack of immutable runs (see
+//!   [`crate::lsm::TrieLayers`] and [`Instance::trie_layers`]) that is
+//!   refreshed from the delta log instead of rebuilt on mutation.
 //! * [`wcoj_variable_order`] — a variable-elimination order over the
 //!   query hypergraph (highest atom-degree first, connectivity-greedy),
 //!   optionally forced to start with a caller-supplied prefix (the
 //!   Datalog semi-naive loop puts the delta atom's variables outermost).
 //! * [`satisfying_valuations_wcoj`] — the LeapFrog TrieJoin itself:
 //!   per-variable leapfrog intersection across all atoms containing the
-//!   variable, descending each atom's trie one level per variable (and
-//!   one extra level per repeated occurrence). Negated atoms are checked
-//!   at the leaves, inequalities as soon as both endpoints are bound —
-//!   exactly the contract of the backtracking evaluator in [`crate::eval`],
-//!   so the two agree fact-for-fact.
+//!   variable, descending **every run** of each atom's trie stack one
+//!   level per variable (a k-way merge cursor: the candidate value at a
+//!   level is the leapfrogged minimum over live runs, so the LSM layering
+//!   is invisible to the join). Tombstoned tuples lingering in old runs
+//!   are filtered at the leaves, where atoms are fully ground and
+//!   instance membership is authoritative. Negated atoms are checked at
+//!   the leaves, inequalities as soon as both endpoints are bound —
+//!   exactly the contract of the backtracking evaluator in
+//!   [`crate::eval`], so the two agree fact-for-fact.
 
 use crate::atom::{Term, Var};
 use crate::fact::Val;
@@ -63,18 +69,22 @@ impl TrieRel {
             .collect();
         tuples.sort_unstable();
         tuples.dedup();
+        TrieRel::from_sorted_tuples(perm.to_vec(), tuples)
+    }
+
+    /// Build a trie run directly from already-permuted, sorted,
+    /// deduplicated tuples — the LSM tail-run constructor.
+    pub fn from_sorted_tuples(perm: Vec<usize>, tuples: Vec<Vec<Val>>) -> TrieRel {
+        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]));
         let rows = tuples.len();
         let mut cols = vec![Vec::with_capacity(rows); perm.len()];
         for t in &tuples {
+            debug_assert_eq!(t.len(), perm.len());
             for (d, &v) in t.iter().enumerate() {
                 cols[d].push(v);
             }
         }
-        TrieRel {
-            perm: perm.to_vec(),
-            cols,
-            rows,
-        }
+        TrieRel { perm, cols, rows }
     }
 
     /// Number of stored tuples.
@@ -178,35 +188,59 @@ pub fn wcoj_variable_order(q: &ConjunctiveQuery, prefix: &[Var]) -> Vec<Var> {
     order
 }
 
-/// The per-atom state of the LeapFrog TrieJoin: its cached trie and the
-/// stack of row ranges descended so far (one entry per trie level).
-struct AtomCursor {
+/// One immutable run of an atom's LSM trie stack, with the stack of row
+/// ranges descended so far (one entry per trie level; empty ranges are
+/// padded so every run's stack stays depth-aligned).
+struct RunCursor {
     trie: Arc<TrieRel>,
+    ranges: Vec<(usize, usize)>,
+}
+
+/// The per-atom state of the LeapFrog TrieJoin: every run of its layered
+/// trie, descended in lockstep — the k-way merge cursor.
+struct AtomCursor {
+    /// The runs of the atom's [`crate::lsm::TrieLayers`], oldest first.
+    runs: Vec<RunCursor>,
     /// `levels[l]` = the variable-order index of the variable at trie
     /// depth `l`, or `None` for a constant column (descended at init).
     levels: Vec<Option<usize>>,
     /// Constant columns, as `(depth, value)` in depth order.
     consts: Vec<(usize, Val)>,
-    /// Range stack: `ranges[d]` is the row range after descending depth
-    /// `d−1`; `ranges[0]` is the full relation (or the post-constant
-    /// range, since constants sort before variables in the permutation).
-    ranges: Vec<(usize, usize)>,
+    /// The layers carried tombstones: verify ground facts at the leaves
+    /// (old runs may still contain deleted tuples).
+    live_check: bool,
 }
 
-/// All trie depths of `cursor` bound to variable-order index `oi`
+/// All trie depths bound to variable-order index `oi` in `levels`
 /// (repeated variables occupy several adjacent depths).
-fn depths_of(cursor: &AtomCursor, oi: usize) -> std::ops::Range<usize> {
-    let start = cursor.levels.iter().position(|l| *l == Some(oi));
+fn depths_of(levels: &[Option<usize>], oi: usize) -> std::ops::Range<usize> {
+    let start = levels.iter().position(|l| *l == Some(oi));
     match start {
         None => 0..0,
         Some(s) => {
             let mut e = s;
-            while e < cursor.levels.len() && cursor.levels[e] == Some(oi) {
+            while e < levels.len() && levels[e] == Some(oi) {
                 e += 1;
             }
             s..e
         }
     }
+}
+
+/// Minimum depth-`d` value over the live runs of one participant
+/// (`slots[r] = (pos, hi)`; a run is live while `pos < hi`). Must only be
+/// called with at least one live slot.
+fn min_live(cur: &AtomCursor, slots: &[(usize, usize)], d: usize) -> Val {
+    let mut m = Val(u64::MAX);
+    for (r, &(p, h)) in slots.iter().enumerate() {
+        if p < h {
+            let v = cur.runs[r].trie.value(d, p);
+            if v < m {
+                m = v;
+            }
+        }
+    }
+    m
 }
 
 /// Enumerate all satisfying valuations of `q` on `instance` with LeapFrog
@@ -215,7 +249,9 @@ fn depths_of(cursor: &AtomCursor, oi: usize) -> std::ops::Range<usize> {
 ///
 /// The valuations produced are exactly those of
 /// [`crate::eval::satisfying_valuations`] — same semantics, different
-/// asymptotics.
+/// asymptotics. With a single-run, tombstone-free trie stack (the state
+/// of any freshly built cache entry) the seek sequence is identical to
+/// the classic single-trie LFTJ, so op-counts are unchanged.
 pub fn satisfying_valuations_wcoj_ordered(
     q: &ConjunctiveQuery,
     instance: &Instance,
@@ -246,7 +282,7 @@ pub fn satisfying_valuations_wcoj_ordered(
             ),
         };
         cols.sort_by_key(|&j| key(j));
-        let trie = instance.trie(atom.rel, &cols);
+        let layers = instance.trie_layers(atom.rel, &cols);
         let mut levels = Vec::with_capacity(cols.len());
         let mut consts = Vec::new();
         for (d, &j) in cols.iter().enumerate() {
@@ -260,24 +296,38 @@ pub fn satisfying_valuations_wcoj_ordered(
                 }
             }
         }
-        let rows = trie.rows();
+        let runs = layers
+            .runs()
+            .iter()
+            .map(|t| RunCursor {
+                ranges: vec![(0, t.rows())],
+                trie: Arc::clone(t),
+            })
+            .collect();
         cursors.push(AtomCursor {
-            trie,
+            runs,
             levels,
             consts,
-            ranges: vec![(0, rows)],
+            live_check: layers.has_tombstones(),
         });
     }
 
-    // Descend every constant column up front; an empty range proves the
-    // query unsatisfiable on this instance.
+    // Descend every constant column up front, in every run; an atom whose
+    // runs are all empty proves the query unsatisfiable on this instance
+    // (tombstones only ever shrink the answer further).
     for cur in &mut cursors {
-        let mut range = cur.ranges[0];
-        for &(d, v) in &cur.consts {
-            range = cur.trie.descend(d, range.0, range.1, v);
-            cur.ranges.push(range);
+        let mut alive = false;
+        for rc in &mut cur.runs {
+            let mut range = rc.ranges[0];
+            for &(d, v) in &cur.consts {
+                range = rc.trie.descend(d, range.0, range.1, v);
+                rc.ranges.push(range);
+            }
+            if range.0 < range.1 {
+                alive = true;
+            }
         }
-        if range.0 == range.1 {
+        if !alive {
             return Vec::new();
         }
     }
@@ -288,7 +338,7 @@ pub fn satisfying_valuations_wcoj_ordered(
     let participants: Vec<Vec<usize>> = (0..order.len())
         .map(|oi| {
             (0..cursors.len())
-                .filter(|&k| !depths_of(&cursors[k], oi).is_empty())
+                .filter(|&k| !depths_of(&cursors[k].levels, oi).is_empty())
                 .collect()
         })
         .collect();
@@ -316,8 +366,9 @@ pub fn satisfying_valuations_wcoj(q: &ConjunctiveQuery, instance: &Instance) -> 
 }
 
 /// One leapfrog level: intersect the candidate values of every atom
-/// containing `order[oi]`, and for each common value descend all of its
-/// columns in every participating atom, recursing to the next level.
+/// containing `order[oi]` — taking each atom's value as the minimum over
+/// its live runs — and for each common value descend all of its columns
+/// in every run of every participating atom, recursing to the next level.
 #[allow(clippy::too_many_arguments)]
 fn lftj(
     q: &ConjunctiveQuery,
@@ -330,8 +381,18 @@ fn lftj(
     out: &mut Vec<Valuation>,
 ) {
     if oi == order.len() {
-        // Leaf: every positive atom fully descended and non-empty; check
-        // negation (inequalities were checked incrementally).
+        // Leaf: every positive atom fully descended and non-empty in some
+        // run. Atoms whose layers carry tombstones verify the ground fact
+        // against the instance (a dead tuple may linger in an old run);
+        // then check negation (inequalities were checked incrementally).
+        for (k, cur) in cursors.iter().enumerate() {
+            if cur.live_check {
+                match val.apply(&q.body[k]) {
+                    Some(f) if instance.contains(&f) => {}
+                    _ => return,
+                }
+            }
+        }
         for a in &q.negated {
             match val.apply(a) {
                 Some(f) if !instance.contains(&f) => {}
@@ -348,26 +409,36 @@ fn lftj(
     // columns are descended only on a candidate match.
     let firsts: Vec<usize> = parts
         .iter()
-        .map(|&k| depths_of(&cursors[k], oi).start)
+        .map(|&k| depths_of(&cursors[k].levels, oi).start)
         .collect();
-    let mut pos: Vec<usize> = Vec::with_capacity(parts.len());
-    let mut his: Vec<usize> = Vec::with_capacity(parts.len());
+    // Per participant, per run: the (pos, hi) cursor within the run's
+    // current range at this level. A run with `pos == hi` is exhausted
+    // (or was already empty at this subtree) and is skipped.
+    let mut slots: Vec<Vec<(usize, usize)>> = Vec::with_capacity(parts.len());
     for (i, &k) in parts.iter().enumerate() {
-        let (lo, hi) = *cursors[k].ranges.last().unwrap();
-        debug_assert_eq!(cursors[k].ranges.len() - 1, firsts[i]);
-        if lo == hi {
+        let mut s = Vec::with_capacity(cursors[k].runs.len());
+        let mut alive = false;
+        for rc in &cursors[k].runs {
+            let &(lo, hi) = rc.ranges.last().unwrap();
+            debug_assert_eq!(rc.ranges.len() - 1, firsts[i]);
+            if lo < hi {
+                alive = true;
+            }
+            s.push((lo, hi));
+        }
+        if !alive {
             return;
         }
-        pos.push(lo);
-        his.push(hi);
+        slots.push(s);
     }
 
     'leapfrog: loop {
-        // The leapfrog: raise every cursor to the current maximum value
-        // until all agree (a candidate) or one runs off its range.
+        // The leapfrog: raise every run of every participant to the
+        // current maximum value until all participants' minima agree (a
+        // candidate) or one participant runs off every run's range.
         let mut max = Val(0);
         for (i, &k) in parts.iter().enumerate() {
-            let v = cursors[k].trie.value(firsts[i], pos[i]);
+            let v = min_live(&cursors[k], &slots[i], firsts[i]);
             if v > max {
                 max = v;
             }
@@ -376,16 +447,23 @@ fn lftj(
             let mut all_equal = true;
             for (i, &k) in parts.iter().enumerate() {
                 let d = firsts[i];
-                if cursors[k].trie.value(d, pos[i]) < max {
-                    pos[i] = cursors[k].trie.seek_ge(d, pos[i], his[i], max);
-                    if pos[i] == his[i] {
-                        return;
+                let cur = &cursors[k];
+                let mut any_live = false;
+                for (r, slot) in slots[i].iter_mut().enumerate() {
+                    if slot.0 < slot.1 && cur.runs[r].trie.value(d, slot.0) < max {
+                        slot.0 = cur.runs[r].trie.seek_ge(d, slot.0, slot.1, max);
                     }
-                    let v = cursors[k].trie.value(d, pos[i]);
-                    if v > max {
-                        max = v;
-                        all_equal = false;
+                    if slot.0 < slot.1 {
+                        any_live = true;
                     }
+                }
+                if !any_live {
+                    return;
+                }
+                let v = min_live(cur, &slots[i], d);
+                if v > max {
+                    max = v;
+                    all_equal = false;
                 }
             }
             if all_equal {
@@ -395,27 +473,38 @@ fn lftj(
         let x = max;
 
         // Candidate value x: descend every column of this variable in
-        // every participant (repeated columns must also equal x).
+        // every run of every participant (repeated columns must also
+        // equal x). Runs positioned past x get depth-aligned empty
+        // ranges; the atom survives if any run still has rows.
         let mut ok = true;
         let mut pushed: Vec<(usize, usize)> = Vec::with_capacity(parts.len());
         for (i, &k) in parts.iter().enumerate() {
             let cur = &mut cursors[k];
-            let depths = depths_of(cur, oi);
-            let mut range = (pos[i], cur.trie.seek_gt(firsts[i], pos[i], his[i], x));
-            let mut n = 0usize;
-            cur.ranges.push(range);
-            n += 1;
-            for d in depths.start + 1..depths.end {
-                range = cur.trie.descend(d, range.0, range.1, x);
-                cur.ranges.push(range);
-                n += 1;
-                if range.0 == range.1 {
-                    ok = false;
-                    break;
+            let depths = depths_of(&cur.levels, oi);
+            let mut atom_alive = false;
+            for (r, &(p, h)) in slots[i].iter().enumerate() {
+                let rc = &mut cur.runs[r];
+                let mut range = if p < h && rc.trie.value(depths.start, p) == x {
+                    (p, rc.trie.seek_gt(depths.start, p, h, x))
+                } else {
+                    (p, p)
+                };
+                rc.ranges.push(range);
+                for d in depths.start + 1..depths.end {
+                    if range.0 < range.1 {
+                        range = rc.trie.descend(d, range.0, range.1, x);
+                    } else {
+                        range = (range.0, range.0);
+                    }
+                    rc.ranges.push(range);
+                }
+                if range.0 < range.1 {
+                    atom_alive = true;
                 }
             }
-            pushed.push((k, n));
-            if !ok {
+            pushed.push((k, depths.len()));
+            if !atom_alive {
+                ok = false;
                 break;
             }
         }
@@ -427,15 +516,28 @@ fn lftj(
             val.unbind(&order[oi]);
         }
         for &(k, n) in &pushed {
-            for _ in 0..n {
-                cursors[k].ranges.pop();
+            for rc in &mut cursors[k].runs {
+                for _ in 0..n {
+                    rc.ranges.pop();
+                }
             }
         }
 
-        // Advance every participant past x's run.
+        // Advance every run positioned at x past x's run; a participant
+        // with no live runs left ends the level.
         for (i, &k) in parts.iter().enumerate() {
-            pos[i] = cursors[k].trie.seek_gt(firsts[i], pos[i], his[i], x);
-            if pos[i] == his[i] {
+            let cur = &cursors[k];
+            let d = firsts[i];
+            let mut any_live = false;
+            for (r, slot) in slots[i].iter_mut().enumerate() {
+                if slot.0 < slot.1 && cur.runs[r].trie.value(d, slot.0) == x {
+                    slot.0 = cur.runs[r].trie.seek_gt(d, slot.0, slot.1, x);
+                }
+                if slot.0 < slot.1 {
+                    any_live = true;
+                }
+            }
+            if !any_live {
                 break 'leapfrog;
             }
         }
@@ -627,5 +729,73 @@ mod tests {
         }
         i.insert(fact("U", &[9, 9]));
         assert_eq!(eval_query_wcoj(&q, &i), eval_query(&q, &i));
+    }
+
+    /// The k-way merge cursor: query answers over a multi-run,
+    /// tombstoned LSM stack are identical to a freshly built instance.
+    #[test]
+    fn layered_tries_answer_like_fresh_instances() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), not T(z,x), x != z").unwrap();
+        let mut db = db_triangle();
+        // Warm the cache, then mutate so the entries accumulate tail runs
+        // and tombstones (no compaction for small deltas).
+        let _ = eval_query_wcoj(&q, &db);
+        db.insert(fact("R", &[7, 2]));
+        db.insert(fact("S", &[2, 9]));
+        db.remove(&fact("R", &[1, 2]));
+        db.insert(fact("T", &[9, 7]));
+        let layered = eval_query_wcoj(&q, &db);
+        let fresh_db = Instance::from_facts(db.iter().cloned());
+        assert_eq!(layered, eval_query_wcoj(&q, &fresh_db));
+        assert_eq!(layered, eval_query(&q, &db));
+        // The stack really was layered when we asked.
+        assert!(db.trie_layers(rel("R"), &[0, 1]).run_count() >= 1);
+    }
+
+    /// Tombstoned tuples lingering in old runs are invisible: a deleted
+    /// fact stops matching even though its run still stores it.
+    #[test]
+    fn tombstones_hide_deleted_tuples_without_rebuild() {
+        let q = parse_query("H(x,y) <- R(x,y)").unwrap();
+        let mut db = Instance::from_facts([
+            fact("R", &[1, 2]),
+            fact("R", &[3, 4]),
+            fact("R", &[5, 6]),
+            fact("R", &[7, 8]),
+        ]);
+        let _ = eval_query_wcoj(&q, &db);
+        let builds = db.trie_builds();
+        db.remove(&fact("R", &[3, 4]));
+        let out = eval_query_wcoj(&q, &db);
+        assert_eq!(
+            out.sorted_facts(),
+            vec![fact("H", &[1, 2]), fact("H", &[5, 6]), fact("H", &[7, 8])]
+        );
+        // Served from the tombstoned layer, not a rebuild.
+        assert_eq!(db.trie_builds(), builds);
+        assert!(db.trie_layers(rel("R"), &[0, 1]).has_tombstones());
+    }
+
+    /// Differential check across a random-ish mutation schedule: WCOJ
+    /// over the evolving LSM stack tracks the backtracking evaluator.
+    #[test]
+    fn evolving_instance_stays_consistent_with_backtracker() {
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let mut db = db_triangle();
+        let mut k = 0u64;
+        for step in 0..40u64 {
+            // Deterministic mixed workload: mostly inserts, some deletes.
+            let v = (step * 7 + 3) % 11;
+            if step % 5 == 4 {
+                let f = fact("R", &[v, (v + 1) % 11]);
+                db.remove(&f);
+            } else {
+                let relname = ["R", "S", "T"][(step % 3) as usize];
+                db.insert(fact(relname, &[v, (v + 1) % 11]));
+                k += 1;
+            }
+            assert_eq!(eval_query_wcoj(&q, &db), eval_query(&q, &db), "step {step}");
+        }
+        assert!(k > 0);
     }
 }

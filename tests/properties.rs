@@ -400,10 +400,80 @@ proptest! {
         }
     }
 
-    /// Instance bookkeeping under dual storage (fact set + trie cache):
-    /// `insert`/`remove` return values, `len`, `contains` and the epoch
-    /// counter all agree with a naive set model, and cached tries are
-    /// dropped on every successful mutation (never on a no-op).
+    /// Differential test of incremental view maintenance: a maintained
+    /// fixpoint (counting for recursion-free strata, delete–rederive for
+    /// recursive ones), refreshed from the delta log after every random
+    /// insert/delete, is identical to from-scratch evaluation — for every
+    /// local-join strategy, on programs covering recursion, mutual
+    /// recursion, stratified negation over `ADom` complements, and
+    /// nonrecursive negation with inequalities. The views must stay
+    /// incremental: zero full rebuilds across the whole mutation run.
+    #[test]
+    fn maintained_views_match_scratch_eval(
+        prog_idx in 0usize..5,
+        init in prop::collection::vec((0..2u8, 0..4u64, 0..4u64), 0..10),
+        ops in prop::collection::vec((0..2u8, 0..2u8, 0..4u64, 0..4u64), 1..16),
+    ) {
+        use parlog::datalog::{eval_program_with, materialize, view_stats};
+        use parlog::relal::eval::EvalStrategy;
+        let programs = [
+            // Transitive closure: one recursive stratum (DRed).
+            "TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), E(z,y)",
+            // Complement of TC: negation + ADom above the recursion.
+            "TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), E(z,y)\n\
+             NT(x,y) <- ADom(x), ADom(y), not TC(x,y)",
+            // Stratified negation chain, recursion-free (counting).
+            "A(x) <- E(x,y)\nB(x) <- R(x,y), not A(x)\nC(x) <- A(x), not B(x)",
+            // Mutual recursion (one cyclic stratum).
+            "P(x,y) <- E(x,y)\nQ(x,y) <- P(x,z), E(z,y)\nP(x,y) <- Q(x,z), E(z,y)",
+            // Nonrecursive join with negation and an inequality.
+            "H(x,z) <- E(x,y), R(y,z), x != z, not E(z,x)",
+        ];
+        let p = parlog::datalog::program::parse_program(programs[prog_idx]).unwrap();
+        let mut db = Instance::new();
+        for (r, a, b) in init {
+            db.insert(fact(if r == 0 { "E" } else { "R" }, &[a, b]));
+        }
+        let strategies = [
+            EvalStrategy::Naive,
+            EvalStrategy::Indexed,
+            EvalStrategy::Wcoj,
+            EvalStrategy::Auto,
+        ];
+        for s in strategies {
+            materialize(&p, &db, s).unwrap();
+        }
+        for (r, op, a, b) in ops {
+            let f = fact(if r == 0 { "E" } else { "R" }, &[a, b]);
+            if op == 0 {
+                db.insert(f);
+            } else {
+                db.remove(&f);
+            }
+            // A clone drops the views, so this is the from-scratch path.
+            let scratch = eval_program_with(&p, &db.clone(), EvalStrategy::Indexed).unwrap();
+            for s in strategies {
+                prop_assert_eq!(
+                    eval_program_with(&p, &db, s).unwrap(),
+                    scratch.clone(),
+                    "maintained view diverged: program {} strategy {:?}",
+                    prog_idx,
+                    s
+                );
+            }
+        }
+        for s in strategies {
+            let stats = view_stats(&p, &db, s).unwrap();
+            prop_assert_eq!(stats.full_rebuilds, 0, "view fell back to rebuilds: {:?}", s);
+        }
+    }
+
+    /// Instance bookkeeping under dual storage (fact set + LSM trie
+    /// cache): `insert`/`remove` return values, `len`, `contains`, the
+    /// epoch counter and the delta log all agree with a naive set model.
+    /// Mutations never evict cache entries — stale entries replay the
+    /// delta log on the next read and keep answering exactly the live
+    /// tuple set (a no-op mutation changes nothing at all).
     #[test]
     fn instance_bookkeeping_matches_set_model(
         ops in prop::collection::vec((0..2u8, 0..3u8, 0..4u64, 0..4u64), 0..40),
@@ -415,12 +485,15 @@ proptest! {
         for (op, r, a, b) in ops {
             let rel = ["R", "S", "E"][r as usize];
             let f = fact(rel, &[a, b]);
-            // Touch the trie cache so invalidation is observable.
+            // Touch the trie cache so refresh-on-read is observable: the
+            // (possibly delta-refreshed) trie always matches the model.
             let trie = inst.trie(f.rel, &[0, 1]);
             let rel_count = model.iter().filter(|g| g.rel == f.rel).count();
             prop_assert_eq!(trie.rows(), rel_count);
             prop_assert!(inst.cached_tries() > 0);
             let epoch_before = inst.epoch();
+            let log_before = inst.delta_log_len();
+            let tries_before = inst.cached_tries();
             let changed = if op == 0 {
                 let c = inst.insert(f.clone());
                 prop_assert_eq!(c, model.insert(f.clone()));
@@ -431,15 +504,21 @@ proptest! {
                 c
             };
             if changed {
-                // Mutation bumps the epoch and drops every cached trie.
+                // Mutation bumps the epoch and logs exactly one delta;
+                // cached tries survive (they refresh on next read).
                 prop_assert!(inst.epoch() > epoch_before);
-                prop_assert_eq!(inst.cached_tries(), 0);
+                prop_assert_eq!(inst.delta_log_len(), log_before + 1);
+                prop_assert_eq!(inst.rel_epoch(f.rel), inst.epoch());
             } else {
                 // A no-op (duplicate insert / absent remove) must not
-                // desync anything: same epoch, caches intact.
+                // desync anything: same epoch, same log, caches intact.
                 prop_assert_eq!(inst.epoch(), epoch_before);
-                prop_assert!(inst.cached_tries() > 0);
+                prop_assert_eq!(inst.delta_log_len(), log_before);
             }
+            prop_assert_eq!(inst.cached_tries(), tries_before);
+            // The refreshed layers track the model immediately.
+            let rel_count = model.iter().filter(|g| g.rel == f.rel).count();
+            prop_assert_eq!(inst.trie(f.rel, &[0, 1]).rows(), rel_count);
             prop_assert_eq!(inst.len(), model.len());
             prop_assert_eq!(inst.contains(&f), model.contains(&f));
         }
