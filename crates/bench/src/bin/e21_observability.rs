@@ -224,7 +224,7 @@ fn main() {
             if *name == "skew-free" {
                 assert!(
                     report.max_load as f64
-                        <= 3.0 * report.bound.expect("bound configured").predicted + 1.0,
+                        <= 3.0 * report.bound.as_ref().expect("bound configured").predicted + 1.0,
                     "p={p}: max load {} breaks the packing bound",
                     report.max_load
                 );
@@ -235,7 +235,7 @@ fn main() {
                 &round.p50,
                 &round.p95,
                 &f3(round.balance),
-                &f3(report.bound.expect("bound configured").predicted),
+                &f3(report.bound.as_ref().expect("bound configured").predicted),
                 &f3(ratio),
                 &identical,
             ]);
@@ -247,7 +247,7 @@ fn main() {
                 p50: round.p50,
                 p95: round.p95,
                 balance: round.balance,
-                predicted: report.bound.expect("bound configured").predicted,
+                predicted: report.bound.as_ref().expect("bound configured").predicted,
                 max_over_bound: ratio,
                 identical_across_threads: identical,
             });

@@ -69,12 +69,7 @@ fn cascade_db(n: u64) -> Instance {
 /// One delta round: mutate, refresh through the installed view, then
 /// re-evaluate a viewless clone from scratch. Returns `(refresh_ops,
 /// scratch_ops, scratch_ms, identical)`.
-fn step(
-    p: &Program,
-    db: &mut Instance,
-    delta: &Fact,
-    insert: bool,
-) -> (u64, u64, f64, bool) {
+fn step(p: &Program, db: &mut Instance, delta: &Fact, insert: bool) -> (u64, u64, f64, bool) {
     if insert {
         db.insert(delta.clone());
     } else {

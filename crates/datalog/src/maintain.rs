@@ -372,7 +372,9 @@ impl MaterializedView {
             if r.head.rel != h.rel {
                 continue;
             }
-            let Some(sig) = unify(&r.head, h) else { continue };
+            let Some(sig) = unify(&r.head, h) else {
+                continue;
+            };
             n += residual_valuations(&r.body, &r.negated, &r.inequalities, &sig, &self.db).len()
                 as i64;
         }
@@ -388,9 +390,8 @@ impl MaterializedView {
             return;
         }
         let stratum = self.dred[s].clone();
-        let relevant = |f: &Fact| {
-            stratum.body_rels.contains(&f.rel) || stratum.neg_rels.contains(&f.rel)
-        };
+        let relevant =
+            |f: &Fact| stratum.body_rels.contains(&f.rel) || stratum.neg_rels.contains(&f.rel);
         // Net change per relevant fact across the slice: the first op
         // tells presence at the slice start, the last op presence now;
         // transients (insert+delete) cancel.
@@ -568,9 +569,10 @@ impl MaterializedView {
             if r.head.rel != h.rel {
                 continue;
             }
-            let Some(sig) = unify(&r.head, h) else { continue };
-            if !residual_valuations(&r.body, &r.negated, &r.inequalities, &sig, &self.db)
-                .is_empty()
+            let Some(sig) = unify(&r.head, h) else {
+                continue;
+            };
+            if !residual_valuations(&r.body, &r.negated, &r.inequalities, &sig, &self.db).is_empty()
             {
                 return true;
             }
@@ -666,10 +668,7 @@ fn dummy_head() -> Atom {
 /// Substitute `sig` into `ineqs`; fully-ground inequalities are decided
 /// here (the trie evaluator only re-checks them once a variable binds).
 /// `None` means some ground inequality is violated.
-fn subst_inequalities(
-    ineqs: &[(Term, Term)],
-    sig: &Valuation,
-) -> Option<Vec<(Term, Term)>> {
+fn subst_inequalities(ineqs: &[(Term, Term)], sig: &Valuation) -> Option<Vec<(Term, Term)>> {
     let mut out = Vec::new();
     for (s, t) in ineqs {
         let (s2, t2) = (subst_term(s, sig), subst_term(t, sig));
@@ -708,7 +707,11 @@ fn residual_valuations(
             let f = a.as_fact().expect("ground negated atom in empty residual");
             db.contains(&f)
         });
-        return if blocked { Vec::new() } else { vec![Valuation::new()] };
+        return if blocked {
+            Vec::new()
+        } else {
+            vec![Valuation::new()]
+        };
     }
     let q = ConjunctiveQuery {
         head: dummy_head(),
@@ -893,11 +896,8 @@ mod tests {
              TC(x,z) <- TC(x,y), E(y,z)",
         )
         .unwrap();
-        let mut db = Instance::from_facts([
-            fact("E", &[1, 2]),
-            fact("E", &[2, 3]),
-            fact("E", &[3, 4]),
-        ]);
+        let mut db =
+            Instance::from_facts([fact("E", &[1, 2]), fact("E", &[2, 3]), fact("E", &[3, 4])]);
         materialize(&p, &db, EvalStrategy::Auto).unwrap();
         let stats = view_stats(&p, &db, EvalStrategy::Auto).unwrap();
         assert_eq!(stats.dred_strata, 1);

@@ -918,6 +918,21 @@ impl Cluster {
         self.comm_round(Some(storage), true, move |_, f| Routing::Send(route(f)))
     }
 
+    /// [`Cluster::reshuffle`] that *also* drains the per-server storage
+    /// shards: every storage fact is offered to `route` alongside the
+    /// carried local facts, with full keep/send/drop control and without
+    /// collapsing local state first. This is the communication phase of
+    /// the multi-round skew engine, whose waves re-send input cohorts
+    /// from storage while head facts accumulated so far stay put
+    /// ([`Routing::Keep`] is load-free).
+    pub fn reshuffle_with<F>(&mut self, storage: &[Instance], route: F) -> &RoundStats
+    where
+        F: Fn(ServerId, &Fact) -> Routing + Sync,
+    {
+        assert_eq!(storage.len(), self.p(), "one storage shard per server");
+        self.comm_round(Some(storage), false, route)
+    }
+
     /// **Computation phase**: replace every server's local instance with
     /// `f(local)`. Purely local — no communication, no load.
     pub fn compute<F>(&mut self, f: F)

@@ -87,8 +87,9 @@ impl HypercubeAlgorithm {
     }
 
     /// The destination servers of `f` *through one atom*: `None` if `f`
-    /// does not match the atom.
-    fn destinations_via(&self, atom: &Atom, f: &Fact) -> Option<Vec<usize>> {
+    /// does not match the atom. The skew engine routes per-atom (a fact
+    /// may be pattern-consistent through one atom and not another).
+    pub(crate) fn destinations_via(&self, atom: &Atom, f: &Fact) -> Option<Vec<usize>> {
         if atom.rel != f.rel || atom.arity() != f.arity() || !atom.matches(f) {
             return None;
         }

@@ -54,6 +54,7 @@ pub mod ra_distributed;
 pub mod report;
 pub mod shares;
 pub mod shares_skew;
+pub mod skew_rounds;
 pub mod streaming;
 pub mod verified;
 
@@ -62,6 +63,7 @@ pub use hypercube::HypercubeAlgorithm;
 pub use quorum::{coordination_barrier, BarrierOutcome};
 pub use report::RunReport;
 pub use shares::Shares;
+pub use skew_rounds::{SkewAdaptiveJoin, SkewConfig};
 pub use verified::VerifiedRound;
 
 /// Commonly used items.
@@ -77,4 +79,6 @@ pub mod prelude {
     pub use crate::quorum::{coordination_barrier, BarrierOutcome};
     pub use crate::report::RunReport;
     pub use crate::shares::Shares;
+    pub use crate::shares_skew::SharesSkewAlgorithm;
+    pub use crate::skew_rounds::{SkewAdaptiveJoin, SkewConfig};
 }

@@ -16,16 +16,19 @@
 //! variables are hashed on the residual grid.
 
 use crate::cluster::Cluster;
-use crate::datagen::heavy_hitters;
 use crate::hypercube::HypercubeAlgorithm;
 use crate::partition::{seed_cluster, InitialPartition};
 use crate::report::RunReport;
 use crate::shares::Shares;
-use parlog_relal::atom::{Term, Var};
-use parlog_relal::eval::eval_query;
+use crate::skew_rounds::{
+    enumerate_patterns, heavy_values_per_var, pattern_consistent, residual_query,
+};
+use parlog_relal::atom::Var;
+use parlog_relal::eval::EvalStrategy;
 use parlog_relal::fact::{Fact, Val};
 use parlog_relal::instance::Instance;
 use parlog_relal::query::ConjunctiveQuery;
+use parlog_trace::TraceHandle;
 
 /// A heavy pattern: an assignment of heavy values to a subset of the
 /// query's variables.
@@ -36,8 +39,21 @@ pub struct HeavyPattern {
 }
 
 impl HeavyPattern {
-    fn value_of(&self, v: &Var) -> Option<Val> {
+    pub(crate) fn value_of(&self, v: &Var) -> Option<Val> {
         self.bound.iter().find(|(w, _)| w == v).map(|(_, val)| *val)
+    }
+
+    /// Human-readable label: `"light"` for the all-light pattern,
+    /// otherwise the bound assignments, e.g. `"y=7"`.
+    pub fn label(&self) -> String {
+        if self.bound.is_empty() {
+            return "light".to_string();
+        }
+        self.bound
+            .iter()
+            .map(|(v, val)| format!("{v}={val}"))
+            .collect::<Vec<_>>()
+            .join(",")
     }
 }
 
@@ -50,13 +66,16 @@ pub struct SharesSkewAlgorithm {
     block: usize,
     /// Per-variable heavy value lists (sorted).
     heavy: Vec<(Var, Vec<Val>)>,
+    /// Local-join strategy for the computation phase (default `Auto`).
+    strategy: EvalStrategy,
 }
 
 impl SharesSkewAlgorithm {
     /// Build for `q` on `p` servers from the database's statistics:
     /// values occurring more than `threshold` times in a position bound
-    /// to a variable are heavy for that variable (capped at
-    /// `max_heavy_per_var` per variable to bound the pattern count).
+    /// to a variable are heavy for that variable (capped at the
+    /// `max_heavy_per_var` *most frequent* per variable to bound the
+    /// pattern count).
     pub fn from_stats(
         q: &ConjunctiveQuery,
         db: &Instance,
@@ -66,40 +85,8 @@ impl SharesSkewAlgorithm {
         seed: u64,
     ) -> SharesSkewAlgorithm {
         assert!(q.is_plain_cq(), "SharesSkew handles plain CQs");
-        // Heavy values per variable: union over (atom, position) pairs
-        // binding the variable.
-        let vars = q.body_variables();
-        let mut heavy: Vec<(Var, Vec<Val>)> = Vec::new();
-        for v in &vars {
-            let mut hs: Vec<Val> = Vec::new();
-            for a in &q.body {
-                for (pos, t) in a.terms.iter().enumerate() {
-                    if matches!(t, Term::Var(w) if w == v) {
-                        hs.extend(heavy_hitters(db, a.rel, pos, threshold));
-                    }
-                }
-            }
-            hs.sort_unstable();
-            hs.dedup();
-            hs.truncate(max_heavy_per_var);
-            heavy.push((v.clone(), hs));
-        }
-
-        // Enumerate patterns: the cross product over variables of
-        // {light} ∪ heavy values.
-        let mut patterns: Vec<HeavyPattern> = vec![HeavyPattern { bound: Vec::new() }];
-        for (v, hs) in &heavy {
-            let mut next = Vec::with_capacity(patterns.len() * (hs.len() + 1));
-            for pat in &patterns {
-                next.push(pat.clone()); // v stays light
-                for &hval in hs {
-                    let mut bound = pat.bound.clone();
-                    bound.push((v.clone(), hval));
-                    next.push(HeavyPattern { bound });
-                }
-            }
-            patterns = next;
-        }
+        let heavy = heavy_values_per_var(q, db, threshold, max_heavy_per_var);
+        let patterns = enumerate_patterns(&heavy);
         assert!(
             patterns.len() <= p.max(64),
             "{} heavy patterns exceed the server budget; raise the threshold",
@@ -113,26 +100,7 @@ impl SharesSkewAlgorithm {
         let residuals = patterns
             .iter()
             .map(|pat| {
-                let subst = |a: &parlog_relal::atom::Atom| parlog_relal::atom::Atom {
-                    rel: a.rel,
-                    terms: a
-                        .terms
-                        .iter()
-                        .map(|t| match t {
-                            Term::Var(v) => match pat.value_of(v) {
-                                Some(val) => Term::Const(val),
-                                None => t.clone(),
-                            },
-                            c => c.clone(),
-                        })
-                        .collect(),
-                };
-                let residual = ConjunctiveQuery {
-                    head: q.head.clone(),
-                    body: q.body.iter().map(&subst).collect(),
-                    negated: Vec::new(),
-                    inequalities: q.inequalities.clone(),
-                };
+                let residual = residual_query(q, pat);
                 let shares = Shares::optimal(&residual, block)
                     .unwrap_or_else(|_| Shares::uniform(&residual, block));
                 HypercubeAlgorithm::with_shares(&residual, shares, seed ^ 0x5afe)
@@ -145,20 +113,19 @@ impl SharesSkewAlgorithm {
             residuals,
             block,
             heavy,
+            strategy: EvalStrategy::Auto,
         }
+    }
+
+    /// Override the computation-phase [`EvalStrategy`] (default `Auto`).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> SharesSkewAlgorithm {
+        self.strategy = strategy;
+        self
     }
 
     /// Number of heavy patterns (1 = no skew detected).
     pub fn pattern_count(&self) -> usize {
         self.patterns.len()
-    }
-
-    /// Is `val` heavy for variable `v`?
-    fn is_heavy(&self, v: &Var, val: Val) -> bool {
-        self.heavy
-            .iter()
-            .find(|(w, _)| w == v)
-            .is_some_and(|(_, hs)| hs.binary_search(&val).is_ok())
     }
 
     /// Destinations of a fact: union over atoms and consistent patterns
@@ -169,23 +136,9 @@ impl SharesSkewAlgorithm {
             let Some(binding) = crate::algorithms::treejoin::binding_of(atom, f) else {
                 continue;
             };
-            'patterns: for (pi, pat) in self.patterns.iter().enumerate() {
-                // Consistency: every bound variable that is heavy must be
-                // in the pattern with that value; light-bound variables
-                // must be absent from the pattern.
-                for (v, val) in &binding {
-                    match pat.value_of(v) {
-                        Some(pval) => {
-                            if pval != *val {
-                                continue 'patterns;
-                            }
-                        }
-                        None => {
-                            if self.is_heavy(v, *val) {
-                                continue 'patterns;
-                            }
-                        }
-                    }
+            for (pi, pat) in self.patterns.iter().enumerate() {
+                if !pattern_consistent(&binding, pat, &self.heavy) {
+                    continue;
                 }
                 let offset = pi * self.block;
                 out.extend(
@@ -203,12 +156,26 @@ impl SharesSkewAlgorithm {
 
     /// Run the one-round algorithm.
     pub fn run(&self, db: &Instance) -> RunReport {
+        self.run_with_parallelism(db, 1)
+    }
+
+    /// [`SharesSkewAlgorithm::run`] with `threads` workers per phase —
+    /// the report is byte-identical to the sequential one.
+    pub fn run_with_parallelism(&self, db: &Instance, threads: usize) -> RunReport {
+        self.run_traced(db, threads, &TraceHandle::off())
+    }
+
+    /// [`SharesSkewAlgorithm::run_with_parallelism`] with an attached
+    /// trace, honoring the configured [`EvalStrategy`] in the
+    /// computation phase like every other algorithm.
+    pub fn run_traced(&self, db: &Instance, threads: usize, trace: &TraceHandle) -> RunReport {
         let p = self.patterns.len() * self.block;
-        let mut cluster = Cluster::new(p);
+        let mut cluster = Cluster::new(p)
+            .with_parallelism(threads)
+            .with_trace(trace.clone());
         seed_cluster(&mut cluster, db, InitialPartition::RoundRobin);
         cluster.communicate(|f| self.destinations(f));
-        let q = self.query.clone();
-        cluster.compute(|local| eval_query(&q, local));
+        cluster.compute_query(&self.query, self.strategy);
         RunReport::from_cluster("shares-skew", &cluster, db.len())
     }
 }

@@ -427,14 +427,14 @@ where
             max_group: 0,
             rounds_pushed: 0,
         };
-        let route_h = session.h.clone();
+        let route_h = session.h;
         let rels_owned = session.rels.clone();
-        session.cluster.communicate(move |f| {
-            match key_for(&rels_owned, f) {
+        session
+            .cluster
+            .communicate(move |f| match key_for(&rels_owned, f) {
                 Some(k) => vec![route_h.bucket_of(&k)],
                 None => Vec::new(),
-            }
-        });
+            });
         // Evaluate every group once to prime the maintained output.
         let keys: Vec<Vec<Val>> = {
             let mut ks: Vec<Vec<Val>> = (0..p)
@@ -470,7 +470,7 @@ where
         for (i, f) in inserts.iter().enumerate() {
             self.cluster.local_mut(i % p).insert(f.clone());
         }
-        let route_h = self.h.clone();
+        let route_h = self.h;
         let rels_owned = self.rels.clone();
         self.cluster.reshuffle(move |_, f| {
             if del.contains(f) {

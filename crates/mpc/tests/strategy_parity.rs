@@ -28,6 +28,20 @@ fn path() -> ConjunctiveQuery {
     parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap()
 }
 
+/// The full-width path join the skew algorithms target.
+fn path_skewed() -> ConjunctiveQuery {
+    parse_query("H(x,y,z) <- R(x,y), S(y,z)").unwrap()
+}
+
+/// R ⋈ S with a heavy hitter on the join attribute.
+fn skewed_db() -> Instance {
+    let mut db = parlog_mpc::datagen::heavy_hitter_relation("R", 200, 0.4, 7, 1, 0);
+    db.extend_from(&parlog_mpc::datagen::heavy_hitter_relation(
+        "S", 200, 0.4, 7, 0, 50_000,
+    ));
+    db
+}
+
 #[test]
 fn hypercube_strategies_agree_at_every_thread_count() {
     let q = triangle();
@@ -104,6 +118,59 @@ fn grouped_and_repartition_strategies_agree() {
             .with_strategy(strategy)
             .run(&db);
         assert_eq!(r.output, reference, "repartition diverged: {strategy:?}");
+    }
+}
+
+#[test]
+fn shares_skew_strategies_agree_at_every_thread_count() {
+    // Regression witness for the PR 9 bugfix: `SharesSkewAlgorithm::run`
+    // used to bypass the EvalStrategy / with_parallelism / trace plumbing
+    // with a hand-rolled indexed join.
+    let q = path_skewed();
+    let db = skewed_db();
+    let reference = eval_query(&q, &db);
+    let baseline = SharesSkewAlgorithm::from_stats(&q, &db, 16, 40, 4, 2).run(&db);
+    assert_eq!(baseline.output, reference);
+    for strategy in STRATEGIES {
+        for threads in [1, 2, 4] {
+            let report = SharesSkewAlgorithm::from_stats(&q, &db, 16, 40, 4, 2)
+                .with_strategy(strategy)
+                .run_with_parallelism(&db, threads);
+            assert_eq!(
+                report.output, baseline.output,
+                "output diverged: {strategy:?} threads={threads}"
+            );
+            assert_eq!(
+                serde_json::to_string(&report.stats).unwrap(),
+                serde_json::to_string(&baseline.stats).unwrap(),
+                "stats diverged: {strategy:?} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn skew_adaptive_strategies_agree_at_every_thread_count() {
+    let q = path_skewed();
+    let db = skewed_db();
+    let reference = eval_query(&q, &db);
+    let baseline = SkewAdaptiveJoin::from_stats(&q, &db, 16, SkewConfig::default()).run(&db);
+    assert_eq!(baseline.output, reference);
+    for strategy in STRATEGIES {
+        for threads in [1, 2, 4] {
+            let report = SkewAdaptiveJoin::from_stats(&q, &db, 16, SkewConfig::default())
+                .with_strategy(strategy)
+                .run_with_parallelism(&db, threads);
+            assert_eq!(
+                report.output, baseline.output,
+                "output diverged: {strategy:?} threads={threads}"
+            );
+            assert_eq!(
+                serde_json::to_string(&report.stats).unwrap(),
+                serde_json::to_string(&baseline.stats).unwrap(),
+                "stats diverged: {strategy:?} threads={threads}"
+            );
+        }
     }
 }
 

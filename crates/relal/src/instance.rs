@@ -50,7 +50,7 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// per `(relation, column permutation)`) for the worst-case-optimal
 /// evaluator ([`crate::eval::eval_query_wcoj`]). Mutations never evict
 /// cache entries: each entry remembers the epoch it is current as of, and
-/// a read of a stale entry replays the delta log ([`TrieLayers::advance`])
+/// a read of a stale entry replays the delta log (`TrieLayers::advance`)
 /// — appending a small run / tombstones — instead of rebuilding. Entries
 /// of relations other than the mutated one stay valid verbatim. The
 /// cache is invisible to equality and serialization, and clones share the

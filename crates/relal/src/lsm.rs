@@ -128,8 +128,10 @@ impl TrieLayers {
             if !inserted.is_empty() {
                 inserted.sort_unstable();
                 inserted.dedup();
-                self.runs
-                    .push(Arc::new(TrieRel::from_sorted_tuples(perm.to_vec(), inserted)));
+                self.runs.push(Arc::new(TrieRel::from_sorted_tuples(
+                    perm.to_vec(),
+                    inserted,
+                )));
             }
         }
         self.built_epoch = now_epoch;

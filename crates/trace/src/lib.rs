@@ -280,7 +280,9 @@ impl fmt::Debug for TraceHandle {
     }
 }
 
-pub use report::{LoadBound, RoundLoadReport, SpanReport, TraceReport, WallReport, WallSpan};
+pub use report::{
+    LoadBound, LoadBoundPart, RoundLoadReport, SpanReport, TraceReport, WallReport, WallSpan,
+};
 pub use sink::{MemSink, RoundLoads};
 
 #[cfg(test)]

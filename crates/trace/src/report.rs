@@ -10,18 +10,48 @@
 use crate::sink::MemSink;
 use crate::{CommCounters, FaultEvent, Phase};
 
+/// One component of a skew-aware (heavy/light decomposed) load bound:
+/// a residual sub-query over its own server block, bounded by the
+/// finite-size skew-free guarantee `m / servers^exponent + atoms ×
+/// light_freq` — the balanced share plus the heaviest single value the
+/// component's hashing must absorb, once per body atom.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LoadBoundPart {
+    /// Human-readable heavy-pattern label (`"light"`, `"y=7"`, …).
+    pub pattern: String,
+    /// Facts consistent with the pattern (the residual input size).
+    pub m: usize,
+    /// Servers in the pattern's block.
+    pub servers: usize,
+    /// The residual load exponent `1/τ*` of the residual query.
+    pub exponent: f64,
+    /// The heaviest frequency among values the pattern leaves *light*
+    /// — every hash bucket must be able to hold one such value whole.
+    pub light_freq: usize,
+    /// `m / servers^exponent + atoms × light_freq`.
+    pub predicted: f64,
+}
+
 /// The theoretical per-server load `m / p^{1/τ*}` the histograms are
 /// compared against (`1/τ*` from the optimal fractional edge packing).
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+///
+/// The **skew-aware** form ([`LoadBound::skew`]) carries one
+/// [`LoadBoundPart`] per heavy/light residual sub-query; its `predicted`
+/// is the worst component — the `m/p^{1/ρ*}`-style bound of the
+/// Beame–Koutris–Suciu heavy/light decomposition, against which the
+/// skew-adaptive multi-round engine is machine-checked (E26).
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct LoadBound {
     /// Input size.
     pub m: usize,
     /// Number of servers.
     pub p: usize,
-    /// The load exponent `1/τ*`.
+    /// The load exponent `1/τ*` (effective exponent for skew bounds).
     pub exponent: f64,
-    /// `m / p^exponent`.
+    /// `m / p^exponent` (for skew bounds: the worst component).
     pub predicted: f64,
+    /// Heavy/light decomposition of the bound, when skew-aware.
+    pub components: Option<Vec<LoadBoundPart>>,
 }
 
 impl LoadBound {
@@ -32,6 +62,31 @@ impl LoadBound {
             p,
             exponent,
             predicted: m as f64 / (p as f64).powf(exponent),
+            components: None,
+        }
+    }
+
+    /// Build a skew-aware bound from heavy/light components: the
+    /// predicted load is the worst residual's `m_i / B_i^{1/τ*_i}`, and
+    /// the recorded exponent is the *effective* one it implies for the
+    /// whole input (`predicted = m / p^exponent`).
+    pub fn skew(m: usize, p: usize, components: Vec<LoadBoundPart>) -> LoadBound {
+        let predicted = components
+            .iter()
+            .map(|c| c.predicted)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let exponent = if m == 0 || p <= 1 {
+            0.0
+        } else {
+            (m as f64 / predicted).ln() / (p as f64).ln()
+        };
+        LoadBound {
+            m,
+            p,
+            exponent,
+            predicted,
+            components: Some(components),
         }
     }
 }
@@ -138,6 +193,7 @@ impl MemSink {
                     max: r.max,
                     balance: if mean > 0.0 { r.max as f64 / mean } else { 1.0 },
                     max_over_bound: bound
+                        .as_ref()
                         .map(|b| r.max as f64 / b.predicted.max(f64::MIN_POSITIVE)),
                 }
             })
@@ -154,6 +210,9 @@ impl MemSink {
             .collect();
         let max_load = d.rounds.iter().map(|r| r.max).max().unwrap_or(0);
         let total_comm = d.rounds.iter().map(|r| r.total).sum();
+        let max_over_bound = bound
+            .as_ref()
+            .map(|b| max_load as f64 / b.predicted.max(f64::MIN_POSITIVE));
         TraceReport {
             bound,
             rounds,
@@ -162,7 +221,7 @@ impl MemSink {
             timeline: d.timeline.clone(),
             max_load,
             total_comm,
-            max_over_bound: bound.map(|b| max_load as f64 / b.predicted.max(f64::MIN_POSITIVE)),
+            max_over_bound,
         }
     }
 
