@@ -38,6 +38,12 @@
 //!   φ-accrual failure detection, deadline-bounded retry, shard
 //!   re-replication heals, speculative re-execution of stragglers, and
 //!   certified graceful degradation for monotone queries.
+//! * **Serving** — [`serve`] (re-exported from `parlog-serve`) is the
+//!   MVCC snapshot serving layer: immutable sealed snapshots published
+//!   by a single release-store, lock-free pinned reads under every
+//!   evaluation strategy, a generation-keyed plan cache, bounded
+//!   admission control with typed refusals, background LSM compaction,
+//!   and the closed-loop Zipf load harness of experiment E27.
 //! * **Observability** — [`trace`] (re-exported from `parlog-trace`) is
 //!   the zero-dependency structured tracing layer: per-round phase
 //!   spans on the virtual clock, per-server load histograms checked
@@ -70,6 +76,7 @@ pub use parlog_datalog as datalog;
 pub use parlog_faults as faults;
 pub use parlog_mpc as mpc;
 pub use parlog_relal as relal;
+pub use parlog_serve as serve;
 pub use parlog_supervisor as supervisor;
 pub use parlog_trace as trace;
 pub use parlog_transducer as transducer;

@@ -48,8 +48,13 @@ pub mod maintain;
 pub mod program;
 pub mod wellfounded;
 
-pub use eval::{eval_program, eval_program_naive, eval_program_with};
-pub use maintain::{materialize, try_refresh, view_stats, MaterializedView, ViewStats};
+pub use eval::{
+    eval_program, eval_program_naive, eval_program_scratch, eval_program_snapshot,
+    eval_program_with,
+};
+pub use maintain::{
+    materialize, publish_views, try_refresh, view_key_for, view_stats, MaterializedView, ViewStats,
+};
 pub use program::{Program, ProgramError, Stratification};
 
 /// Commonly used items.

@@ -60,6 +60,37 @@ fn view_key(src: &str) -> u64 {
     h.finish()
 }
 
+/// The stable registry key of the `(program, strategy)` view — the same
+/// key [`materialize`]/[`try_refresh`] use internally, exposed so the
+/// MVCC publication path can file frozen view outputs under it (and
+/// `eval_program_snapshot` can look them up lock-free).
+pub fn view_key_for(p: &Program, strategy: EvalStrategy) -> u64 {
+    view_key(&view_key_src(p, strategy))
+}
+
+/// The epoch-publication hook: refresh-or-build every listed view
+/// against the writer instance `base` and return the frozen outputs
+/// keyed by [`view_key_for`] — ready to hand to
+/// `SnapshotStore::publish_with`. Maintained state stays registered on
+/// the writer (so the *next* publication refreshes incrementally); the
+/// returned outputs are immutable and shared into the snapshot, which
+/// is why a published snapshot's views are already consistent and no
+/// reader ever pays a refresh or takes the registry lock.
+pub fn publish_views(
+    base: &Instance,
+    programs: &[(Program, EvalStrategy)],
+) -> Result<FxMap<u64, std::sync::Arc<Instance>>, ProgramError> {
+    let mut out = fxmap();
+    for (p, s) in programs {
+        let inst = match try_refresh(p, base, *s) {
+            Some(i) => i,
+            None => materialize(p, base, *s)?,
+        };
+        out.insert(view_key_for(p, *s), std::sync::Arc::new(inst));
+    }
+    Ok(out)
+}
+
 /// One recursive stratum maintained by DRed, with its relation footprint
 /// precomputed (which batch changes are relevant to it).
 #[derive(Debug, Clone)]
@@ -887,6 +918,64 @@ mod tests {
         let stats = view_stats(&p, &db, EvalStrategy::Auto).unwrap();
         assert_eq!(stats.full_rebuilds, 0);
         assert!(stats.incremental_applied >= 3);
+    }
+
+    /// Satellite: `try_refresh` runs at epoch publication — against the
+    /// writer — so a published snapshot's views are already consistent
+    /// and a cold reader pays neither the refresh nor any lock beyond
+    /// the `Arc` clone.
+    #[test]
+    fn publish_views_makes_snapshot_reads_free() {
+        use crate::eval::eval_program_snapshot;
+        use parlog_relal::snapshot::SnapshotStore;
+
+        let p = parse_program(
+            "TC(x,y) <- E(x,y)
+             TC(x,z) <- TC(x,y), E(y,z)",
+        )
+        .unwrap();
+        let programs = vec![(p.clone(), EvalStrategy::Auto)];
+        let store = SnapshotStore::new(Instance::from_facts([
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+        ]));
+        let snap = store.publish_with(|w| publish_views(w, &programs).unwrap());
+        assert_eq!(snap.view_count(), 1);
+
+        // The cold read is an O(1) frozen lookup: the returned Arc is
+        // the very object frozen at publication, the snapshot's own
+        // registry stays empty (no take/put), no trie was built and no
+        // evaluator op ran.
+        parlog_relal::opcount::reset();
+        let out = eval_program_snapshot(&p, &snap, EvalStrategy::Auto).unwrap();
+        assert_eq!(parlog_relal::opcount::reset(), 0);
+        assert!(std::sync::Arc::ptr_eq(
+            &out,
+            &snap
+                .view_output(view_key_for(&p, EvalStrategy::Auto))
+                .unwrap()
+        ));
+        assert_eq!(snap.instance().views_len(), 0);
+        assert_eq!(snap.instance().trie_builds(), 0);
+        assert!(out.contains(&fact("TC", &[1, 3])));
+
+        // The maintained state stayed on the writer: the next publish
+        // refreshes incrementally (no full rebuild) and readers of the
+        // new snapshot see the updated fixpoint, again for free.
+        store.mutate(|w| {
+            w.insert(fact("E", &[3, 4]));
+        });
+        let snap2 = store.publish_with(|w| publish_views(w, &programs).unwrap());
+        let stats = store
+            .with_writer(|w| view_stats(&p, w, EvalStrategy::Auto))
+            .unwrap();
+        assert_eq!(stats.full_rebuilds, 0);
+        assert!(stats.incremental_applied >= 1);
+        let out2 = eval_program_snapshot(&p, &snap2, EvalStrategy::Auto).unwrap();
+        assert!(out2.contains(&fact("TC", &[1, 4])));
+        // The old pinned snapshot still serves its frozen output.
+        let old = eval_program_snapshot(&p, &snap, EvalStrategy::Auto).unwrap();
+        assert!(!old.contains(&fact("TC", &[1, 4])));
     }
 
     #[test]

@@ -28,6 +28,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The trie cache: `(relation, column permutation) → LSM layers`.
+///
+/// Held behind `Arc` for copy-on-write sharing: a clone of the instance
+/// shares the whole map O(1) (not just the runs inside each entry), and
+/// a **sealed** instance exposes the same `Arc` lock-free to concurrent
+/// readers (see [`Instance::seal`]).
 type TrieCache = FxMap<(RelId, Vec<usize>), TrieLayers>;
 
 /// Registry of maintained derived results (e.g. materialized Datalog
@@ -67,8 +72,14 @@ pub struct Instance {
     rel_epochs: FxMap<RelId, u64>,
     /// Bounded ordered log of successful mutations.
     log: DeltaLog,
-    /// Cached trie layers, refreshed on read via the delta log.
-    tries: Mutex<TrieCache>,
+    /// Cached trie layers, refreshed on read via the delta log. The map
+    /// itself is copy-on-write (`Arc::make_mut` before any cache edit),
+    /// so clones share it O(1) until one side's cache actually diverges.
+    tries: Mutex<Arc<TrieCache>>,
+    /// Set by [`Instance::seal`]: an immutable alias of the trie cache
+    /// that [`Instance::trie_layers`] reads **without locking**. Cleared
+    /// by any mutation; `None` on every clone.
+    frozen_tries: Option<Arc<TrieCache>>,
     /// Maintained derived results (see [`Instance::view_take`]).
     views: Mutex<ViewRegistry>,
     /// Number of full trie builds performed by this instance (diagnostic:
@@ -145,6 +156,8 @@ impl Instance {
         self.epoch += 1;
         self.rel_epochs.insert(f.rel, self.epoch);
         self.log.push(self.epoch, op, f);
+        // A mutated instance is no longer a consistent frozen snapshot.
+        self.frozen_tries = None;
     }
 
     /// Refresh (or create) the cache entry for `(rel, perm)` inside an
@@ -188,23 +201,135 @@ impl Instance {
     /// The LSM trie layers of `rel` under the column permutation `perm`,
     /// built on first use and incrementally refreshed from the delta log
     /// on later mutations. Cheap to clone (runs are `Arc`'d).
+    ///
+    /// On a **sealed** instance a warm entry is served from the frozen
+    /// alias without taking any lock — this is the hot path concurrent
+    /// snapshot readers hit (see [`Instance::seal`]). Cold entries (and
+    /// every read on an unsealed instance) go through the cache mutex.
     pub fn trie_layers(&self, rel: RelId, perm: &[usize]) -> TrieLayers {
+        if let Some(frozen) = &self.frozen_tries {
+            if let Some(layers) = frozen.get(&(rel, perm.to_vec())) {
+                return layers.clone();
+            }
+        }
         let mut cache = lock_recover(&self.tries);
-        self.refresh_entry(&mut cache, rel, perm).clone()
+        // Read-only fast path: an entry that is current for `rel` is
+        // served without editing the map, so a fresh clone keeps
+        // sharing the cache spine with its origin.
+        if let Some(layers) = cache.get(&(rel, perm.to_vec())) {
+            if layers.built_epoch >= self.rel_epoch(rel) {
+                return layers.clone();
+            }
+        }
+        self.refresh_entry(Arc::make_mut(&mut cache), rel, perm)
+            .clone()
     }
 
     /// The sorted columnar trie of `rel` under `perm` as a **single run**
     /// (compacting the layers if needed) — the pre-LSM API, kept for
     /// callers that want one flat trie.
     pub fn trie(&self, rel: RelId, perm: &[usize]) -> Arc<TrieRel> {
+        if let Some(frozen) = &self.frozen_tries {
+            if let Some(layers) = frozen.get(&(rel, perm.to_vec())) {
+                if layers.run_count() == 1 && !layers.has_tombstones() {
+                    return Arc::clone(&layers.runs()[0]);
+                }
+            }
+        }
         let mut cache = lock_recover(&self.tries);
-        let layers = self.refresh_entry(&mut cache, rel, perm);
+        // Same read-only fast path as `trie_layers`.
+        if let Some(layers) = cache.get(&(rel, perm.to_vec())) {
+            if layers.built_epoch >= self.rel_epoch(rel)
+                && layers.run_count() == 1
+                && !layers.has_tombstones()
+            {
+                return Arc::clone(&layers.runs()[0]);
+            }
+        }
+        let cache = Arc::make_mut(&mut cache);
+        let layers = self.refresh_entry(cache, rel, perm);
         if layers.run_count() == 1 && !layers.has_tombstones() {
             return Arc::clone(&layers.runs()[0]);
         }
         self.builds.fetch_add(1, Ordering::Relaxed);
         *layers = TrieLayers::build_full(self, rel, perm, self.epoch);
         Arc::clone(&layers.runs()[0])
+    }
+
+    /// Seal the instance for concurrent lock-free reads: refresh every
+    /// cached trie entry to the current epoch, then publish the cache
+    /// `Arc` as an immutable alias that [`Instance::trie_layers`] reads
+    /// without locking. Any later mutation unseals automatically.
+    ///
+    /// Sealing is what [`crate::snapshot::SnapshotStore::publish`] does
+    /// to the copy-on-write clone it is about to expose as a snapshot:
+    /// after `seal`, arbitrarily many threads can evaluate against the
+    /// instance and the only synchronization they ever execute is the
+    /// `Arc` refcount — no mutex, no rebuild, no delta replay.
+    pub fn seal(&mut self) {
+        self.frozen_tries = None;
+        let frozen = {
+            let this: &Instance = &*self;
+            let mut guard = lock_recover(&this.tries);
+            let cache = Arc::make_mut(&mut guard);
+            let keys: Vec<(RelId, Vec<usize>)> = cache.keys().cloned().collect();
+            for (rel, perm) in keys {
+                this.refresh_entry(cache, rel, &perm);
+            }
+            Arc::clone(&guard)
+        };
+        self.frozen_tries = Some(frozen);
+    }
+
+    /// Is the instance sealed for lock-free reads (see [`Instance::seal`])?
+    pub fn is_sealed(&self) -> bool {
+        self.frozen_tries.is_some()
+    }
+
+    /// Do `self` and `other` share the same copy-on-write trie-cache
+    /// storage (diagnostic: true right after a clone, false once either
+    /// side's cache has diverged)?
+    pub fn shares_trie_storage(&self, other: &Instance) -> bool {
+        let a = Arc::clone(&lock_recover(&self.tries));
+        let b = Arc::clone(&lock_recover(&other.tries));
+        Arc::ptr_eq(&a, &b)
+    }
+
+    /// Cache entries worth compacting off-thread: every cached trie —
+    /// refreshed to the current epoch first — whose run stack or
+    /// tombstone set is non-trivial. Returned sorted by `(rel, perm)` so
+    /// compaction scheduling is deterministic; the layers are clones
+    /// (the runs inside are `Arc`-shared), so merging them on another
+    /// thread never blocks this instance.
+    pub fn compaction_candidates(&self) -> Vec<(RelId, Vec<usize>, TrieLayers)> {
+        let mut guard = lock_recover(&self.tries);
+        let cache = Arc::make_mut(&mut guard);
+        let mut keys: Vec<(RelId, Vec<usize>)> = cache.keys().cloned().collect();
+        keys.sort();
+        let mut out = Vec::new();
+        for (rel, perm) in keys {
+            let layers = self.refresh_entry(cache, rel, &perm);
+            if layers.run_count() > 1 || layers.has_tombstones() {
+                out.push((rel, perm, layers.clone()));
+            }
+        }
+        out
+    }
+
+    /// Install an off-thread-compacted entry, iff it is still current:
+    /// the merge is valid exactly when `rel` has not been mutated past
+    /// the epoch the layers were taken at. Returns `false` (discarding
+    /// the merge) when the writer raced ahead or the instance is sealed.
+    pub fn install_layers(&self, rel: RelId, perm: &[usize], mut layers: TrieLayers) -> bool {
+        if self.frozen_tries.is_some() || self.rel_epoch(rel) > layers.built_epoch {
+            return false;
+        }
+        // Content is current for `rel`; stamp forward so the next
+        // refresh replays only genuinely new deltas.
+        layers.built_epoch = self.epoch;
+        let mut guard = lock_recover(&self.tries);
+        Arc::make_mut(&mut guard).insert((rel, perm.to_vec()), layers);
+        true
     }
 
     /// Number of tries currently cached (test/diagnostic hook).
@@ -402,11 +527,13 @@ impl Instance {
 }
 
 /// Clones carry the facts, the epochs, the delta log **and the trie
-/// cache**: tries are immutable `Arc`'d runs refreshed by epoch checks,
-/// so a clone answers WCOJ queries warm, without rebuilding anything.
-/// Registered views are not carried (they hold consumer-specific state
-/// behind `Any`, which is not clonable); consumers re-register on the
-/// clone if they want maintained results there.
+/// cache**: the whole cache map is shared `Arc`-copy-on-write, so the
+/// clone is O(1) in the number of cached tries (no per-entry copy, no
+/// run duplication) and answers WCOJ queries warm. The first cache edit
+/// on either side copies just the map spine; the immutable runs inside
+/// stay shared forever. Registered views are not carried (they hold
+/// consumer-specific state behind `Any`, which is not clonable), and a
+/// clone is never sealed — it is a mutable fork.
 impl Clone for Instance {
     fn clone(&self) -> Instance {
         Instance {
@@ -415,7 +542,8 @@ impl Clone for Instance {
             epoch: self.epoch,
             rel_epochs: self.rel_epochs.clone(),
             log: self.log.clone(),
-            tries: Mutex::new(lock_recover(&self.tries).clone()),
+            tries: Mutex::new(Arc::clone(&lock_recover(&self.tries))),
+            frozen_tries: None,
             views: Mutex::new(fxmap()),
             builds: AtomicU64::new(0),
         }
@@ -641,6 +769,77 @@ mod tests {
         i.insert(fact("R", &[8, 8]));
         assert_eq!(c.trie(rel("R"), &[0, 1]).rows(), 2);
         assert_eq!(i.trie_layers(rel("R"), &[0, 1]).run_count(), 2);
+    }
+
+    /// Regression (clone cost): a clone shares the *whole* trie-cache
+    /// map O(1) — same `Arc`, same run pointers — and only diverges when
+    /// one side's cache is actually edited. Before the copy-on-write
+    /// cache, every clone deep-copied the map spine per entry.
+    #[test]
+    fn clone_shares_trie_storage_o1() {
+        let mut i = abc();
+        let r_run = i.trie(rel("R"), &[0, 1]);
+        let _ = i.trie(rel("S"), &[0, 1]);
+        let c = i.clone();
+        // O(1) share: both instances point at the same cache map...
+        assert!(i.shares_trie_storage(&c));
+        // ...and the entries inside are the very same runs.
+        let r_again = c.trie(rel("R"), &[0, 1]);
+        assert!(Arc::ptr_eq(&r_run, &r_again));
+        assert_eq!(c.trie_builds(), 0);
+        // Mutating the original leaves the cache shared (refreshes are
+        // lazy); the next trie *read* on the mutated side copies the
+        // map spine — and only then do the two caches diverge.
+        i.insert(fact("R", &[9, 9]));
+        assert!(i.shares_trie_storage(&c));
+        let _ = i.trie_layers(rel("R"), &[0, 1]);
+        assert!(!i.shares_trie_storage(&c));
+        // The clone still serves the pre-divergence run untouched.
+        assert!(Arc::ptr_eq(&r_run, &c.trie(rel("R"), &[0, 1])));
+    }
+
+    /// A sealed instance serves warm tries lock-free from the frozen
+    /// alias; mutation unseals it.
+    #[test]
+    fn seal_freezes_and_mutation_unseals() {
+        let mut i = abc();
+        let _ = i.trie(rel("R"), &[0, 1]);
+        i.insert(fact("R", &[5, 6]));
+        i.seal();
+        assert!(i.is_sealed());
+        // Sealing refreshed the stale entry: reads see the new fact.
+        let layers = i.trie_layers(rel("R"), &[0, 1]);
+        assert_eq!(layers.runs().iter().map(|r| r.rows()).sum::<usize>(), 3);
+        let builds = i.trie_builds();
+        let _ = i.trie_layers(rel("R"), &[0, 1]);
+        assert_eq!(i.trie_builds(), builds);
+        i.insert(fact("R", &[7, 8]));
+        assert!(!i.is_sealed());
+        let layers = i.trie_layers(rel("R"), &[0, 1]);
+        assert_eq!(layers.runs().iter().map(|r| r.rows()).sum::<usize>(), 4);
+    }
+
+    /// Off-thread compaction contract: candidates are stable-sorted,
+    /// merges install only when the relation has not moved on, and a
+    /// stale merge is discarded.
+    #[test]
+    fn compaction_candidates_and_install() {
+        let mut i = abc();
+        let _ = i.trie(rel("R"), &[0, 1]);
+        i.insert(fact("R", &[3, 4]));
+        let cands = i.compaction_candidates();
+        assert_eq!(cands.len(), 1);
+        let (r, perm, layers) = cands.into_iter().next().unwrap();
+        assert_eq!(layers.run_count(), 2);
+        // Merge "off-thread" (pure), then install: accepted.
+        let merged = layers.merged();
+        assert!(i.install_layers(r, &perm, merged));
+        assert_eq!(i.trie_layers(r, &perm).run_count(), 1);
+        // A merge taken before another mutation of R is stale: rejected.
+        let stale = i.trie_layers(r, &perm);
+        i.insert(fact("R", &[8, 8]));
+        assert!(!i.install_layers(r, &perm, stale.merged()));
+        assert_eq!(i.trie_layers(r, &perm).run_count(), 2);
     }
 
     /// Absent removes are complete no-ops: epoch, delta log and views all

@@ -71,6 +71,7 @@ pub mod parser;
 pub mod policy;
 pub mod query;
 pub mod simplex;
+pub mod snapshot;
 pub mod symbols;
 pub mod trie;
 pub mod valuation;
@@ -80,6 +81,7 @@ pub use delta::{DeltaEntry, DeltaLog, DeltaOp};
 pub use fact::{Fact, Val};
 pub use instance::Instance;
 pub use query::{ConjunctiveQuery, QueryError, UnionQuery};
+pub use snapshot::{Snapshot, SnapshotStore};
 pub use symbols::{RelId, Sym};
 pub use valuation::Valuation;
 
@@ -101,6 +103,7 @@ pub mod prelude {
         ReplicateAll,
     };
     pub use crate::query::{ConjunctiveQuery, UnionQuery};
+    pub use crate::snapshot::{Snapshot, SnapshotStore};
     pub use crate::symbols::{rel, sym, RelId, Sym};
     pub use crate::valuation::Valuation;
 }

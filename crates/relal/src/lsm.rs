@@ -65,6 +65,46 @@ impl TrieLayers {
         &self.runs
     }
 
+    /// The instance epoch this entry is current as of.
+    pub fn built_epoch(&self) -> u64 {
+        self.built_epoch
+    }
+
+    /// Would compacting this entry reduce read amplification (more than
+    /// one run, or dead tuples lingering in the runs)?
+    pub fn needs_compaction(&self) -> bool {
+        self.runs.len() > 1 || !self.tombstones.is_empty()
+    }
+
+    /// Collapse the layers to a single tombstone-free run **without an
+    /// instance**: the k-way merge of the immutable runs minus the
+    /// tombstones. Because the inputs are all immutable `Arc`s, this is
+    /// pure and safe to execute on a background thread while the owning
+    /// instance keeps mutating — the caller revalidates against the
+    /// relation epoch at install time ([`Instance::install_layers`]).
+    ///
+    /// For layers that are *current* (refreshed to their instance's
+    /// epoch) the merge equals a full rebuild: `advance` tombstones
+    /// every deletion since the oldest run, so `⋃runs ∖ tombstones` is
+    /// exactly the live permuted-tuple set.
+    pub fn merged(&self) -> TrieLayers {
+        let Some(first) = self.runs.first() else {
+            return self.clone();
+        };
+        let perm = first.perm.clone();
+        let mut tuples: Vec<Vec<Val>> = self.runs.iter().flat_map(|r| r.tuples()).collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        if !self.tombstones.is_empty() {
+            tuples.retain(|t| !self.tombstones.contains(t));
+        }
+        TrieLayers {
+            built_epoch: self.built_epoch,
+            runs: vec![Arc::new(TrieRel::from_sorted_tuples(perm, tuples))],
+            tombstones: Arc::new(fxset()),
+        }
+    }
+
     /// Number of runs in the stack.
     pub fn run_count(&self) -> usize {
         self.runs.len()
@@ -203,6 +243,26 @@ mod tests {
         assert_eq!(layers.run_count(), 1);
         assert_eq!(layers.runs()[0].rows(), 3);
         assert!(!layers.has_tombstones());
+    }
+
+    #[test]
+    fn merged_equals_full_rebuild() {
+        let mut db = Instance::from_facts((0..6u64).map(|k| fact("R", &[k, k + 1])));
+        let e0 = db.epoch();
+        let mut layers = TrieLayers::build_full(&db, rel("R"), &[0, 1], e0);
+        db.insert(fact("R", &[9, 9]));
+        db.remove(&fact("R", &[0, 1]));
+        let deltas = db.delta_since(e0).unwrap().to_vec();
+        layers.advance(&deltas, &db, rel("R"), &[0, 1], db.epoch());
+        assert!(layers.needs_compaction());
+        let merged = layers.merged();
+        assert_eq!(merged.run_count(), 1);
+        assert!(!merged.has_tombstones());
+        let full = TrieLayers::build_full(&db, rel("R"), &[0, 1], db.epoch());
+        let a: Vec<_> = merged.runs()[0].tuples().collect();
+        let b: Vec<_> = full.runs()[0].tuples().collect();
+        assert_eq!(a, b);
+        assert_eq!(merged.built_epoch(), db.epoch());
     }
 
     #[test]

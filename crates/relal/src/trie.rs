@@ -103,6 +103,12 @@ impl TrieRel {
         self.cols[depth][row]
     }
 
+    /// Iterate the stored (permuted) tuples in sorted row order — the
+    /// LSM compactor's input when merging runs off-thread.
+    pub fn tuples(&self) -> impl Iterator<Item = Vec<Val>> + '_ {
+        (0..self.rows).map(move |r| (0..self.depth()).map(|d| self.cols[d][r]).collect())
+    }
+
     /// First row in `[lo, hi)` whose depth-`d` value is `≥ v`, or `hi`.
     ///
     /// Gallops from `lo` (the leapfrog cursor advances in small steps far

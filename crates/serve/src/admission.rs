@@ -1,0 +1,193 @@
+//! Bounded admission control: refuse, don't queue.
+//!
+//! A serving thread admits a request by taking a [`Permit`] from the
+//! shared [`AdmissionGate`]; the permit is RAII — dropping it (however
+//! the request ends, including by panic unwinding through the
+//! evaluator) releases the slot. When all slots are taken the gate
+//! refuses with the typed [`Overload`] error instead of queueing: the
+//! same contract as `parlog_supervisor::degrade` — a load the system
+//! cannot absorb is reported as a *refusal the client can act on*
+//! (back off, retry elsewhere), never as silent unbounded latency.
+//!
+//! The gate is a single atomic counter with a compare-exchange loop:
+//! admission and release are lock-free and O(1), suitable for the
+//! per-request hot path.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Typed refusal: the gate was saturated at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overload {
+    /// All `capacity` slots were in flight.
+    Saturated {
+        /// Requests in flight at the refusing load.
+        in_flight: usize,
+        /// The gate's capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for Overload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Overload::Saturated {
+                in_flight,
+                capacity,
+            } => write!(
+                f,
+                "admission refused: {in_flight} requests in flight (capacity {capacity})"
+            ),
+        }
+    }
+}
+
+/// The shared in-flight gate.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    in_flight: AtomicUsize,
+    capacity: usize,
+    admitted: AtomicU64,
+    refused: AtomicU64,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `capacity` concurrent requests.
+    /// `capacity` is clamped to at least 1 (a zero-capacity gate would
+    /// refuse everything forever).
+    pub fn new(capacity: usize) -> AdmissionGate {
+        AdmissionGate {
+            in_flight: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            admitted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+        }
+    }
+
+    /// The gate's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently in flight (racy by nature; diagnostic).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Total requests refused so far.
+    pub fn refused(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
+    }
+
+    /// Try to admit one request. Lock-free; returns the RAII permit or
+    /// the typed refusal.
+    pub fn try_admit(&self) -> Result<Permit<'_>, Overload> {
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                self.refused.fetch_add(1, Ordering::Relaxed);
+                return Err(Overload::Saturated {
+                    in_flight: cur,
+                    capacity: self.capacity,
+                });
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Permit { gate: self });
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// An admitted request's slot. Dropping it releases the slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity_then_refuses() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_admit().unwrap();
+        let b = gate.try_admit().unwrap();
+        assert_eq!(gate.in_flight(), 2);
+        let refused = gate.try_admit();
+        assert_eq!(
+            refused.unwrap_err(),
+            Overload::Saturated {
+                in_flight: 2,
+                capacity: 2
+            }
+        );
+        drop(a);
+        let c = gate.try_admit().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(gate.admitted(), 3);
+        assert_eq!(gate.refused(), 1);
+    }
+
+    #[test]
+    fn permit_released_on_panic_unwind() {
+        let gate = AdmissionGate::new(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _p = gate.try_admit().unwrap();
+            panic!("request blew up");
+        }));
+        assert!(r.is_err());
+        assert_eq!(gate.in_flight(), 0);
+        assert!(gate.try_admit().is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let gate = AdmissionGate::new(0);
+        assert_eq!(gate.capacity(), 1);
+        assert!(gate.try_admit().is_ok());
+    }
+
+    #[test]
+    fn concurrent_hammer_never_exceeds_capacity() {
+        let gate = AdmissionGate::new(3);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        if let Ok(_p) = gate.try_admit() {
+                            let now = gate.in_flight();
+                            peak.fetch_max(now, Ordering::Relaxed);
+                            assert!(now <= 3, "in-flight {now} exceeded capacity");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(gate.in_flight(), 0);
+        assert!(peak.load(Ordering::Relaxed) <= 3);
+    }
+}

@@ -1,0 +1,386 @@
+//! The plan cache: memoized query analysis + generation-keyed plans.
+//!
+//! Planning a query here means running the expensive, *data-independent*
+//! analyses the rest of the workspace provides — GYO acyclicity, the
+//! fractional edge cover ρ* and packing τ* LPs, the HyperCube share
+//! exponents, the WCOJ variable order — and resolving `Auto` to a
+//! concrete strategy. None of that depends on the database contents, so
+//! it is memoized **per query text** and reused across every snapshot
+//! generation. The *prepared plan* layer on top is keyed on
+//! `(query, strategy, snapshot generation)`: a plan is only ever served
+//! against the exact database version it was prepared for, which is what
+//! lets the executor skip revalidation entirely — a new generation
+//! simply misses and re-prepares (the analysis hit makes that cheap).
+//!
+//! Keys are Fx hashes of the query's debug rendering with the rendered
+//! string stored alongside, so a (vanishingly unlikely) 64-bit collision
+//! degrades to a harmless re-analysis, never to serving the wrong plan —
+//! the same discipline as the view registry in `parlog-datalog`.
+//!
+//! The cache is **per session** (thread-per-core): no locking on the
+//! request hot path, and eviction is trivially generation-local — when a
+//! session re-pins to a newer snapshot, plans for older generations are
+//! dropped (the analyses survive).
+
+use parlog_datalog::program::Program;
+use parlog_datalog::view_key_for;
+use parlog_relal::atom::Var;
+use parlog_relal::eval::EvalStrategy;
+use parlog_relal::fastmap::{fxmap, FxHasher, FxMap};
+use parlog_relal::hypergraph::is_acyclic;
+use parlog_relal::packing::{fractional_edge_cover, fractional_edge_packing, share_exponents};
+use parlog_relal::query::ConjunctiveQuery;
+use parlog_relal::snapshot::Snapshot;
+use parlog_relal::trie::wcoj_variable_order;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+fn text_key(src: &str) -> u64 {
+    let mut h = FxHasher::default();
+    src.hash(&mut h);
+    h.finish()
+}
+
+/// The per-disjunct analysis: everything about evaluating one CQ that
+/// does not depend on the data.
+#[derive(Debug, Clone)]
+pub struct DisjunctPlan {
+    /// The strategy after resolving `Auto` (never `Auto` itself).
+    pub resolved: EvalStrategy,
+    /// GYO verdict: does the query hypergraph have a join tree?
+    pub acyclic: bool,
+    /// The memoized WCOJ variable order (meaningful when `resolved`
+    /// is `Wcoj`; computed for every disjunct — it is cheap and the
+    /// executor may be asked to force WCOJ).
+    pub order: Vec<Var>,
+    /// Fractional edge cover number ρ* — the AGM output-size exponent
+    /// (`None` when the LP is degenerate, e.g. a nullary body).
+    pub rho_star: Option<f64>,
+    /// Fractional edge packing number τ* — the HyperCube load exponent.
+    pub tau_star: Option<f64>,
+    /// HyperCube share exponents per body variable, parallel to
+    /// `share_vars`.
+    pub shares: Option<Vec<f64>>,
+    /// The variables the share exponents refer to.
+    pub share_vars: Vec<Var>,
+}
+
+/// The full data-independent analysis of a relational request: one
+/// [`DisjunctPlan`] per disjunct (a plain CQ is a one-disjunct UCQ).
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// Per-disjunct plans, in request order.
+    pub disjuncts: Vec<DisjunctPlan>,
+}
+
+/// Analyze one CQ under a requested strategy.
+pub fn analyze_cq(q: &ConjunctiveQuery, strategy: EvalStrategy) -> DisjunctPlan {
+    let resolved = strategy.resolve(q);
+    let shares = share_exponents(q).ok();
+    let (share_vars, shares) = match shares {
+        Some(s) => (s.vars, Some(s.exponents)),
+        None => (Vec::new(), None),
+    };
+    DisjunctPlan {
+        resolved,
+        acyclic: is_acyclic(q),
+        order: wcoj_variable_order(q, &[]),
+        rho_star: fractional_edge_cover(q).ok().map(|r| r.value),
+        tau_star: fractional_edge_packing(q).ok().map(|r| r.value),
+        shares,
+        share_vars,
+    }
+}
+
+/// Analyze a disjunct list (UCQ body, or a singleton for a CQ).
+pub fn analyze(disjuncts: &[ConjunctiveQuery], strategy: EvalStrategy) -> QueryAnalysis {
+    QueryAnalysis {
+        disjuncts: disjuncts.iter().map(|q| analyze_cq(q, strategy)).collect(),
+    }
+}
+
+/// What a prepared plan tells the executor to do.
+#[derive(Debug, Clone)]
+pub enum PlanKind {
+    /// Evaluate disjuncts with their resolved strategies / orders.
+    Relational(Arc<QueryAnalysis>),
+    /// A Datalog program request.
+    Program {
+        /// The registry key of the `(program, strategy)` view.
+        view_key: u64,
+        /// Whether the pinned snapshot carries a frozen output for
+        /// `view_key` (checked once at prepare time; same generation ⇒
+        /// same snapshot contents, so the bit stays valid for the
+        /// plan's lifetime).
+        resident: bool,
+    },
+}
+
+/// A plan prepared against one specific snapshot generation.
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    /// The generation this plan was prepared for.
+    pub generation: u64,
+    /// What to execute.
+    pub kind: PlanKind,
+}
+
+/// Hit/miss counters, split by layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Prepared-plan hits (query, strategy, generation all matched).
+    pub hits: u64,
+    /// Prepared-plan misses.
+    pub misses: u64,
+    /// Analysis reuses on a plan miss (the common re-prepare path).
+    pub analysis_hits: u64,
+    /// Full analyses run.
+    pub analysis_misses: u64,
+    /// Plans dropped because the session moved past their generation.
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Plan-cache hit rate in `[0, 1]` (1.0 for an untouched cache).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The per-session plan cache.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// query-text key → (stored text, analysis). Generation-independent.
+    analyses: FxMap<u64, (String, Arc<QueryAnalysis>)>,
+    /// program-text key → (stored text, registry view key).
+    program_keys: FxMap<u64, (String, u64)>,
+    /// (query-text key, generation) → prepared plan.
+    plans: FxMap<(u64, u64), Arc<PreparedPlan>>,
+    newest_generation: u64,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The cache's counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Prepared plans currently resident.
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Memoized analyses currently resident.
+    pub fn analysis_count(&self) -> usize {
+        self.analyses.len()
+    }
+
+    /// Drop plans for generations older than `generation` once the
+    /// session observes it. Sessions re-pin monotonically, so those
+    /// plans can never be requested again — this bounds the cache at
+    /// (catalog size × 1 generation) + analyses.
+    fn roll(&mut self, generation: u64) {
+        if generation > self.newest_generation {
+            let before = self.plans.len();
+            self.plans.retain(|&(_, g), _| g >= generation);
+            self.stats.evictions += (before - self.plans.len()) as u64;
+            self.newest_generation = generation;
+        }
+    }
+
+    fn lookup(&mut self, key: u64, generation: u64) -> Option<Arc<PreparedPlan>> {
+        self.roll(generation);
+        if let Some(p) = self.plans.get(&(key, generation)) {
+            self.stats.hits += 1;
+            return Some(Arc::clone(p));
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Prepare (or fetch) the plan for a relational request — a CQ or a
+    /// UCQ's disjunct list — under `strategy`, against snapshot
+    /// `generation`. Returns the plan and whether it was a cache hit.
+    pub fn prepare_relational(
+        &mut self,
+        disjuncts: &[ConjunctiveQuery],
+        strategy: EvalStrategy,
+        generation: u64,
+    ) -> (Arc<PreparedPlan>, bool) {
+        use std::fmt::Write;
+        let mut src = String::new();
+        for q in disjuncts {
+            let _ = write!(src, "{q:?};");
+        }
+        let _ = write!(src, "|{strategy:?}");
+        let key = text_key(&src);
+        if let Some(p) = self.lookup(key, generation) {
+            return (p, true);
+        }
+        let analysis = match self.analyses.get(&key) {
+            Some((stored, a)) if *stored == src => {
+                self.stats.analysis_hits += 1;
+                Arc::clone(a)
+            }
+            _ => {
+                self.stats.analysis_misses += 1;
+                let a = Arc::new(analyze(disjuncts, strategy));
+                self.analyses.insert(key, (src, Arc::clone(&a)));
+                a
+            }
+        };
+        let plan = Arc::new(PreparedPlan {
+            generation,
+            kind: PlanKind::Relational(analysis),
+        });
+        self.plans.insert((key, generation), Arc::clone(&plan));
+        (plan, false)
+    }
+
+    /// Prepare (or fetch) the plan for a Datalog program request against
+    /// the pinned snapshot. The expensive part memoized across
+    /// generations is the view-key derivation (a debug rendering + hash
+    /// of the whole program); the per-generation part is the frozen-view
+    /// residency probe.
+    pub fn prepare_program(
+        &mut self,
+        p: &Program,
+        strategy: EvalStrategy,
+        snap: &Snapshot,
+    ) -> (Arc<PreparedPlan>, bool) {
+        let src = format!("program:{p:?}|{strategy:?}");
+        let key = text_key(&src);
+        let generation = snap.generation();
+        if let Some(plan) = self.lookup(key, generation) {
+            return (plan, true);
+        }
+        let view_key = match self.program_keys.get(&key) {
+            Some((stored, vk)) if *stored == src => {
+                self.stats.analysis_hits += 1;
+                *vk
+            }
+            _ => {
+                self.stats.analysis_misses += 1;
+                let vk = view_key_for(p, strategy);
+                self.program_keys.insert(key, (src, vk));
+                vk
+            }
+        };
+        let plan = Arc::new(PreparedPlan {
+            generation,
+            kind: PlanKind::Program {
+                view_key,
+                resident: snap.view_output(view_key).is_some(),
+            },
+        });
+        self.plans.insert((key, generation), Arc::clone(&plan));
+        (plan, false)
+    }
+}
+
+/// An empty frozen-view map (convenience for tests).
+pub fn no_views() -> FxMap<u64, Arc<parlog_relal::instance::Instance>> {
+    fxmap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_relal::instance::Instance;
+    use parlog_relal::parser::parse_query;
+    use parlog_relal::snapshot::SnapshotStore;
+
+    fn triangle() -> ConjunctiveQuery {
+        parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap()
+    }
+
+    fn path() -> ConjunctiveQuery {
+        parse_query("H(x,z) <- R(x,y), S(y,z)").unwrap()
+    }
+
+    #[test]
+    fn analysis_matches_the_theory() {
+        let t = analyze_cq(&triangle(), EvalStrategy::Auto);
+        assert!(!t.acyclic);
+        assert_eq!(t.resolved, EvalStrategy::Wcoj);
+        assert!((t.rho_star.unwrap() - 1.5).abs() < 1e-9);
+        assert!((t.tau_star.unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(t.order.len(), 3);
+        let p = analyze_cq(&path(), EvalStrategy::Auto);
+        assert!(p.acyclic);
+        assert_eq!(p.resolved, EvalStrategy::Indexed);
+    }
+
+    #[test]
+    fn same_generation_hits_new_generation_reanalyzes_nothing() {
+        let mut cache = PlanCache::new();
+        let q = [triangle()];
+        let (_, hit) = cache.prepare_relational(&q, EvalStrategy::Auto, 0);
+        assert!(!hit);
+        let (_, hit) = cache.prepare_relational(&q, EvalStrategy::Auto, 0);
+        assert!(hit);
+        // New generation: plan misses, analysis is reused.
+        let (_, hit) = cache.prepare_relational(&q, EvalStrategy::Auto, 1);
+        assert!(!hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert_eq!((s.analysis_hits, s.analysis_misses), (1, 1));
+        // The generation-0 plan was evicted on roll-forward.
+        assert_eq!(s.evictions, 1);
+        assert_eq!(cache.plan_count(), 1);
+        assert_eq!(cache.analysis_count(), 1);
+    }
+
+    #[test]
+    fn strategy_is_part_of_the_key() {
+        let mut cache = PlanCache::new();
+        let q = [triangle()];
+        cache.prepare_relational(&q, EvalStrategy::Wcoj, 0);
+        let (_, hit) = cache.prepare_relational(&q, EvalStrategy::Indexed, 0);
+        assert!(!hit, "different strategy must not hit");
+        assert_eq!(cache.analysis_count(), 2);
+    }
+
+    #[test]
+    fn program_plan_probes_residency_once() {
+        use parlog_datalog::program::parse_program;
+        let p = parse_program("T(x,y) <- E(x,y). T(x,z) <- E(x,y), T(y,z).").unwrap();
+        let store = SnapshotStore::new(Instance::new());
+        let snap = store.pin();
+        let mut cache = PlanCache::new();
+        let (plan, hit) = cache.prepare_program(&p, EvalStrategy::Auto, &snap);
+        assert!(!hit);
+        match plan.kind {
+            PlanKind::Program { view_key, resident } => {
+                assert_eq!(view_key, view_key_for(&p, EvalStrategy::Auto));
+                assert!(!resident);
+            }
+            _ => panic!("expected a program plan"),
+        }
+        let (_, hit) = cache.prepare_program(&p, EvalStrategy::Auto, &snap);
+        assert!(hit);
+    }
+
+    #[test]
+    fn hit_rate_reflects_counters() {
+        let mut cache = PlanCache::new();
+        assert!((cache.stats().hit_rate() - 1.0).abs() < 1e-12);
+        let q = [path()];
+        cache.prepare_relational(&q, EvalStrategy::Auto, 0);
+        for _ in 0..9 {
+            cache.prepare_relational(&q, EvalStrategy::Auto, 0);
+        }
+        assert!((cache.stats().hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

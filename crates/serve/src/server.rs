@@ -1,0 +1,449 @@
+//! The request loop: [`Server`], per-thread [`Session`]s, typed
+//! requests and responses.
+//!
+//! A [`Server`] owns the [`SnapshotStore`], the shared
+//! [`AdmissionGate`], and the list of registered view programs it
+//! refreshes at every publication (the `try_refresh`-at-publish hook:
+//! a published snapshot's views are already consistent, so a reader
+//! never pays a refresh). Each serving thread opens its own
+//! [`Session`] — thread-per-core discipline: the session holds the
+//! pinned snapshot and the [`PlanCache`], so the request hot path
+//! touches **no shared mutable state** beyond two atomic operations
+//! (the admission counter and, on the re-pin cadence, the generation
+//! probe).
+//!
+//! Request execution is entirely lock-free against the pin: sealed
+//! instances serve warm tries without a mutex, CQ/UCQ evaluation runs
+//! the strategy resolved by the plan (WCOJ with the memoized variable
+//! order), Datalog requests are answered from the snapshot's frozen
+//! view outputs when resident (an `Arc` clone — O(1)) and from a
+//! registry-free scratch evaluation otherwise, and point lookups batch
+//! hash probes.
+
+use crate::admission::{AdmissionGate, Overload, Permit};
+use crate::plan::{PlanCache, PlanCacheStats, PlanKind};
+use parlog_datalog::eval::eval_program_scratch;
+use parlog_datalog::maintain::publish_views;
+use parlog_datalog::program::{Program, ProgramError};
+use parlog_relal::eval::{eval_query_indexed, eval_query_naive, EvalStrategy, Indexed};
+use parlog_relal::fact::Fact;
+use parlog_relal::instance::Instance;
+use parlog_relal::opcount;
+use parlog_relal::query::{ConjunctiveQuery, UnionQuery};
+use parlog_relal::snapshot::{Snapshot, SnapshotStore};
+use parlog_relal::trie::satisfying_valuations_wcoj_ordered;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// A conjunctive query under a strategy.
+    Query(ConjunctiveQuery, EvalStrategy),
+    /// A union of conjunctive queries under a strategy.
+    Union(UnionQuery, EvalStrategy),
+    /// A Datalog program under a strategy (answered from the frozen
+    /// view output when the snapshot carries one).
+    Program(Program, EvalStrategy),
+    /// A batched point-lookup: one membership bit per fact.
+    Lookup(Vec<Fact>),
+}
+
+/// A request's payload.
+#[derive(Debug, Clone)]
+pub enum Answer {
+    /// Relational output (CQ / UCQ / program).
+    Relation(Arc<Instance>),
+    /// Per-fact membership bits, parallel to the lookup batch.
+    Bits(Vec<bool>),
+}
+
+impl Answer {
+    /// The relational output, if this answer carries one.
+    pub fn relation(&self) -> Option<&Arc<Instance>> {
+        match self {
+            Answer::Relation(r) => Some(r),
+            Answer::Bits(_) => None,
+        }
+    }
+}
+
+/// A served response plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The payload.
+    pub answer: Answer,
+    /// The snapshot generation the request was answered against.
+    pub generation: u64,
+    /// `Some(true)` on a plan-cache hit, `Some(false)` on a miss,
+    /// `None` for plan-free requests (lookups).
+    pub plan_hit: Option<bool>,
+    /// Deterministic work: relational ops counted while executing.
+    pub ops: u64,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission refused (typed, actionable: back off and retry).
+    Overload(Overload),
+    /// The submitted Datalog program was rejected (e.g. unstratifiable).
+    Program(ProgramError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overload(o) => write!(f, "{o}"),
+            ServeError::Program(e) => write!(f, "program rejected: {e:?}"),
+        }
+    }
+}
+
+impl From<Overload> for ServeError {
+    fn from(o: Overload) -> ServeError {
+        ServeError::Overload(o)
+    }
+}
+
+/// The serving front end over one snapshot store.
+#[derive(Debug)]
+pub struct Server {
+    store: Arc<SnapshotStore>,
+    gate: AdmissionGate,
+    views: Mutex<Vec<(Program, EvalStrategy)>>,
+}
+
+impl Server {
+    /// Serve `initial`, admitting at most `capacity` concurrent
+    /// requests.
+    pub fn new(initial: Instance, capacity: usize) -> Server {
+        Server::over(Arc::new(SnapshotStore::new(initial)), capacity)
+    }
+
+    /// Serve an existing store (e.g. a replica's).
+    pub fn over(store: Arc<SnapshotStore>, capacity: usize) -> Server {
+        Server {
+            store,
+            gate: AdmissionGate::new(capacity),
+            views: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying store (writer access, replication, diagnostics).
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The shared admission gate.
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    /// Register a view program to keep refreshed at every publication.
+    /// Published snapshots carry its frozen output under
+    /// `parlog_datalog::view_key_for(&p, strategy)`, so `Program`
+    /// requests for it are answered in O(1).
+    pub fn register_view(&self, p: Program, strategy: EvalStrategy) {
+        lock_recover(&self.views).push((p, strategy));
+    }
+
+    /// Publish the writer's state as a new snapshot, first refreshing
+    /// every registered view against the writer (`try_refresh` runs
+    /// here — at publication — never on a reader).
+    pub fn publish(&self) -> Result<Arc<Snapshot>, ServeError> {
+        let programs = lock_recover(&self.views).clone();
+        if programs.is_empty() {
+            return Ok(self.store.publish());
+        }
+        let mut err = None;
+        let snap = self
+            .store
+            .publish_with(|w| match publish_views(w, &programs) {
+                Ok(outputs) => outputs,
+                Err(e) => {
+                    err = Some(e);
+                    crate::plan::no_views()
+                }
+            });
+        match err {
+            Some(e) => Err(ServeError::Program(e)),
+            None => Ok(snap),
+        }
+    }
+
+    /// Open a session for one serving thread.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            server: self,
+            pinned: self.store.pin(),
+            plans: PlanCache::new(),
+        }
+    }
+}
+
+/// One serving thread's state: the pinned snapshot and the private
+/// plan cache.
+#[derive(Debug)]
+pub struct Session<'a> {
+    server: &'a Server,
+    pinned: Arc<Snapshot>,
+    plans: PlanCache,
+}
+
+impl Session<'_> {
+    /// The currently pinned snapshot.
+    pub fn pinned(&self) -> &Arc<Snapshot> {
+        &self.pinned
+    }
+
+    /// Re-pin if a newer snapshot was published (one acquire-load in
+    /// the steady state). Returns `true` iff the pin moved.
+    pub fn refresh_pin(&mut self) -> bool {
+        self.server.store.pin_if_newer(&mut self.pinned)
+    }
+
+    /// The session's plan-cache counters.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Admit, re-pin to the freshest snapshot, execute.
+    pub fn execute(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let permit = self.server.gate.try_admit()?;
+        self.refresh_pin();
+        self.run(req, &permit)
+    }
+
+    /// Admit and execute against the *current* pin without a staleness
+    /// probe — the path for readers that deliberately serve a stale
+    /// generation (snapshot isolation is the product, not a bug).
+    pub fn execute_pinned(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let permit = self.server.gate.try_admit()?;
+        self.run(req, &permit)
+    }
+
+    fn run(&mut self, req: &Request, _permit: &Permit<'_>) -> Result<Response, ServeError> {
+        let generation = self.pinned.generation();
+        let inst = self.pinned.instance();
+        opcount::reset();
+        let (answer, plan_hit) = match req {
+            Request::Lookup(batch) => {
+                let bits = batch.iter().map(|f| inst.contains(f)).collect();
+                (Answer::Bits(bits), None)
+            }
+            Request::Query(q, strategy) => {
+                let (plan, hit) =
+                    self.plans
+                        .prepare_relational(std::slice::from_ref(q), *strategy, generation);
+                let PlanKind::Relational(analysis) = &plan.kind else {
+                    unreachable!("relational prepare returned a program plan");
+                };
+                let out = execute_disjuncts(std::slice::from_ref(q), analysis, inst);
+                (Answer::Relation(Arc::new(out)), Some(hit))
+            }
+            Request::Union(u, strategy) => {
+                let (plan, hit) =
+                    self.plans
+                        .prepare_relational(&u.disjuncts, *strategy, generation);
+                let PlanKind::Relational(analysis) = &plan.kind else {
+                    unreachable!("relational prepare returned a program plan");
+                };
+                let out = execute_disjuncts(&u.disjuncts, analysis, inst);
+                (Answer::Relation(Arc::new(out)), Some(hit))
+            }
+            Request::Program(p, strategy) => {
+                let (plan, hit) = self.plans.prepare_program(p, *strategy, &self.pinned);
+                let PlanKind::Program { view_key, resident } = plan.kind else {
+                    unreachable!("program prepare returned a relational plan");
+                };
+                let out = if resident {
+                    self.pinned
+                        .view_output(view_key)
+                        .expect("resident bit implies a frozen output at this generation")
+                } else {
+                    Arc::new(eval_program_scratch(p, inst, *strategy).map_err(ServeError::Program)?)
+                };
+                (Answer::Relation(out), Some(hit))
+            }
+        };
+        Ok(Response {
+            answer,
+            generation,
+            plan_hit,
+            ops: opcount::read(),
+        })
+    }
+}
+
+/// Evaluate `disjuncts` against `inst` with each disjunct's resolved
+/// strategy and memoized WCOJ order, unioning the outputs.
+fn execute_disjuncts(
+    disjuncts: &[ConjunctiveQuery],
+    analysis: &crate::plan::QueryAnalysis,
+    inst: &Instance,
+) -> Instance {
+    debug_assert_eq!(disjuncts.len(), analysis.disjuncts.len());
+    let mut out = Instance::new();
+    for (q, d) in disjuncts.iter().zip(&analysis.disjuncts) {
+        match d.resolved {
+            EvalStrategy::Naive => {
+                out.extend_from(&eval_query_naive(q, inst));
+            }
+            EvalStrategy::Indexed => {
+                let index = Indexed::for_query(q, inst);
+                out.extend_from(&eval_query_indexed(q, inst, &index));
+            }
+            EvalStrategy::Wcoj | EvalStrategy::Auto => {
+                // `Auto` cannot survive `resolve`, but WCOJ is a safe
+                // executor for anything, so fold it in rather than panic.
+                for v in satisfying_valuations_wcoj_ordered(q, inst, &d.order) {
+                    out.insert(v.derived_fact(q));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlog_datalog::program::parse_program;
+    use parlog_relal::eval::{eval_query_with, eval_union_with};
+    use parlog_relal::fact::fact;
+    use parlog_relal::parser::{parse_query, parse_union};
+
+    fn base() -> Instance {
+        Instance::from_facts([
+            fact("R", &[1, 2]),
+            fact("R", &[2, 3]),
+            fact("S", &[2, 3]),
+            fact("S", &[3, 1]),
+            fact("T", &[3, 1]),
+            fact("E", &[1, 2]),
+            fact("E", &[2, 3]),
+        ])
+    }
+
+    #[test]
+    fn all_request_kinds_match_direct_evaluation() {
+        let server = Server::new(base(), 8);
+        let mut session = server.session();
+        let q = parse_query("H(x,y,z) <- R(x,y), S(y,z), T(z,x)").unwrap();
+        let u = parse_union("H(x,z) <- R(x,y), S(y,z); H(x,z) <- S(x,y), R(y,z)").unwrap();
+        let p = parse_program("T2(x,z) <- E(x,y), E(y,z).").unwrap();
+
+        for strategy in [
+            EvalStrategy::Naive,
+            EvalStrategy::Indexed,
+            EvalStrategy::Wcoj,
+            EvalStrategy::Auto,
+        ] {
+            let r = session
+                .execute(&Request::Query(q.clone(), strategy))
+                .unwrap();
+            assert_eq!(
+                r.answer.relation().unwrap().sorted_facts(),
+                eval_query_with(&q, &base(), strategy).sorted_facts(),
+                "{strategy:?}"
+            );
+            let r = session
+                .execute(&Request::Union(u.clone(), strategy))
+                .unwrap();
+            assert_eq!(
+                r.answer.relation().unwrap().sorted_facts(),
+                eval_union_with(&u, &base(), strategy).sorted_facts()
+            );
+        }
+        let r = session
+            .execute(&Request::Program(p.clone(), EvalStrategy::Auto))
+            .unwrap();
+        assert!(r.answer.relation().unwrap().contains(&fact("T2", &[1, 3])));
+        let r = session
+            .execute(&Request::Lookup(vec![
+                fact("R", &[1, 2]),
+                fact("R", &[9, 9]),
+            ]))
+            .unwrap();
+        match r.answer {
+            Answer::Bits(ref b) => assert_eq!(b, &vec![true, false]),
+            _ => panic!("expected bits"),
+        }
+        assert_eq!(r.plan_hit, None);
+    }
+
+    #[test]
+    fn registered_view_is_served_frozen_after_publish() {
+        let server = Server::new(base(), 8);
+        let p = parse_program("TC(x,y) <- E(x,y). TC(x,z) <- E(x,y), TC(y,z).").unwrap();
+        server.register_view(p.clone(), EvalStrategy::Auto);
+        server.publish().unwrap();
+        let mut session = server.session();
+        session.refresh_pin();
+        let r1 = session
+            .execute(&Request::Program(p.clone(), EvalStrategy::Auto))
+            .unwrap();
+        // Served from the frozen output: zero relational ops.
+        assert_eq!(r1.ops, 0);
+        assert!(r1.answer.relation().unwrap().contains(&fact("TC", &[1, 3])));
+        let frozen = session
+            .pinned()
+            .view_output(parlog_datalog::view_key_for(&p, EvalStrategy::Auto))
+            .unwrap();
+        assert!(Arc::ptr_eq(r1.answer.relation().unwrap(), &frozen));
+    }
+
+    #[test]
+    fn overload_is_a_typed_refusal() {
+        let server = Server::new(base(), 1);
+        let _held = server.gate().try_admit().unwrap();
+        let mut session = server.session();
+        let err = session
+            .execute(&Request::Lookup(vec![fact("R", &[1, 2])]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overload(Overload::Saturated {
+                in_flight: 1,
+                capacity: 1
+            })
+        );
+    }
+
+    #[test]
+    fn execute_pinned_stays_on_the_old_generation() {
+        let server = Server::new(base(), 4);
+        let mut session = server.session();
+        let q = parse_query("H(x,y) <- R(x,y)").unwrap();
+        let before = session
+            .execute_pinned(&Request::Query(q.clone(), EvalStrategy::Auto))
+            .unwrap();
+        server.store().mutate(|w| {
+            w.insert(fact("R", &[7, 7]));
+        });
+        server.publish().unwrap();
+        let stale = session
+            .execute_pinned(&Request::Query(q.clone(), EvalStrategy::Auto))
+            .unwrap();
+        assert_eq!(stale.generation, before.generation);
+        assert_eq!(
+            stale.answer.relation().unwrap().sorted_facts(),
+            before.answer.relation().unwrap().sorted_facts()
+        );
+        assert!(stale.plan_hit.unwrap(), "same generation, same plan");
+        let fresh = session
+            .execute(&Request::Query(q, EvalStrategy::Auto))
+            .unwrap();
+        assert!(fresh.generation > before.generation);
+        assert!(fresh
+            .answer
+            .relation()
+            .unwrap()
+            .contains(&fact("H", &[7, 7])));
+    }
+}

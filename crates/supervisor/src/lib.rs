@@ -33,6 +33,10 @@
 //!   (split-brain fenced off), and every heal is quorum-gated — a
 //!   monitor that cannot account for a strict majority blocks instead
 //!   of diverging.
+//! * [`replica`] — read-replica catch-up for the serving layer: delta
+//!   replay against a primary writer's bounded log, falling back to
+//!   full state adoption (the `adopt_shard` move) when the log has
+//!   truncated, republished through the replica's own snapshot store.
 //! * [`degrade`] — what happens when recovery is impossible within
 //!   budget: monotone queries return a *certified sound partial answer*
 //!   (a subset of the truth, with a coverage certificate naming the
@@ -54,6 +58,7 @@ pub mod degrade;
 pub mod detector;
 pub mod heal;
 pub mod partition;
+pub mod replica;
 pub mod retry;
 pub mod supervise;
 pub mod verify;
@@ -64,6 +69,7 @@ pub use heal::{heal_hypercube_crash, HealError, MpcHealReport};
 pub use partition::{
     accounted_nodes, classify_silence, has_quorum, round_trip_open, SilenceVerdict,
 };
+pub use replica::{CatchUp, ReadReplica};
 pub use retry::DeadlineRetry;
 pub use supervise::{
     supervise, supervise_traced, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,
@@ -81,6 +87,7 @@ pub mod prelude {
     pub use crate::partition::{
         accounted_nodes, classify_silence, has_quorum, round_trip_open, SilenceVerdict,
     };
+    pub use crate::replica::{CatchUp, ReadReplica};
     pub use crate::retry::DeadlineRetry;
     pub use crate::supervise::{
         supervise, supervise_traced, Detection, SupervisedRun, SupervisorConfig, SupervisorReport,

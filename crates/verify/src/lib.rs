@@ -49,4 +49,4 @@ pub use certificate::{
 pub use checker::{
     check_answer, check_cluster, check_complete, check_program, check_sound, Rejection,
 };
-pub use snapshot::{cluster_root, shard_roots, SnapshotId};
+pub use snapshot::{cluster_root, shard_roots, snapshot_id, SnapshotId};

@@ -114,6 +114,16 @@ pub fn snapshot(inst: &Instance) -> SnapshotId {
     SnapshotId(merkle_root(inst.iter().map(leaf_hash).collect()))
 }
 
+/// The content address of a pinned MVCC snapshot — the serving layer's
+/// snapshot id. Process- and publication-order independent: two
+/// replicas that converge to the same fact set publish the same id,
+/// whatever their epoch histories, so the id doubles as a cross-replica
+/// consistency check (and as the cache tag proof-carrying answers bind
+/// their certificates to).
+pub fn snapshot_id(s: &parlog_relal::snapshot::Snapshot) -> SnapshotId {
+    snapshot(s.instance())
+}
+
 /// Per-server shard roots, in server order.
 pub fn shard_roots(shards: &[Instance]) -> Vec<SnapshotId> {
     shards.iter().map(snapshot).collect()
@@ -151,6 +161,33 @@ mod tests {
         assert_ne!(snapshot(&a), snapshot(&b));
         assert_ne!(snapshot(&a), snapshot(&c));
         assert_ne!(snapshot(&a), snapshot(&Instance::new()));
+    }
+
+    /// The MVCC snapshot id is the content root of the pinned instance:
+    /// stable across re-publication of the same facts, distinct per
+    /// generation content, equal across independently caught-up stores.
+    #[test]
+    fn mvcc_snapshot_id_is_content_addressed() {
+        use parlog_relal::snapshot::SnapshotStore;
+        let store = SnapshotStore::new(Instance::from_facts([fact("R", &[1, 2])]));
+        let s0 = store.pin();
+        let id0 = snapshot_id(&s0);
+        // Publishing identical content yields the identical id...
+        let s1 = store.publish();
+        assert_eq!(snapshot_id(&s1), id0);
+        assert_ne!(s1.generation(), s0.generation());
+        // ...and different content a different id.
+        store.mutate(|w| {
+            w.insert(fact("R", &[3, 4]));
+        });
+        let s2 = store.publish();
+        assert_ne!(snapshot_id(&s2), id0);
+        // An independent store converging to the same facts agrees.
+        let other = SnapshotStore::new(Instance::from_facts([
+            fact("R", &[3, 4]),
+            fact("R", &[1, 2]),
+        ]));
+        assert_eq!(snapshot_id(&other.pin()), snapshot_id(&s2));
     }
 
     #[test]
